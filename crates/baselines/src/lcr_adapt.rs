@@ -1,0 +1,200 @@
+//! The LCR-adapt baseline: a label-constrained-reachability style 2-hop index
+//! adapted to quality thresholds.
+//!
+//! Label-constrained reachability indexes keep, per vertex and hub, one entry
+//! per label combination; adapting that scheme to threshold constraints means
+//! keeping one `(hub, level, dist)` entry per *quality level* instead of one
+//! Pareto-minimal `(hub, dist, quality)` entry. The index is built by running
+//! a separate pruned BFS per (root, level) pair over the level-filtered
+//! graph — sharing one vertex order and one label store across levels, which
+//! is what distinguishes it from the Naïve baseline. It answers the same
+//! queries as WC-INDEX but without the path-dominance compression, so it is
+//! larger and slower to build; this is the shape Exp 1–5 of the paper report
+//! for the non-dominance-aware competitors.
+
+use crate::DistanceAlgorithm;
+use serde::{Deserialize, Serialize};
+use wcsd_graph::{Distance, Graph, Quality, VertexId, INF_DIST};
+use wcsd_order::{degree_order, VertexOrder};
+
+/// One LCR-adapt entry: the distance to `hub` using only edges of quality
+/// `>= level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LcrEntry {
+    /// The hub vertex.
+    pub hub: VertexId,
+    /// Quality level this entry was computed for.
+    pub level: Quality,
+    /// Distance to the hub within the level-filtered graph.
+    pub dist: Distance,
+}
+
+/// Label-constrained-reachability style index adapted to quality constraints.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct LcrAdaptIndex {
+    levels: Vec<Quality>,
+    labels: Vec<Vec<LcrEntry>>,
+}
+
+impl LcrAdaptIndex {
+    /// Builds the index with the standard degree order.
+    pub fn build(g: &Graph) -> Self {
+        Self::build_with_order(g, &degree_order(g))
+    }
+
+    /// Builds the index under a caller-supplied vertex order.
+    pub fn build_with_order(g: &Graph, order: &VertexOrder) -> Self {
+        assert_eq!(order.len(), g.num_vertices());
+        let levels = g.distinct_qualities();
+        let n = g.num_vertices();
+        let rank = order.ranks();
+        let mut labels: Vec<Vec<LcrEntry>> = vec![Vec::new(); n];
+        let mut dist = vec![INF_DIST; n];
+        let mut touched: Vec<VertexId> = Vec::new();
+
+        for &level in &levels {
+            for k in 0..order.len() {
+                let root = order.vertex_at(k);
+                let root_rank = rank[root as usize];
+                let mut queue = std::collections::VecDeque::new();
+                dist[root as usize] = 0;
+                touched.push(root);
+                queue.push_back(root);
+                while let Some(u) = queue.pop_front() {
+                    let du = dist[u as usize];
+                    if u != root
+                        && Self::query_level(&labels[root as usize], &labels[u as usize], level)
+                            <= du
+                    {
+                        continue;
+                    }
+                    if u != root {
+                        labels[u as usize].push(LcrEntry { hub: root, level, dist: du });
+                    } else if !labels[u as usize]
+                        .iter()
+                        .any(|e| e.hub == root && e.level == level)
+                    {
+                        labels[u as usize].push(LcrEntry { hub: root, level, dist: 0 });
+                    }
+                    for (v, q) in g.neighbors(u) {
+                        if q < level
+                            || rank[v as usize] <= root_rank
+                            || dist[v as usize] != INF_DIST
+                        {
+                            continue;
+                        }
+                        dist[v as usize] = du + 1;
+                        touched.push(v);
+                        queue.push_back(v);
+                    }
+                }
+                for v in touched.drain(..) {
+                    dist[v as usize] = INF_DIST;
+                }
+            }
+        }
+        for l in &mut labels {
+            l.sort_unstable_by_key(|e| (e.hub, e.level));
+            l.shrink_to_fit();
+        }
+        Self { levels, labels }
+    }
+
+    /// 2-hop intersection restricted to entries of one exact level.
+    fn query_level(a: &[LcrEntry], b: &[LcrEntry], level: Quality) -> Distance {
+        let mut best = INF_DIST;
+        for ea in a.iter().filter(|e| e.level == level) {
+            for eb in b.iter().filter(|e| e.level == level && e.hub == ea.hub) {
+                best = best.min(ea.dist.saturating_add(eb.dist));
+            }
+        }
+        best
+    }
+
+    /// Total number of entries across all vertices.
+    pub fn total_entries(&self) -> usize {
+        self.labels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.labels
+            .iter()
+            .map(|l| l.capacity() * std::mem::size_of::<LcrEntry>())
+            .sum()
+    }
+}
+
+impl DistanceAlgorithm for LcrAdaptIndex {
+    fn name(&self) -> &'static str {
+        "LCR-adapt"
+    }
+
+    fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+        if s == t {
+            return Some(0);
+        }
+        // The entries for the smallest level >= w answer the query.
+        let idx = self.levels.partition_point(|&l| l < w);
+        let level = *self.levels.get(idx)?;
+        let d = Self::query_level(&self.labels[s as usize], &self.labels[t as usize], level);
+        (d != INF_DIST).then_some(d)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::constrained_bfs;
+    use wcsd_graph::generators::{erdos_renyi, paper_figure3, QualityAssigner};
+
+    #[test]
+    fn figure3_distances_match_oracle() {
+        let g = paper_figure3();
+        let idx = LcrAdaptIndex::build(&g);
+        for s in 0..6 {
+            for t in 0..6 {
+                for w in 1..=5 {
+                    assert_eq!(idx.distance(s, t, w), constrained_bfs(&g, s, t, w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_graphs_match_oracle() {
+        let g = erdos_renyi(70, 0.06, &QualityAssigner::uniform(4), 21);
+        let idx = LcrAdaptIndex::build(&g);
+        for s in (0..70).step_by(5) {
+            for t in (0..70).step_by(6) {
+                for w in 1..=4 {
+                    assert_eq!(idx.distance(s, t, w), constrained_bfs(&g, s, t, w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn larger_than_dominance_compressed_index() {
+        // Without path-dominance compression, LCR-adapt stores at least as
+        // many entries as WC-INDEX would; on graphs with several quality
+        // levels it stores strictly more.
+        let g = erdos_renyi(60, 0.08, &QualityAssigner::uniform(5), 4);
+        let lcr = LcrAdaptIndex::build(&g);
+        assert!(lcr.total_entries() > g.num_vertices());
+        assert!(lcr.memory_bytes() > 0);
+        assert_eq!(lcr.name(), "LCR-adapt");
+    }
+
+    #[test]
+    fn unsatisfiable_constraints() {
+        let g = paper_figure3();
+        let idx = LcrAdaptIndex::build(&g);
+        assert_eq!(idx.distance(0, 5, 9), None);
+        assert_eq!(idx.distance(4, 4, 9), Some(0));
+    }
+}

@@ -1,0 +1,71 @@
+//! # wcsd-baselines — every baseline the paper evaluates against
+//!
+//! Section III and the experimental section (Section VI) compare WC-INDEX /
+//! WC-INDEX+ against six baselines; this crate implements all of them:
+//!
+//! | Paper name | Type | Here |
+//! |------------|------|------|
+//! | C-BFS      | online | [`online::constrained_bfs`] (Algorithm 1) |
+//! | Dijkstra   | online | [`online::constrained_dijkstra`] / [`partitioned::PartitionedGraphs::dijkstra`] |
+//! | W-BFS      | online, per-quality partitions | [`partitioned::PartitionedGraphs::bfs`] |
+//! | Naïve      | index, one 2-hop index per quality level | [`naive_2hop::NaiveWIndex`] |
+//! | LCR-adapt  | index, label-constrained-reachability adaptation | [`lcr_adapt::LcrAdaptIndex`] |
+//! | (substrate)| classic pruned landmark labeling | [`pll::PllIndex`] |
+//!
+//! Every implementation exposes the same query signature
+//! `distance(s, t, w) -> Option<Distance>` via the [`DistanceAlgorithm`]
+//! trait so the benchmark harness can sweep over them uniformly.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod lcr_adapt;
+pub mod naive_2hop;
+pub mod online;
+pub mod partitioned;
+pub mod pll;
+
+pub use lcr_adapt::LcrAdaptIndex;
+pub use naive_2hop::NaiveWIndex;
+pub use partitioned::PartitionedGraphs;
+pub use pll::PllIndex;
+
+use wcsd_graph::{Distance, Quality, VertexId};
+
+/// Uniform interface over every method that can answer `Q(s, t, w)` queries,
+/// used by the benchmark harness and the cross-implementation property tests.
+pub trait DistanceAlgorithm {
+    /// Human-readable name used in benchmark reports.
+    fn name(&self) -> &'static str;
+
+    /// Answers the `w`-constrained distance query.
+    fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance>;
+
+    /// Approximate resident size of any precomputed structures, in bytes
+    /// (0 for purely online algorithms).
+    fn index_bytes(&self) -> usize {
+        0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use online::OnlineBfs;
+    use wcsd_graph::generators::paper_figure3;
+
+    #[test]
+    fn trait_object_dispatch_works() {
+        let g = paper_figure3();
+        let algos: Vec<Box<dyn DistanceAlgorithm>> = vec![
+            Box::new(OnlineBfs::new(&g)),
+            Box::new(NaiveWIndex::build(&g)),
+            Box::new(LcrAdaptIndex::build(&g)),
+            Box::new(PartitionedGraphs::build(&g)),
+        ];
+        for a in &algos {
+            assert_eq!(a.distance(2, 5, 2), Some(2), "{} disagrees", a.name());
+            assert_eq!(a.distance(2, 5, 99), None, "{} disagrees", a.name());
+        }
+    }
+}

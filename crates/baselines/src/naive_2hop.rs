@@ -1,0 +1,120 @@
+//! The Naïve baseline of Section III: one classic 2-hop (PLL) index per
+//! distinct quality level.
+//!
+//! Query `Q(s, t, w)` picks the index built for the smallest level `>= w` and
+//! runs a plain 2-hop intersection. Indexing time and size grow with `|w|`,
+//! which is exactly the blow-up the paper's single WC-INDEX avoids (Exp 1,
+//! Exp 2 and Exp 4).
+
+use crate::pll::PllIndex;
+use crate::DistanceAlgorithm;
+use wcsd_graph::{Distance, Graph, Quality, VertexId};
+
+/// One PLL index per distinct quality level.
+#[derive(Debug, Clone)]
+pub struct NaiveWIndex {
+    levels: Vec<Quality>,
+    indexes: Vec<PllIndex>,
+}
+
+impl NaiveWIndex {
+    /// Builds `|w|` PLL indexes, one per quality-filtered subgraph.
+    pub fn build(g: &Graph) -> Self {
+        let levels = g.distinct_qualities();
+        let indexes = levels
+            .iter()
+            .map(|&w| PllIndex::build(&g.filter_by_quality(w)))
+            .collect();
+        Self { levels, indexes }
+    }
+
+    /// Number of per-level indexes (`|w|`).
+    pub fn num_indexes(&self) -> usize {
+        self.indexes.len()
+    }
+
+    /// The per-level index answering constraint `w`, if any level satisfies it.
+    fn index_for(&self, w: Quality) -> Option<&PllIndex> {
+        let idx = self.levels.partition_point(|&l| l < w);
+        self.indexes.get(idx)
+    }
+
+    /// Total number of label entries summed over all per-level indexes.
+    pub fn total_entries(&self) -> usize {
+        self.indexes.iter().map(|i| i.total_entries()).sum()
+    }
+
+    /// Total resident bytes summed over all per-level indexes.
+    pub fn memory_bytes(&self) -> usize {
+        self.indexes.iter().map(|i| i.memory_bytes()).sum()
+    }
+}
+
+impl DistanceAlgorithm for NaiveWIndex {
+    fn name(&self) -> &'static str {
+        "Naive"
+    }
+
+    fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+        if s == t {
+            return Some(0);
+        }
+        self.index_for(w)?.distance(s, t)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.memory_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::constrained_bfs;
+    use wcsd_graph::generators::{barabasi_albert, paper_figure3, QualityAssigner};
+
+    #[test]
+    fn builds_one_index_per_level() {
+        let g = paper_figure3();
+        let naive = NaiveWIndex::build(&g);
+        assert_eq!(naive.num_indexes(), 5);
+        assert!(naive.total_entries() > 0);
+        assert!(naive.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn matches_online_oracle() {
+        let g = barabasi_albert(100, 3, &QualityAssigner::uniform(5), 12);
+        let naive = NaiveWIndex::build(&g);
+        for s in (0..100).step_by(7) {
+            for t in (0..100).step_by(9) {
+                for w in 1..=5 {
+                    assert_eq!(
+                        naive.distance(s, t, w),
+                        constrained_bfs(&g, s, t, w),
+                        "Q({s}, {t}, {w})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn out_of_range_constraints_are_unreachable() {
+        let g = paper_figure3();
+        let naive = NaiveWIndex::build(&g);
+        assert_eq!(naive.distance(0, 1, 6), None);
+        assert_eq!(naive.distance(0, 0, 6), Some(0), "self queries need no edges");
+    }
+
+    #[test]
+    fn naive_uses_more_entries_than_a_single_pll() {
+        let g = barabasi_albert(200, 3, &QualityAssigner::uniform(5), 3);
+        let naive = NaiveWIndex::build(&g);
+        let single = crate::pll::PllIndex::build(&g);
+        assert!(
+            naive.total_entries() > single.total_entries(),
+            "the per-level blow-up is the whole point of the baseline"
+        );
+    }
+}

@@ -1,0 +1,188 @@
+//! Online (index-free) baselines: constrained BFS (Algorithm 1 of the paper)
+//! and constrained Dijkstra.
+
+use crate::DistanceAlgorithm;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use wcsd_graph::{Distance, Graph, Quality, VertexId};
+
+/// The paper's Algorithm 1 (`WC-BFS` in the pseudo-code, `C-BFS` in the
+/// experiments): a breadth-first search that simply skips edges whose quality
+/// violates the constraint. `O(|V| + |E|)` per query.
+pub fn constrained_bfs(g: &Graph, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+    if s == t {
+        return Some(0);
+    }
+    let mut visited = vec![false; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    visited[s as usize] = true;
+    queue.push_back((s, 0u32));
+    while let Some((u, d)) = queue.pop_front() {
+        for (v, q) in g.neighbors(u) {
+            if q < w || visited[v as usize] {
+                continue;
+            }
+            if v == t {
+                return Some(d + 1);
+            }
+            visited[v as usize] = true;
+            queue.push_back((v, d + 1));
+        }
+    }
+    None
+}
+
+/// Constrained Dijkstra on the unit-length graph: identical answers to
+/// [`constrained_bfs`] but with the priority-queue and distance-array overhead
+/// the paper calls out when explaining why Dijkstra is the slowest online
+/// baseline (Exp 3).
+pub fn constrained_dijkstra(g: &Graph, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+    let mut dist = vec![u32::MAX; g.num_vertices()];
+    let mut heap = BinaryHeap::new();
+    dist[s as usize] = 0;
+    heap.push(Reverse((0u32, s)));
+    while let Some(Reverse((d, u))) = heap.pop() {
+        if d > dist[u as usize] {
+            continue;
+        }
+        if u == t {
+            return Some(d);
+        }
+        for (v, q) in g.neighbors(u) {
+            if q < w {
+                continue;
+            }
+            let nd = d + 1;
+            if nd < dist[v as usize] {
+                dist[v as usize] = nd;
+                heap.push(Reverse((nd, v)));
+            }
+        }
+    }
+    None
+}
+
+/// All-targets variant of the constrained BFS, used by tests and by workload
+/// generation (one traversal answers every `t` for a fixed `s` and `w`).
+pub fn constrained_bfs_all(g: &Graph, s: VertexId, w: Quality) -> Vec<Option<Distance>> {
+    let mut dist: Vec<Option<Distance>> = vec![None; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[s as usize] = Some(0);
+    queue.push_back(s);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize].expect("queued vertices have distances");
+        for (v, q) in g.neighbors(u) {
+            if q >= w && dist[v as usize].is_none() {
+                dist[v as usize] = Some(du + 1);
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// [`DistanceAlgorithm`] wrapper around [`constrained_bfs`] (the `C-BFS`
+/// baseline).
+#[derive(Debug, Clone)]
+pub struct OnlineBfs<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> OnlineBfs<'g> {
+    /// Wraps a graph.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self { graph }
+    }
+}
+
+impl DistanceAlgorithm for OnlineBfs<'_> {
+    fn name(&self) -> &'static str {
+        "C-BFS"
+    }
+
+    fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+        constrained_bfs(self.graph, s, t, w)
+    }
+}
+
+/// [`DistanceAlgorithm`] wrapper around [`constrained_dijkstra`].
+#[derive(Debug, Clone)]
+pub struct OnlineDijkstra<'g> {
+    graph: &'g Graph,
+}
+
+impl<'g> OnlineDijkstra<'g> {
+    /// Wraps a graph.
+    pub fn new(graph: &'g Graph) -> Self {
+        Self { graph }
+    }
+}
+
+impl DistanceAlgorithm for OnlineDijkstra<'_> {
+    fn name(&self) -> &'static str {
+        "Dijkstra"
+    }
+
+    fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+        constrained_dijkstra(self.graph, s, t, w)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcsd_graph::generators::{erdos_renyi, paper_figure2, paper_figure3, QualityAssigner};
+
+    #[test]
+    fn figure3_known_distances() {
+        let g = paper_figure3();
+        assert_eq!(constrained_bfs(&g, 2, 5, 2), Some(2));
+        assert_eq!(constrained_bfs(&g, 2, 5, 3), Some(3));
+        assert_eq!(constrained_bfs(&g, 0, 4, 3), Some(4));
+        assert_eq!(constrained_bfs(&g, 0, 4, 5), None);
+        assert_eq!(constrained_bfs(&g, 3, 3, 9), Some(0));
+    }
+
+    #[test]
+    fn figure2_example1() {
+        let g = paper_figure2();
+        assert_eq!(constrained_bfs(&g, 0, 8, 1), Some(2));
+        assert_eq!(constrained_bfs(&g, 0, 8, 2), Some(3));
+    }
+
+    #[test]
+    fn bfs_and_dijkstra_agree() {
+        let g = erdos_renyi(80, 0.05, &QualityAssigner::uniform(4), 3);
+        for s in (0..80).step_by(9) {
+            for t in (0..80).step_by(7) {
+                for w in 1..=4 {
+                    assert_eq!(
+                        constrained_bfs(&g, s, t, w),
+                        constrained_dijkstra(&g, s, t, w),
+                        "Q({s}, {t}, {w})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_targets_matches_single_target() {
+        let g = paper_figure3();
+        for w in 1..=5 {
+            let all = constrained_bfs_all(&g, 0, w);
+            for t in 0..6u32 {
+                assert_eq!(all[t as usize], constrained_bfs(&g, 0, t, w));
+            }
+        }
+    }
+
+    #[test]
+    fn wrapper_types_report_names() {
+        let g = paper_figure3();
+        assert_eq!(OnlineBfs::new(&g).name(), "C-BFS");
+        assert_eq!(OnlineDijkstra::new(&g).name(), "Dijkstra");
+        assert_eq!(OnlineBfs::new(&g).index_bytes(), 0);
+        assert_eq!(OnlineDijkstra::new(&g).distance(2, 5, 2), Some(2));
+    }
+}

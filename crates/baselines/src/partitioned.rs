@@ -1,0 +1,134 @@
+//! The W-BFS / partitioned-Dijkstra baselines: the graph is materialised once
+//! per distinct quality level (keeping only edges that satisfy the level), and
+//! a query runs a plain BFS/Dijkstra on the right partition.
+//!
+//! Queries avoid per-edge filtering at the cost of `|w|` copies of the graph —
+//! the space/time trade-off the paper's Section III discusses.
+
+use crate::online;
+use crate::DistanceAlgorithm;
+use wcsd_graph::{Distance, Graph, Quality, VertexId};
+
+/// The `|w|` quality-filtered copies of a graph.
+#[derive(Debug, Clone)]
+pub struct PartitionedGraphs {
+    /// Distinct quality levels, ascending; `partitions[i]` keeps edges with
+    /// quality `>= levels[i]`.
+    levels: Vec<Quality>,
+    partitions: Vec<Graph>,
+}
+
+impl PartitionedGraphs {
+    /// Materialises one filtered graph per distinct quality level.
+    pub fn build(g: &Graph) -> Self {
+        let levels = g.distinct_qualities();
+        let partitions = levels.iter().map(|&w| g.filter_by_quality(w)).collect();
+        Self { levels, partitions }
+    }
+
+    /// Number of partitions (`|w|`).
+    pub fn num_partitions(&self) -> usize {
+        self.partitions.len()
+    }
+
+    /// The partition that answers queries with constraint `w`: the smallest
+    /// level `>= w`. Returns `None` when `w` exceeds every level (no edge can
+    /// satisfy the constraint).
+    pub fn partition_for(&self, w: Quality) -> Option<&Graph> {
+        let idx = self.levels.partition_point(|&l| l < w);
+        self.partitions.get(idx)
+    }
+
+    /// W-BFS: plain BFS on the matching partition.
+    pub fn bfs(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+        if s == t {
+            return Some(0);
+        }
+        let g = self.partition_for(w)?;
+        online::constrained_bfs(g, s, t, 0)
+    }
+
+    /// Partitioned Dijkstra: plain Dijkstra on the matching partition.
+    pub fn dijkstra(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+        if s == t {
+            return Some(0);
+        }
+        let g = self.partition_for(w)?;
+        online::constrained_dijkstra(g, s, t, 0)
+    }
+
+    /// Total bytes held by all partitions.
+    pub fn total_bytes(&self) -> usize {
+        self.partitions.iter().map(|g| g.memory_bytes()).sum()
+    }
+}
+
+impl DistanceAlgorithm for PartitionedGraphs {
+    fn name(&self) -> &'static str {
+        "W-BFS"
+    }
+
+    fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+        self.bfs(s, t, w)
+    }
+
+    fn index_bytes(&self) -> usize {
+        self.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::constrained_bfs;
+    use wcsd_graph::generators::{barabasi_albert, paper_figure3, QualityAssigner};
+
+    #[test]
+    fn partitions_cover_every_level() {
+        let g = paper_figure3();
+        let p = PartitionedGraphs::build(&g);
+        assert_eq!(p.num_partitions(), 5);
+        assert!(p.total_bytes() > 0);
+        // The loosest partition keeps every edge, the strictest only quality-5.
+        assert_eq!(p.partition_for(1).unwrap().num_edges(), 8);
+        assert_eq!(p.partition_for(5).unwrap().num_edges(), 1);
+        assert!(p.partition_for(6).is_none());
+    }
+
+    #[test]
+    fn partition_lookup_rounds_up_between_levels() {
+        let mut b = wcsd_graph::GraphBuilder::new(3);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 2, 7);
+        let g = b.build();
+        let p = PartitionedGraphs::build(&g);
+        assert_eq!(p.num_partitions(), 2);
+        // Constraint 5 falls between levels 2 and 7 → served by partition 7.
+        assert_eq!(p.partition_for(5).unwrap().num_edges(), 1);
+        assert_eq!(p.bfs(1, 2, 5), Some(1));
+        assert_eq!(p.bfs(0, 1, 5), None);
+    }
+
+    #[test]
+    fn agrees_with_constrained_bfs() {
+        let g = barabasi_albert(120, 3, &QualityAssigner::uniform(5), 8);
+        let p = PartitionedGraphs::build(&g);
+        for s in (0..120).step_by(13) {
+            for t in (0..120).step_by(11) {
+                for w in 1..=5 {
+                    let expected = constrained_bfs(&g, s, t, w);
+                    assert_eq!(p.bfs(s, t, w), expected, "W-BFS Q({s}, {t}, {w})");
+                    assert_eq!(p.dijkstra(s, t, w), expected, "Dijkstra Q({s}, {t}, {w})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn self_queries_need_no_partition() {
+        let g = paper_figure3();
+        let p = PartitionedGraphs::build(&g);
+        assert_eq!(p.bfs(3, 3, 100), Some(0));
+        assert_eq!(p.dijkstra(3, 3, 100), Some(0));
+    }
+}

@@ -1,0 +1,169 @@
+//! Classic pruned landmark labeling (PLL) for plain (unconstrained) shortest
+//! distances — the substrate both the Naïve baseline and the LCR adaptation
+//! build on, and the state of the art the paper extends.
+
+use serde::{Deserialize, Serialize};
+use wcsd_graph::{Distance, Graph, VertexId, INF_DIST};
+use wcsd_order::VertexOrder;
+
+/// One PLL label entry `(hub, dist)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PllEntry {
+    /// The hub vertex.
+    pub hub: VertexId,
+    /// Shortest distance from the labelled vertex to the hub.
+    pub dist: Distance,
+}
+
+/// A pruned landmark labeling index over an unweighted graph (qualities are
+/// ignored).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PllIndex {
+    labels: Vec<Vec<PllEntry>>,
+}
+
+impl PllIndex {
+    /// Builds the PLL index with a pre-computed vertex order.
+    pub fn build_with_order(g: &Graph, order: &VertexOrder) -> Self {
+        assert_eq!(order.len(), g.num_vertices());
+        let n = g.num_vertices();
+        let rank = order.ranks();
+        let mut labels: Vec<Vec<PllEntry>> = vec![Vec::new(); n];
+        let mut dist = vec![INF_DIST; n];
+        let mut touched: Vec<VertexId> = Vec::new();
+
+        for k in 0..order.len() {
+            let root = order.vertex_at(k);
+            let root_rank = rank[root as usize];
+            let mut queue = std::collections::VecDeque::new();
+            dist[root as usize] = 0;
+            touched.push(root);
+            queue.push_back(root);
+            while let Some(u) = queue.pop_front() {
+                let du = dist[u as usize];
+                // Prune if an earlier hub already certifies a path of length
+                // <= du between root and u.
+                if u != root && Self::query_entries(&labels[root as usize], &labels[u as usize]) <= du
+                {
+                    continue;
+                }
+                if u != root || !labels[u as usize].iter().any(|e| e.hub == root) {
+                    labels[u as usize].push(PllEntry { hub: root, dist: du });
+                }
+                for (v, _) in g.neighbors(u) {
+                    if rank[v as usize] <= root_rank || dist[v as usize] != INF_DIST {
+                        continue;
+                    }
+                    dist[v as usize] = du + 1;
+                    touched.push(v);
+                    queue.push_back(v);
+                }
+            }
+            for v in touched.drain(..) {
+                dist[v as usize] = INF_DIST;
+            }
+        }
+        for l in &mut labels {
+            l.sort_unstable_by_key(|e| e.hub);
+            l.shrink_to_fit();
+        }
+        Self { labels }
+    }
+
+    /// Builds the PLL index with the standard non-ascending degree order.
+    pub fn build(g: &Graph) -> Self {
+        Self::build_with_order(g, &wcsd_order::degree_order(g))
+    }
+
+    fn query_entries(a: &[PllEntry], b: &[PllEntry]) -> Distance {
+        let (mut i, mut j) = (0usize, 0usize);
+        let mut best = INF_DIST;
+        while i < a.len() && j < b.len() {
+            match a[i].hub.cmp(&b[j].hub) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    best = best.min(a[i].dist.saturating_add(b[j].dist));
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        best
+    }
+
+    /// Shortest (unconstrained) distance between `s` and `t`.
+    pub fn distance(&self, s: VertexId, t: VertexId) -> Option<Distance> {
+        let d = Self::query_entries(&self.labels[s as usize], &self.labels[t as usize]);
+        (d != INF_DIST).then_some(d)
+    }
+
+    /// Total number of label entries.
+    pub fn total_entries(&self) -> usize {
+        self.labels.iter().map(|l| l.len()).sum()
+    }
+
+    /// Approximate resident size in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.labels
+            .iter()
+            .map(|l| l.capacity() * std::mem::size_of::<PllEntry>())
+            .sum::<usize>()
+            + self.labels.capacity() * std::mem::size_of::<Vec<PllEntry>>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcsd_graph::analysis::bfs_distances;
+    use wcsd_graph::generators::{barabasi_albert, paper_figure3, road_grid, QualityAssigner, RoadGridConfig};
+
+    fn assert_matches_bfs(g: &Graph) {
+        let idx = PllIndex::build(g);
+        for s in 0..g.num_vertices() as VertexId {
+            let d = bfs_distances(g, s);
+            for t in 0..g.num_vertices() as VertexId {
+                let expected = (d[t as usize] != u32::MAX).then_some(d[t as usize]);
+                assert_eq!(idx.distance(s, t), expected, "Q({s}, {t})");
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_distances() {
+        assert_matches_bfs(&paper_figure3());
+    }
+
+    #[test]
+    fn scale_free_graph_distances() {
+        let g = barabasi_albert(150, 2, &QualityAssigner::uniform(3), 5);
+        assert_matches_bfs(&g);
+    }
+
+    #[test]
+    fn road_like_graph_distances() {
+        let g = road_grid(&RoadGridConfig::square(9), &QualityAssigner::uniform(3), 2);
+        assert_matches_bfs(&g);
+    }
+
+    #[test]
+    fn index_is_much_smaller_than_all_pairs() {
+        let g = barabasi_albert(300, 3, &QualityAssigner::uniform(3), 9);
+        let idx = PllIndex::build(&g);
+        assert!(idx.total_entries() < 300 * 300 / 4, "entries = {}", idx.total_entries());
+        assert!(idx.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn disconnected_pairs_are_none() {
+        let mut b = wcsd_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        b.add_edge(2, 3, 1);
+        let g = b.build();
+        let idx = PllIndex::build(&g);
+        assert_eq!(idx.distance(0, 3), None);
+        assert_eq!(idx.distance(0, 1), Some(1));
+        assert_eq!(idx.distance(2, 2), Some(0));
+    }
+}

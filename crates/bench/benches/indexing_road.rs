@@ -1,0 +1,32 @@
+//! Criterion bench for Exp 1 (Figure 5): index construction time on a
+//! road-like graph, comparing Naive, WC-INDEX and WC-INDEX+.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcsd_baselines::NaiveWIndex;
+use wcsd_bench::Dataset;
+use wcsd_core::{ConstructionMode, IndexBuilder};
+use wcsd_order::OrderingStrategy;
+
+fn bench_indexing_road(c: &mut Criterion) {
+    let g = Dataset::bench_road().generate();
+    let mut group = c.benchmark_group("exp1_indexing_road");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("Naive", g.num_vertices()), &g, |b, g| {
+        b.iter(|| NaiveWIndex::build(g))
+    });
+    group.bench_with_input(BenchmarkId::new("WC-INDEX", g.num_vertices()), &g, |b, g| {
+        b.iter(|| {
+            IndexBuilder::new()
+                .ordering(OrderingStrategy::Degree)
+                .mode(ConstructionMode::Basic)
+                .build(g)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("WC-INDEX+", g.num_vertices()), &g, |b, g| {
+        b.iter(|| IndexBuilder::wc_index_plus().build(g))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexing_road);
+criterion_main!(benches);

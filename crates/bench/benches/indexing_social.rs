@@ -1,0 +1,32 @@
+//! Criterion bench for Exp 5a (Figure 10): index construction time on a
+//! social-like (scale-free) graph.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcsd_baselines::NaiveWIndex;
+use wcsd_bench::Dataset;
+use wcsd_core::{ConstructionMode, IndexBuilder};
+use wcsd_order::OrderingStrategy;
+
+fn bench_indexing_social(c: &mut Criterion) {
+    let g = Dataset::bench_social().generate();
+    let mut group = c.benchmark_group("exp5a_indexing_social");
+    group.sample_size(10);
+    group.bench_with_input(BenchmarkId::new("Naive", g.num_vertices()), &g, |b, g| {
+        b.iter(|| NaiveWIndex::build(g))
+    });
+    group.bench_with_input(BenchmarkId::new("WC-INDEX", g.num_vertices()), &g, |b, g| {
+        b.iter(|| {
+            IndexBuilder::new()
+                .ordering(OrderingStrategy::Degree)
+                .mode(ConstructionMode::Basic)
+                .build(g)
+        })
+    });
+    group.bench_with_input(BenchmarkId::new("WC-INDEX+", g.num_vertices()), &g, |b, g| {
+        b.iter(|| IndexBuilder::wc_index_plus().build(g))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_indexing_social);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Criterion bench for Exp 4 (Figures 8/9): index construction with a large
+//! number of distinct quality values (|w| = 20). The Naive method pays the
+//! per-level blow-up; WC-INDEX/WC-INDEX+ build a single index.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcsd_baselines::NaiveWIndex;
+use wcsd_bench::Dataset;
+use wcsd_core::{ConstructionMode, IndexBuilder};
+use wcsd_order::OrderingStrategy;
+
+fn bench_large_w(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exp4_large_w");
+    group.sample_size(10);
+    for levels in [5u32, 20u32] {
+        let g = Dataset::bench_road().with_quality_levels(levels).generate();
+        group.bench_with_input(BenchmarkId::new("Naive", levels), &g, |b, g| {
+            b.iter(|| NaiveWIndex::build(g))
+        });
+        group.bench_with_input(BenchmarkId::new("WC-INDEX", levels), &g, |b, g| {
+            b.iter(|| {
+                IndexBuilder::new()
+                    .ordering(OrderingStrategy::Degree)
+                    .mode(ConstructionMode::Basic)
+                    .build(g)
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("WC-INDEX+", levels), &g, |b, g| {
+            b.iter(|| IndexBuilder::wc_index_plus().build(g))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_large_w);
+criterion_main!(benches);

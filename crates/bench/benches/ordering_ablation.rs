@@ -1,0 +1,34 @@
+//! Ablation bench (Observations 2/3, Section IV.D): index construction time
+//! under different vertex ordering strategies on road-like and social-like
+//! graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use wcsd_bench::Dataset;
+use wcsd_core::IndexBuilder;
+use wcsd_order::OrderingStrategy;
+
+fn bench_ordering(c: &mut Criterion) {
+    let datasets = [("road", Dataset::bench_road()), ("social", Dataset::bench_social())];
+    let strategies = [
+        OrderingStrategy::Degree,
+        OrderingStrategy::TreeDecomposition,
+        OrderingStrategy::Hybrid,
+        OrderingStrategy::Random(7),
+    ];
+    let mut group = c.benchmark_group("ordering_ablation");
+    group.sample_size(10);
+    for (kind, d) in datasets {
+        let g = d.generate();
+        for strat in strategies {
+            group.bench_with_input(
+                BenchmarkId::new(strat.name(), kind),
+                &g,
+                |b, g| b.iter(|| IndexBuilder::new().ordering(strat).build(g)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Ablation bench (Section IV.C): the three query implementations —
+//! pair scan (Algorithm 2), hub-bucket lookup (Algorithm 4) and the linear
+//! `Query⁺` merge (Algorithm 5) — on the same WC-INDEX.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wcsd_bench::{Dataset, QueryWorkload};
+use wcsd_core::{IndexBuilder, QueryImpl};
+
+fn bench_query_impls(c: &mut Criterion) {
+    let g = Dataset::bench_social().generate();
+    let index = IndexBuilder::wc_index_plus().build(&g);
+    let workload = QueryWorkload::uniform(&g, 256, 5);
+    let queries = workload.queries();
+
+    let mut group = c.benchmark_group("query_impl_ablation");
+    group.sample_size(20);
+    for (name, imp) in [
+        ("Alg2_pair_scan", QueryImpl::PairScan),
+        ("Alg4_hub_bucket", QueryImpl::HubBucket),
+        ("Alg5_merge", QueryImpl::Merge),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                queries
+                    .iter()
+                    .map(|&(s, t, w)| index.distance_with(s, t, w, imp))
+                    .count()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_impls);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Criterion bench for Exp 3 (Figure 7): query time on a road-like graph for
+//! every method (W-BFS, Dijkstra, C-BFS, Naive, WC-INDEX, WC-INDEX+).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use wcsd_baselines::{online, NaiveWIndex, PartitionedGraphs};
+use wcsd_bench::{Dataset, QueryWorkload};
+use wcsd_core::IndexBuilder;
+
+fn bench_query_road(c: &mut Criterion) {
+    let g = Dataset::bench_road().generate();
+    let workload = QueryWorkload::uniform(&g, 64, 7);
+    let queries = workload.queries();
+
+    let partitions = PartitionedGraphs::build(&g);
+    let naive = NaiveWIndex::build(&g);
+    let wc = IndexBuilder::wc_index().build(&g);
+    let wc_plus = IndexBuilder::wc_index_plus().build(&g);
+
+    let mut group = c.benchmark_group("exp3_query_road");
+    group.sample_size(20);
+    group.bench_function("W-BFS", |b| {
+        b.iter(|| queries.iter().map(|&(s, t, w)| partitions.bfs(s, t, w)).count())
+    });
+    group.bench_function("Dijkstra", |b| {
+        b.iter(|| queries.iter().map(|&(s, t, w)| online::constrained_dijkstra(&g, s, t, w)).count())
+    });
+    group.bench_function("C-BFS", |b| {
+        b.iter(|| queries.iter().map(|&(s, t, w)| online::constrained_bfs(&g, s, t, w)).count())
+    });
+    group.bench_function("Naive", |b| {
+        b.iter(|| {
+            queries
+                .iter()
+                .map(|&(s, t, w)| wcsd_baselines::DistanceAlgorithm::distance(&naive, s, t, w))
+                .count()
+        })
+    });
+    group.bench_function("WC-INDEX", |b| {
+        b.iter(|| queries.iter().map(|&(s, t, w)| wc.distance(s, t, w)).count())
+    });
+    group.bench_function("WC-INDEX+", |b| {
+        b.iter(|| queries.iter().map(|&(s, t, w)| wc_plus.distance(s, t, w)).count())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_query_road);
+criterion_main!(benches);

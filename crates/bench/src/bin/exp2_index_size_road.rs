@@ -1,0 +1,30 @@
+//! Exp 2 (Figure 6): index size on road networks for Naive, WC-INDEX and
+//! WC-INDEX+. The key expected shape: WC-INDEX and WC-INDEX+ have identical
+//! sizes (same index contents), Naive is the largest everywhere.
+//!
+//! Usage: `cargo run -p wcsd-bench --release --bin exp2_index_size_road [scale]`
+
+use wcsd_bench::measure::{build_method, MethodKind};
+use wcsd_bench::report::index_size_table;
+use wcsd_bench::{Dataset, Scale};
+
+fn main() {
+    let scale = Scale::parse(&std::env::args().nth(1).unwrap_or_default());
+    let mut results = Vec::new();
+    for d in Dataset::road_suite(scale) {
+        let g = d.generate();
+        eprintln!("[exp2] {} : |V|={} |E|={}", d.name, g.num_vertices(), g.num_edges());
+        for m in MethodKind::indexing_methods() {
+            let (_, r) = build_method(&d.name, m, &g);
+            eprintln!(
+                "[exp2]   {:<10} {:.3} MiB ({} entries)",
+                r.method,
+                r.index_bytes as f64 / 1048576.0,
+                r.entries
+            );
+            results.push(r);
+        }
+    }
+    println!("{}", index_size_table("Exp 2 — Index size, road networks (Fig. 6)", &results));
+    println!("{}", wcsd_bench::report::to_json(&results));
+}

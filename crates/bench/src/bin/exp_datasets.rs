@@ -1,0 +1,38 @@
+//! Tables III–VI: dataset statistics and raw graph memory for the synthetic
+//! road and social suites.
+//!
+//! Usage: `cargo run -p wcsd-bench --release --bin exp_datasets [scale]`
+
+use wcsd_bench::{Dataset, Scale};
+use wcsd_graph::analysis;
+
+fn main() {
+    let scale = Scale::parse(&std::env::args().nth(1).unwrap_or_default());
+    println!("# Dataset statistics (scale: {scale:?})\n");
+    for (title, suite) in [
+        ("Table III/V — road networks", Dataset::road_suite(scale)),
+        ("Table IV/VI — social networks", Dataset::social_suite(scale)),
+    ] {
+        println!("## {title}\n");
+        println!(
+            "{:<10}{:>10}{:>12}{:>8}{:>12}{:>12}{:>12}",
+            "name", "|V|", "|E|", "|w|", "avg deg", "max deg", "size (MiB)"
+        );
+        for d in suite {
+            let g = d.generate();
+            let comps = analysis::connected_components(&g);
+            println!(
+                "{:<10}{:>10}{:>12}{:>8}{:>12.2}{:>12}{:>12.3}  ({} components)",
+                d.name,
+                g.num_vertices(),
+                g.num_edges(),
+                g.num_distinct_qualities(),
+                g.avg_degree(),
+                g.max_degree(),
+                g.memory_bytes() as f64 / (1024.0 * 1024.0),
+                analysis::num_components(&comps),
+            );
+        }
+        println!();
+    }
+}

@@ -1,0 +1,224 @@
+//! Synthetic dataset registry standing in for the paper's Tables III and IV.
+//!
+//! Road networks (NY, BAY, COL, FLA, CAL, EST, WST, CTR in the paper's
+//! figures) are modelled as perturbed grid lattices of growing side length;
+//! social networks (MV-10, EU, ES, MV-25, FR, UK) as Barabási–Albert graphs of
+//! growing size and density. Every dataset is generated deterministically from
+//! its name, so results are reproducible across runs.
+
+use serde::{Deserialize, Serialize};
+use wcsd_graph::generators::{barabasi_albert, road_grid, QualityAssigner, RoadGridConfig};
+use wcsd_graph::{Graph, Quality};
+
+/// Dataset family: which real-world class the synthetic graph substitutes for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Near-planar, low-degree, large-diameter (DIMACS road networks).
+    Road,
+    /// Scale-free, small-diameter (KONECT/SNAP social & web networks).
+    Social,
+}
+
+/// Overall experiment scale; controls the vertex counts of every dataset so
+/// the whole suite finishes in seconds (`Tiny`) to minutes (`Large`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Scale {
+    /// Smallest sizes, used by integration tests and CI.
+    Tiny,
+    /// Default for the experiment binaries.
+    Small,
+    /// Closer to the paper's relative dataset spread.
+    Medium,
+    /// Stress scale.
+    Large,
+}
+
+impl Scale {
+    /// Parses a scale name (`tiny`/`small`/`medium`/`large`), defaulting to
+    /// [`Scale::Small`] for unknown input.
+    pub fn parse(s: &str) -> Self {
+        match s.to_ascii_lowercase().as_str() {
+            "tiny" => Self::Tiny,
+            "medium" => Self::Medium,
+            "large" => Self::Large,
+            _ => Self::Small,
+        }
+    }
+
+    fn road_multiplier(self) -> f64 {
+        match self {
+            Self::Tiny => 0.35,
+            Self::Small => 1.0,
+            Self::Medium => 2.0,
+            Self::Large => 3.5,
+        }
+    }
+
+    fn social_multiplier(self) -> f64 {
+        match self {
+            Self::Tiny => 0.25,
+            Self::Small => 1.0,
+            Self::Medium => 2.5,
+            Self::Large => 5.0,
+        }
+    }
+}
+
+/// A named synthetic dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Short name, mirroring the paper's dataset abbreviations.
+    pub name: String,
+    /// Which real-world family the dataset substitutes for.
+    pub kind: DatasetKind,
+    /// Grid side (road) or vertex count (social) after scaling.
+    pub base_size: usize,
+    /// Number of distinct quality levels `|w|`.
+    pub quality_levels: Quality,
+    /// Generator seed.
+    pub seed: u64,
+}
+
+impl Dataset {
+    /// The road-network suite standing in for the paper's Figure 5–9 datasets.
+    pub fn road_suite(scale: Scale) -> Vec<Dataset> {
+        let specs = [
+            ("NY", 28usize),
+            ("BAY", 34),
+            ("COL", 40),
+            ("FLA", 48),
+            ("CAL", 56),
+            ("EST", 64),
+            ("WST", 76),
+            ("CTR", 88),
+        ];
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, (name, side))| Dataset {
+                name: (*name).to_string(),
+                kind: DatasetKind::Road,
+                base_size: ((*side as f64) * scale.road_multiplier()).round().max(4.0) as usize,
+                quality_levels: 5,
+                seed: 1000 + i as u64,
+            })
+            .collect()
+    }
+
+    /// The social-network suite standing in for the paper's Figure 10–12
+    /// datasets.
+    pub fn social_suite(scale: Scale) -> Vec<Dataset> {
+        let specs: [(&str, usize, Quality); 6] = [
+            ("MV-10", 900, 5),
+            ("EU", 1300, 3),
+            ("ES", 1700, 3),
+            ("MV-25", 2100, 5),
+            ("FR", 2600, 3),
+            ("UK", 3200, 3),
+        ];
+        specs
+            .iter()
+            .enumerate()
+            .map(|(i, (name, n, levels))| Dataset {
+                name: (*name).to_string(),
+                kind: DatasetKind::Social,
+                base_size: ((*n as f64) * scale.social_multiplier()).round().max(16.0) as usize,
+                quality_levels: *levels,
+                seed: 2000 + i as u64,
+            })
+            .collect()
+    }
+
+    /// A single small road dataset for criterion micro-benchmarks.
+    pub fn bench_road() -> Dataset {
+        Dataset {
+            name: "bench-road".to_string(),
+            kind: DatasetKind::Road,
+            base_size: 24,
+            quality_levels: 5,
+            seed: 77,
+        }
+    }
+
+    /// A single small social dataset for criterion micro-benchmarks.
+    pub fn bench_social() -> Dataset {
+        Dataset {
+            name: "bench-social".to_string(),
+            kind: DatasetKind::Social,
+            base_size: 600,
+            quality_levels: 5,
+            seed: 78,
+        }
+    }
+
+    /// Overrides the number of quality levels (used by Exp 4, `|w| = 20`).
+    pub fn with_quality_levels(mut self, levels: Quality) -> Self {
+        self.quality_levels = levels;
+        self
+    }
+
+    /// Generates the graph for this dataset.
+    pub fn generate(&self) -> Graph {
+        let qualities = QualityAssigner::uniform(self.quality_levels);
+        match self.kind {
+            DatasetKind::Road => {
+                road_grid(&RoadGridConfig::square(self.base_size), &qualities, self.seed)
+            }
+            DatasetKind::Social => {
+                barabasi_albert(self.base_size.max(8), 5, &qualities, self.seed)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn suites_have_expected_shape() {
+        let road = Dataset::road_suite(Scale::Tiny);
+        assert_eq!(road.len(), 8);
+        assert!(road.iter().all(|d| d.kind == DatasetKind::Road));
+        let social = Dataset::social_suite(Scale::Tiny);
+        assert_eq!(social.len(), 6);
+        assert!(social.iter().all(|d| d.kind == DatasetKind::Social));
+    }
+
+    #[test]
+    fn datasets_grow_with_scale() {
+        let small = Dataset::road_suite(Scale::Small)[0].generate();
+        let tiny = Dataset::road_suite(Scale::Tiny)[0].generate();
+        assert!(small.num_vertices() > tiny.num_vertices());
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let d = &Dataset::social_suite(Scale::Tiny)[0];
+        assert_eq!(d.generate(), d.generate());
+    }
+
+    #[test]
+    fn quality_level_override() {
+        let d = Dataset::bench_road().with_quality_levels(20);
+        let g = d.generate();
+        assert!(g.num_distinct_qualities() > 10, "expected ≈20 levels");
+    }
+
+    #[test]
+    fn scale_parsing() {
+        assert_eq!(Scale::parse("tiny"), Scale::Tiny);
+        assert_eq!(Scale::parse("MEDIUM"), Scale::Medium);
+        assert_eq!(Scale::parse("large"), Scale::Large);
+        assert_eq!(Scale::parse("???"), Scale::Small);
+    }
+
+    #[test]
+    fn road_and_social_structure_differ() {
+        let road = Dataset::bench_road().generate();
+        let social = Dataset::bench_social().generate();
+        assert!(road.avg_degree() < 5.0);
+        assert!(social.avg_degree() > 8.0);
+        assert!(social.max_degree() > road.max_degree());
+    }
+}

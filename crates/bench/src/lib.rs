@@ -1,0 +1,34 @@
+//! # wcsd-bench — the harness that regenerates every table and figure
+//!
+//! The paper evaluates on DIMACS road networks and KONECT/SNAP social
+//! networks; this crate substitutes structurally-equivalent synthetic
+//! datasets (see `DESIGN.md` §3) and re-runs every experiment:
+//!
+//! | Paper artifact | Binary | Criterion bench |
+//! |---|---|---|
+//! | Tables III–VI (dataset statistics & memory) | `exp_datasets` | — |
+//! | Fig. 5 — indexing time, road | `exp1_indexing_road` | `indexing_road` |
+//! | Fig. 6 — index size, road | `exp2_index_size_road` | — |
+//! | Fig. 7 — query time, road | `exp3_query_road` | `query_road` |
+//! | Fig. 8/9 — indexing time & size, \|w\| = 20 | `exp4_large_w` | `large_w` |
+//! | Fig. 10/11/12 — social networks | `exp5_social` | `indexing_social`, `query_social` |
+//! | (ours) ordering ablation | `exp_ablation_ordering` | `ordering_ablation` |
+//! | (ours) query implementation ablation | — | `query_impl_ablation` |
+//! | everything above in one run | `exp_all` | — |
+//!
+//! Binaries accept a scale argument (`tiny`, `small`, `medium`, `large`) so
+//! the full suite stays runnable on a laptop; the *shape* of the results
+//! (who wins, by how many orders of magnitude, where the Naïve method becomes
+//! infeasible) is what reproduces the paper, not the absolute numbers.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod datasets;
+pub mod measure;
+pub mod report;
+pub mod workload;
+
+pub use datasets::{Dataset, DatasetKind, Scale};
+pub use measure::{IndexingResult, MethodKind, QueryResult};
+pub use workload::QueryWorkload;

@@ -1,0 +1,244 @@
+//! Timing and size measurement of every method on a dataset + workload pair.
+//!
+//! The harness runs each indexing method once (recording wall-clock build time
+//! and index size) and then replays the query workload against every method,
+//! which is exactly the protocol behind the paper's Figures 5–12.
+
+use crate::workload::QueryWorkload;
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use wcsd_baselines::{
+    online, DistanceAlgorithm, LcrAdaptIndex, NaiveWIndex, PartitionedGraphs,
+};
+use wcsd_core::{ConstructionMode, IndexBuilder, WcIndex};
+use wcsd_graph::Graph;
+use wcsd_order::OrderingStrategy;
+
+/// Every method the experiments compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum MethodKind {
+    /// Online constrained BFS on the original graph.
+    CBfs,
+    /// Online Dijkstra on the original graph.
+    Dijkstra,
+    /// BFS over per-quality partitions.
+    WBfs,
+    /// One PLL index per quality level.
+    Naive,
+    /// Label-constrained-reachability adaptation.
+    LcrAdapt,
+    /// The paper's basic index.
+    WcIndex,
+    /// The paper's advanced index (query-efficient build + hybrid ordering).
+    WcIndexPlus,
+}
+
+impl MethodKind {
+    /// Display name matching the paper's figure legends.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::CBfs => "C-BFS",
+            Self::Dijkstra => "Dijkstra",
+            Self::WBfs => "W-BFS",
+            Self::Naive => "Naive",
+            Self::LcrAdapt => "LCR-adapt",
+            Self::WcIndex => "WC-INDEX",
+            Self::WcIndexPlus => "WC-INDEX+",
+        }
+    }
+
+    /// The three index-construction methods compared in Exp 1/2/4/5.
+    pub fn indexing_methods() -> [MethodKind; 3] {
+        [Self::Naive, Self::WcIndex, Self::WcIndexPlus]
+    }
+
+    /// All query methods compared in Exp 3 / Exp 5c.
+    pub fn query_methods() -> [MethodKind; 6] {
+        [Self::WBfs, Self::Dijkstra, Self::CBfs, Self::Naive, Self::WcIndex, Self::WcIndexPlus]
+    }
+}
+
+/// Result of building one index-based method on one dataset.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct IndexingResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Wall-clock construction time in seconds.
+    pub build_seconds: f64,
+    /// Index size in bytes.
+    pub index_bytes: usize,
+    /// Total number of label entries (0 for non-labeling methods).
+    pub entries: usize,
+}
+
+/// Result of replaying a query workload against one method.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Method name.
+    pub method: String,
+    /// Mean time per query in microseconds.
+    pub avg_query_us: f64,
+    /// Number of queries answered (reachable or not).
+    pub queries: usize,
+    /// Number of queries with a finite answer (sanity statistic).
+    pub reachable: usize,
+}
+
+/// A built method ready to answer queries.
+pub enum BuiltMethod<'g> {
+    /// Online constrained BFS.
+    CBfs(online::OnlineBfs<'g>),
+    /// Online Dijkstra.
+    Dijkstra(online::OnlineDijkstra<'g>),
+    /// Per-quality partitions.
+    WBfs(PartitionedGraphs),
+    /// Per-quality PLL indexes.
+    Naive(NaiveWIndex),
+    /// LCR adaptation.
+    LcrAdapt(LcrAdaptIndex),
+    /// WC-INDEX / WC-INDEX+.
+    Wc(WcIndex),
+}
+
+impl BuiltMethod<'_> {
+    fn distance(&self, s: u32, t: u32, w: u32) -> Option<u32> {
+        match self {
+            Self::CBfs(a) => a.distance(s, t, w),
+            Self::Dijkstra(a) => a.distance(s, t, w),
+            Self::WBfs(a) => a.distance(s, t, w),
+            Self::Naive(a) => a.distance(s, t, w),
+            Self::LcrAdapt(a) => a.distance(s, t, w),
+            Self::Wc(a) => a.distance(s, t, w),
+        }
+    }
+
+    fn index_bytes(&self) -> usize {
+        match self {
+            Self::CBfs(_) | Self::Dijkstra(_) => 0,
+            Self::WBfs(a) => a.index_bytes(),
+            Self::Naive(a) => a.index_bytes(),
+            Self::LcrAdapt(a) => a.index_bytes(),
+            Self::Wc(a) => a.stats().entry_bytes,
+        }
+    }
+
+    fn entries(&self) -> usize {
+        match self {
+            Self::Naive(a) => a.total_entries(),
+            Self::LcrAdapt(a) => a.total_entries(),
+            Self::Wc(a) => a.total_entries(),
+            _ => 0,
+        }
+    }
+}
+
+/// Builds one method on a graph, returning the built structure and its
+/// indexing measurement.
+pub fn build_method<'g>(
+    dataset: &str,
+    method: MethodKind,
+    g: &'g Graph,
+) -> (BuiltMethod<'g>, IndexingResult) {
+    let start = Instant::now();
+    let built = match method {
+        MethodKind::CBfs => BuiltMethod::CBfs(online::OnlineBfs::new(g)),
+        MethodKind::Dijkstra => BuiltMethod::Dijkstra(online::OnlineDijkstra::new(g)),
+        MethodKind::WBfs => BuiltMethod::WBfs(PartitionedGraphs::build(g)),
+        MethodKind::Naive => BuiltMethod::Naive(NaiveWIndex::build(g)),
+        MethodKind::LcrAdapt => BuiltMethod::LcrAdapt(LcrAdaptIndex::build(g)),
+        MethodKind::WcIndex => BuiltMethod::Wc(
+            IndexBuilder::new()
+                .ordering(OrderingStrategy::Degree)
+                .mode(ConstructionMode::Basic)
+                .build(g),
+        ),
+        MethodKind::WcIndexPlus => BuiltMethod::Wc(IndexBuilder::wc_index_plus().build(g)),
+    };
+    let build_seconds = start.elapsed().as_secs_f64();
+    let result = IndexingResult {
+        dataset: dataset.to_string(),
+        method: method.name().to_string(),
+        build_seconds,
+        index_bytes: built.index_bytes(),
+        entries: built.entries(),
+    };
+    (built, result)
+}
+
+/// Replays a workload against a built method and reports the mean query time.
+pub fn run_queries(
+    dataset: &str,
+    method: MethodKind,
+    built: &BuiltMethod<'_>,
+    workload: &QueryWorkload,
+) -> QueryResult {
+    let start = Instant::now();
+    let mut reachable = 0usize;
+    for &(s, t, w) in workload.queries() {
+        if built.distance(s, t, w).is_some() {
+            reachable += 1;
+        }
+    }
+    let elapsed = start.elapsed().as_secs_f64();
+    QueryResult {
+        dataset: dataset.to_string(),
+        method: method.name().to_string(),
+        avg_query_us: 1e6 * elapsed / workload.len().max(1) as f64,
+        queries: workload.len(),
+        reachable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::datasets::Dataset;
+
+    #[test]
+    fn every_method_agrees_on_a_small_dataset() {
+        let mut d = Dataset::bench_road();
+        d = Dataset { base_size: 8, ..d };
+        let g = d.generate();
+        let workload = QueryWorkload::uniform(&g, 200, 3);
+        let builds: Vec<_> = MethodKind::query_methods()
+            .iter()
+            .map(|&m| (m, build_method("tiny", m, &g).0))
+            .collect();
+        for &(s, t, w) in workload.queries() {
+            let reference = builds[0].1.distance(s, t, w);
+            for (m, b) in &builds {
+                assert_eq!(b.distance(s, t, w), reference, "{} disagrees on Q({s},{t},{w})", m.name());
+            }
+        }
+    }
+
+    #[test]
+    fn indexing_results_have_sane_fields() {
+        let d = Dataset::bench_road();
+        let g = Dataset { base_size: 10, ..d }.generate();
+        for m in MethodKind::indexing_methods() {
+            let (_, r) = build_method("t", m, &g);
+            assert!(r.build_seconds >= 0.0);
+            assert!(r.entries > 0, "{} should produce entries", m.name());
+            assert!(r.index_bytes > 0);
+        }
+        let (online, r) = build_method("t", MethodKind::CBfs, &g);
+        assert_eq!(r.index_bytes, 0);
+        let workload = QueryWorkload::uniform(&g, 50, 1);
+        let q = run_queries("t", MethodKind::CBfs, &online, &workload);
+        assert_eq!(q.queries, 50);
+        assert!(q.avg_query_us >= 0.0);
+        assert!(q.reachable <= q.queries);
+    }
+
+    #[test]
+    fn method_names_match_paper_legends() {
+        assert_eq!(MethodKind::WcIndexPlus.name(), "WC-INDEX+");
+        assert_eq!(MethodKind::query_methods().len(), 6);
+        assert_eq!(MethodKind::indexing_methods().len(), 3);
+    }
+}

@@ -1,0 +1,152 @@
+//! Table/JSON rendering of experiment results, mimicking the rows and series
+//! the paper's figures plot.
+
+use crate::measure::{IndexingResult, QueryResult};
+use serde::Serialize;
+
+/// Renders a plain-text table with one row per dataset and one column per
+/// method, from `(dataset, method, value)` cells.
+pub fn render_matrix(
+    title: &str,
+    unit: &str,
+    datasets: &[String],
+    methods: &[String],
+    cell: impl Fn(&str, &str) -> Option<f64>,
+) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("## {title} ({unit})\n\n"));
+    out.push_str(&format!("{:<12}", "dataset"));
+    for m in methods {
+        out.push_str(&format!("{m:>14}"));
+    }
+    out.push('\n');
+    out.push_str(&"-".repeat(12 + 14 * methods.len()));
+    out.push('\n');
+    for d in datasets {
+        out.push_str(&format!("{d:<12}"));
+        for m in methods {
+            match cell(d, m) {
+                Some(v) => out.push_str(&format!("{v:>14.4}")),
+                None => out.push_str(&format!("{:>14}", "INF")),
+            }
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    out
+}
+
+/// Renders indexing-time results (Figures 5, 8, 10 of the paper).
+pub fn indexing_time_table(title: &str, results: &[IndexingResult]) -> String {
+    let (datasets, methods) = axes(results.iter().map(|r| (r.dataset.clone(), r.method.clone())));
+    render_matrix(title, "seconds", &datasets, &methods, |d, m| {
+        results
+            .iter()
+            .find(|r| r.dataset == d && r.method == m)
+            .map(|r| r.build_seconds)
+    })
+}
+
+/// Renders index-size results (Figures 6, 9, 11 of the paper).
+pub fn index_size_table(title: &str, results: &[IndexingResult]) -> String {
+    let (datasets, methods) = axes(results.iter().map(|r| (r.dataset.clone(), r.method.clone())));
+    render_matrix(title, "MiB", &datasets, &methods, |d, m| {
+        results
+            .iter()
+            .find(|r| r.dataset == d && r.method == m)
+            .map(|r| r.index_bytes as f64 / (1024.0 * 1024.0))
+    })
+}
+
+/// Renders query-time results (Figures 7, 12 of the paper).
+pub fn query_time_table(title: &str, results: &[QueryResult]) -> String {
+    let (datasets, methods) = axes(results.iter().map(|r| (r.dataset.clone(), r.method.clone())));
+    render_matrix(title, "µs/query", &datasets, &methods, |d, m| {
+        results
+            .iter()
+            .find(|r| r.dataset == d && r.method == m)
+            .map(|r| r.avg_query_us)
+    })
+}
+
+/// Serializes any result list as pretty JSON for machine post-processing.
+pub fn to_json<T: Serialize>(results: &[T]) -> String {
+    serde_json::to_string_pretty(results).expect("results are always serializable")
+}
+
+fn axes(pairs: impl Iterator<Item = (String, String)>) -> (Vec<String>, Vec<String>) {
+    let mut datasets = Vec::new();
+    let mut methods = Vec::new();
+    for (d, m) in pairs {
+        if !datasets.contains(&d) {
+            datasets.push(d);
+        }
+        if !methods.contains(&m) {
+            methods.push(m);
+        }
+    }
+    (datasets, methods)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_indexing() -> Vec<IndexingResult> {
+        vec![
+            IndexingResult {
+                dataset: "NY".into(),
+                method: "Naive".into(),
+                build_seconds: 1.5,
+                index_bytes: 2 * 1024 * 1024,
+                entries: 100,
+            },
+            IndexingResult {
+                dataset: "NY".into(),
+                method: "WC-INDEX+".into(),
+                build_seconds: 0.5,
+                index_bytes: 1024 * 1024,
+                entries: 60,
+            },
+        ]
+    }
+
+    #[test]
+    fn tables_contain_all_axes() {
+        let t = indexing_time_table("Exp 1", &sample_indexing());
+        assert!(t.contains("NY"));
+        assert!(t.contains("Naive"));
+        assert!(t.contains("WC-INDEX+"));
+        assert!(t.contains("1.5000"));
+        let s = index_size_table("Exp 2", &sample_indexing());
+        assert!(s.contains("2.0000"));
+        assert!(s.contains("MiB"));
+    }
+
+    #[test]
+    fn missing_cells_render_as_inf() {
+        let t = render_matrix(
+            "x",
+            "u",
+            &["A".into()],
+            &["m1".into(), "m2".into()],
+            |_, m| if m == "m1" { Some(1.0) } else { None },
+        );
+        assert!(t.contains("INF"));
+    }
+
+    #[test]
+    fn query_table_and_json() {
+        let q = vec![QueryResult {
+            dataset: "NY".into(),
+            method: "C-BFS".into(),
+            avg_query_us: 123.4,
+            queries: 1000,
+            reachable: 800,
+        }];
+        let t = query_time_table("Exp 3", &q);
+        assert!(t.contains("123.4"));
+        let j = to_json(&q);
+        assert!(j.contains("\"C-BFS\""));
+    }
+}

@@ -1,0 +1,83 @@
+//! Query workload generation: the paper issues 10,000 random `(s, t, w)`
+//! queries per dataset and reports the average time.
+
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use wcsd_graph::{Graph, Quality, VertexId};
+
+/// A reproducible batch of `(s, t, w)` queries.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct QueryWorkload {
+    queries: Vec<(VertexId, VertexId, Quality)>,
+}
+
+impl QueryWorkload {
+    /// Generates `count` uniformly random queries over the vertices and the
+    /// distinct quality levels of `g`.
+    pub fn uniform(g: &Graph, count: usize, seed: u64) -> Self {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let n = g.num_vertices() as u32;
+        assert!(n > 0, "cannot generate queries over an empty graph");
+        let levels = g.distinct_qualities();
+        let queries = (0..count)
+            .map(|_| {
+                let s = rng.gen_range(0..n);
+                let t = rng.gen_range(0..n);
+                let w = if levels.is_empty() { 1 } else { levels[rng.gen_range(0..levels.len())] };
+                (s, t, w)
+            })
+            .collect();
+        Self { queries }
+    }
+
+    /// The queries.
+    pub fn queries(&self) -> &[(VertexId, VertexId, Quality)] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Returns `true` when the workload is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcsd_graph::generators::paper_figure3;
+
+    #[test]
+    fn workload_is_reproducible_and_in_range() {
+        let g = paper_figure3();
+        let w1 = QueryWorkload::uniform(&g, 500, 9);
+        let w2 = QueryWorkload::uniform(&g, 500, 9);
+        assert_eq!(w1.queries(), w2.queries());
+        assert_eq!(w1.len(), 500);
+        assert!(!w1.is_empty());
+        for &(s, t, w) in w1.queries() {
+            assert!(s < 6 && t < 6);
+            assert!((1..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let g = paper_figure3();
+        assert_ne!(
+            QueryWorkload::uniform(&g, 100, 1).queries(),
+            QueryWorkload::uniform(&g, 100, 2).queries()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "empty graph")]
+    fn empty_graph_rejected() {
+        let g = wcsd_graph::GraphBuilder::new(0).build();
+        let _ = QueryWorkload::uniform(&g, 10, 0);
+    }
+}

@@ -1,0 +1,525 @@
+//! WC-INDEX construction (Algorithm 3 of the paper) and the query-efficient
+//! WC-INDEX+ variant (Section IV.C).
+//!
+//! The index is built by one *quality- and distance-prioritized constrained
+//! BFS* per vertex, in vertex-order sequence. For the BFS rooted at hub `vₖ`:
+//!
+//! 1. a frontier holds `(vertex, bottleneck quality)` pairs, all at the same
+//!    distance `d` (distance order);
+//! 2. the per-vertex array `R` remembers the best bottleneck quality of any
+//!    path from `vₖ` discovered so far, so each vertex enters a frontier at
+//!    most once per distance and only when its quality strictly improves
+//!    (Lemma 1);
+//! 3. before a label `(vₖ, d, w)` is added to `L(u)`, a *cover query* checks
+//!    whether the labels built so far already certify a `w`-path of length
+//!    `≤ d` between `vₖ` and `u`; if so the entry is pruned and the BFS does
+//!    not expand through `u` (Line 11);
+//! 4. only vertices ranked *after* `vₖ` in the vertex order are visited, the
+//!    standard pruned-landmark-labeling restriction.
+//!
+//! The difference between WC-INDEX and WC-INDEX+ is entirely in how step 3 is
+//! evaluated:
+//!
+//! * **Basic** — scan `L(u)` × `L(vₖ)` pairwise (Algorithm 2 style).
+//! * **Query-efficient** — a hub-indexed view `T` of `L(vₖ)` is prepared once
+//!   per root, each cover query walks `L(u)` once with a binary search per
+//!   group (`O(|L(u)|)`), and a per-root memo of already-covered qualities
+//!   ("further pruning") short-circuits repeated queries. Index contents are
+//!   identical; only construction time changes — which is exactly what the
+//!   paper reports (Exp 1 vs Exp 2).
+
+use crate::index::WcIndex;
+use crate::label::{LabelEntry, LabelSet};
+use serde::{Deserialize, Serialize};
+use wcsd_graph::{Distance, Graph, Quality, VertexId, INF_QUALITY};
+use wcsd_order::{OrderingStrategy, VertexOrder};
+
+/// Which cover-query implementation the builder uses (WC-INDEX vs WC-INDEX+).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+pub enum ConstructionMode {
+    /// Basic WC-INDEX: pairwise cover queries.
+    Basic,
+    /// WC-INDEX+: hub-indexed cover queries plus further pruning.
+    #[default]
+    QueryEfficient,
+}
+
+/// Configuration of [`IndexBuilder`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BuildConfig {
+    /// Vertex ordering strategy (Section IV.D).
+    pub ordering: OrderingStrategy,
+    /// Cover-query implementation used while building.
+    pub mode: ConstructionMode,
+}
+
+impl Default for BuildConfig {
+    fn default() -> Self {
+        Self { ordering: OrderingStrategy::Degree, mode: ConstructionMode::QueryEfficient }
+    }
+}
+
+/// Builds [`WcIndex`] values from graphs.
+#[derive(Debug, Clone, Default)]
+pub struct IndexBuilder {
+    config: BuildConfig,
+}
+
+impl IndexBuilder {
+    /// Builder with the default configuration (degree ordering,
+    /// query-efficient construction).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the vertex ordering strategy.
+    pub fn ordering(mut self, ordering: OrderingStrategy) -> Self {
+        self.config.ordering = ordering;
+        self
+    }
+
+    /// Sets the construction mode.
+    pub fn mode(mut self, mode: ConstructionMode) -> Self {
+        self.config.mode = mode;
+        self
+    }
+
+    /// The paper's basic WC-INDEX configuration with degree ordering.
+    pub fn wc_index() -> Self {
+        Self { config: BuildConfig { ordering: OrderingStrategy::Degree, mode: ConstructionMode::Basic } }
+    }
+
+    /// The paper's WC-INDEX+ configuration: query-efficient construction and
+    /// the hybrid vertex ordering.
+    pub fn wc_index_plus() -> Self {
+        Self {
+            config: BuildConfig {
+                ordering: OrderingStrategy::Hybrid,
+                mode: ConstructionMode::QueryEfficient,
+            },
+        }
+    }
+
+    /// Current configuration.
+    pub fn config(&self) -> &BuildConfig {
+        &self.config
+    }
+
+    /// Builds the index for `g` with a freshly computed vertex order.
+    pub fn build(&self, g: &Graph) -> WcIndex {
+        let order = self.config.ordering.compute(g);
+        self.build_with_order(g, order)
+    }
+
+    /// Builds the index for `g` under a caller-supplied vertex order.
+    pub fn build_with_order(&self, g: &Graph, order: VertexOrder) -> WcIndex {
+        assert_eq!(
+            order.len(),
+            g.num_vertices(),
+            "vertex order must cover every vertex of the graph"
+        );
+        let mut state = BuildState::new(g, &order);
+        for k in 0..order.len() {
+            let root = order.vertex_at(k);
+            state.run_root_bfs(root, self.config.mode);
+        }
+        let mut labels = state.into_labels();
+        for set in &mut labels {
+            set.finalize();
+        }
+        WcIndex::from_parts(labels, order)
+    }
+}
+
+/// Mutable state shared by every root BFS. The `R`, cover-memo and `T`-view
+/// arrays are allocated once and reset sparsely via touched lists (the
+/// "Efficient Initialization" paragraph of Section IV.C).
+struct BuildState<'g> {
+    graph: &'g Graph,
+    rank: Vec<u32>,
+    labels: Vec<LabelSet>,
+    /// `R(v)`: best bottleneck quality of any path from the current root to v.
+    best_quality: Vec<Quality>,
+    touched_quality: Vec<VertexId>,
+    /// Further-pruning memo: highest `w` already proven covered for `v`
+    /// against the current root (at some distance ≤ the current frontier
+    /// distance).
+    covered_quality: Vec<Quality>,
+    touched_covered: Vec<VertexId>,
+    /// Hub-indexed view of `L(root)`: `t_start[h]..t_start[h]+t_len[h]`
+    /// indexes `root_entries`.
+    t_start: Vec<u32>,
+    t_len: Vec<u32>,
+    touched_t: Vec<VertexId>,
+    /// Scratch: whether a vertex is already queued for the next frontier.
+    queued: Vec<bool>,
+}
+
+impl<'g> BuildState<'g> {
+    fn new(graph: &'g Graph, order: &VertexOrder) -> Self {
+        let n = graph.num_vertices();
+        let labels = (0..n as VertexId).map(LabelSet::self_label).collect();
+        Self {
+            graph,
+            rank: order.ranks().to_vec(),
+            labels,
+            best_quality: vec![0; n],
+            touched_quality: Vec::new(),
+            covered_quality: vec![0; n],
+            touched_covered: Vec::new(),
+            t_start: vec![0; n],
+            t_len: vec![0; n],
+            touched_t: Vec::new(),
+            queued: vec![false; n],
+        }
+    }
+
+    fn into_labels(self) -> Vec<LabelSet> {
+        self.labels
+    }
+
+    /// Runs the quality- and distance-prioritized constrained BFS rooted at
+    /// `root`, adding labels `(root, d, w)` to every vertex that survives the
+    /// cover-query pruning.
+    fn run_root_bfs(&mut self, root: VertexId, mode: ConstructionMode) {
+        let root_rank = self.rank[root as usize];
+        if mode == ConstructionMode::QueryEfficient {
+            self.prepare_root_view(root);
+        }
+
+        // Frontier of the current distance; every entry is (vertex, quality).
+        let mut frontier: Vec<(VertexId, Quality)> = vec![(root, INF_QUALITY)];
+        self.best_quality[root as usize] = INF_QUALITY;
+        self.touched_quality.push(root);
+        let mut next: Vec<(VertexId, Quality)> = Vec::new();
+        let mut dist: Distance = 0;
+
+        while !frontier.is_empty() {
+            // Quality order: within one distance level, handle the entries
+            // with the largest bottleneck quality first (the paper's second
+            // priority). With the R-array deduplication this does not change
+            // the produced labels, but it keeps the processing order aligned
+            // with the proof of Theorem 1 and costs a negligible sort of an
+            // already-small frontier.
+            frontier.sort_unstable_by_key(|&(v, w)| (std::cmp::Reverse(w), v));
+
+            for &(u, w) in &frontier {
+                let is_root = u == root;
+                if !is_root {
+                    // Line 11: prune if the current index already covers the
+                    // pair (root, u) at quality w within distance `dist`.
+                    if self.is_covered(root, u, w, dist, mode) {
+                        continue;
+                    }
+                    // Line 12: the entry is minimal and necessary — keep it.
+                    self.labels[u as usize].push_unordered(LabelEntry::new(root, dist, w));
+                }
+                // Lines 13-16: expand to less important neighbours whose best
+                // known bottleneck quality improves.
+                let ids = self.graph.neighbor_ids(u);
+                let quals = self.graph.neighbor_qualities(u);
+                for (idx, &v) in ids.iter().enumerate() {
+                    if self.rank[v as usize] <= root_rank {
+                        continue;
+                    }
+                    let w_new = w.min(quals[idx]);
+                    if w_new <= self.best_quality[v as usize] {
+                        continue;
+                    }
+                    if self.best_quality[v as usize] == 0 {
+                        self.touched_quality.push(v);
+                    }
+                    self.best_quality[v as usize] = w_new;
+                    if !self.queued[v as usize] {
+                        self.queued[v as usize] = true;
+                        next.push((v, 0));
+                    }
+                }
+            }
+
+            // Line 17: seal the next frontier with the final R values.
+            for entry in &mut next {
+                entry.1 = self.best_quality[entry.0 as usize];
+                self.queued[entry.0 as usize] = false;
+            }
+            frontier.clear();
+            std::mem::swap(&mut frontier, &mut next);
+            dist += 1;
+        }
+
+        self.reset_root_state(mode);
+    }
+
+    /// Builds the hub-indexed view `T` of `L(root)` used by query-efficient
+    /// cover queries. `L(root)` is grouped by hub in insertion order (hubs are
+    /// processed in rank order, distances ascend within a hub), so each hub's
+    /// entries are contiguous.
+    fn prepare_root_view(&mut self, root: VertexId) {
+        let entries = self.labels[root as usize].entries();
+        let mut i = 0usize;
+        while i < entries.len() {
+            let hub = entries[i].hub;
+            let start = i;
+            while i < entries.len() && entries[i].hub == hub {
+                i += 1;
+            }
+            self.t_start[hub as usize] = start as u32;
+            self.t_len[hub as usize] = (i - start) as u32;
+            self.touched_t.push(hub);
+        }
+    }
+
+    fn reset_root_state(&mut self, mode: ConstructionMode) {
+        for v in self.touched_quality.drain(..) {
+            self.best_quality[v as usize] = 0;
+        }
+        for v in self.touched_covered.drain(..) {
+            self.covered_quality[v as usize] = 0;
+        }
+        if mode == ConstructionMode::QueryEfficient {
+            for h in self.touched_t.drain(..) {
+                self.t_len[h as usize] = 0;
+            }
+        }
+    }
+
+    /// The cover query of Line 11: is there a hub `h` with entries
+    /// `(h, d₁, w₁) ∈ L(root)` and `(h, d₂, w₂) ∈ L(u)` such that
+    /// `min(w₁, w₂) ≥ w` and `d₁ + d₂ ≤ d`?
+    fn is_covered(
+        &mut self,
+        root: VertexId,
+        u: VertexId,
+        w: Quality,
+        d: Distance,
+        mode: ConstructionMode,
+    ) -> bool {
+        match mode {
+            ConstructionMode::Basic => self.is_covered_basic(root, u, w, d),
+            ConstructionMode::QueryEfficient => self.is_covered_efficient(root, u, w, d),
+        }
+    }
+
+    /// Basic WC-INDEX cover query: for every entry of `L(u)` scan the whole of
+    /// `L(root)` for matching hubs (the Algorithm 2 strategy).
+    fn is_covered_basic(&self, root: VertexId, u: VertexId, w: Quality, d: Distance) -> bool {
+        let lu = self.labels[u as usize].entries();
+        let lr = self.labels[root as usize].entries();
+        for eu in lu {
+            if eu.quality < w || eu.dist > d {
+                continue;
+            }
+            for er in lr {
+                if er.hub == eu.hub
+                    && er.quality >= w
+                    && er.dist.saturating_add(eu.dist) <= d
+                {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// WC-INDEX+ cover query: one pass over `L(u)`, binary search within the
+    /// root's hub group, plus the further-pruning memo.
+    fn is_covered_efficient(
+        &mut self,
+        root: VertexId,
+        u: VertexId,
+        w: Quality,
+        d: Distance,
+    ) -> bool {
+        // Further pruning: a cover proven earlier in this root's BFS was at a
+        // distance no larger than the current one, so it still applies if the
+        // remembered quality is at least as strict.
+        if self.covered_quality[u as usize] >= w && self.covered_quality[u as usize] > 0 {
+            return true;
+        }
+        let lu = self.labels[u as usize].entries();
+        let lr = self.labels[root as usize].entries();
+        let mut idx = 0usize;
+        let mut covered = false;
+        while idx < lu.len() {
+            let hub = lu[idx].hub;
+            let start = idx;
+            while idx < lu.len() && lu[idx].hub == hub {
+                idx += 1;
+            }
+            let len = self.t_len[hub as usize] as usize;
+            if len == 0 {
+                continue;
+            }
+            let group_u = &lu[start..idx];
+            let t0 = self.t_start[hub as usize] as usize;
+            let group_r = &lr[t0..t0 + len];
+            let Some(du) = LabelSet::min_dist_in_group(group_u, w) else { continue };
+            let Some(dr) = LabelSet::min_dist_in_group(group_r, w) else { continue };
+            if du.saturating_add(dr) <= d {
+                covered = true;
+                break;
+            }
+        }
+        if covered {
+            if self.covered_quality[u as usize] == 0 {
+                self.touched_covered.push(u);
+            }
+            self.covered_quality[u as usize] = self.covered_quality[u as usize].max(w);
+        }
+        covered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::index::QueryImpl;
+    use wcsd_graph::generators::{paper_figure2, paper_figure3, path_graph, star_graph};
+    use wcsd_order::natural_order;
+
+    /// Reference oracle: constrained BFS on the graph itself.
+    fn oracle(g: &Graph, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+        use std::collections::VecDeque;
+        let mut dist = vec![u32::MAX; g.num_vertices()];
+        let mut q = VecDeque::new();
+        dist[s as usize] = 0;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            if u == t {
+                return Some(dist[u as usize]);
+            }
+            for (v, quality) in g.neighbors(u) {
+                if quality >= w && dist[v as usize] == u32::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    fn assert_matches_oracle(g: &Graph, idx: &WcIndex) {
+        let qualities = g.distinct_qualities();
+        for s in 0..g.num_vertices() as VertexId {
+            for t in 0..g.num_vertices() as VertexId {
+                for &w in &qualities {
+                    let expected = oracle(g, s, t, w);
+                    for imp in [QueryImpl::PairScan, QueryImpl::HubBucket, QueryImpl::Merge] {
+                        assert_eq!(
+                            idx.distance_with(s, t, w, imp),
+                            expected,
+                            "mismatch for Q({s}, {t}, {w}) with {imp:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn figure3_all_queries_match_oracle() {
+        let g = paper_figure3();
+        for builder in [
+            IndexBuilder::wc_index(),
+            IndexBuilder::wc_index_plus(),
+            IndexBuilder::new().ordering(OrderingStrategy::Natural),
+            IndexBuilder::new().ordering(OrderingStrategy::TreeDecomposition),
+        ] {
+            let idx = builder.build(&g);
+            assert_matches_oracle(&g, &idx);
+        }
+    }
+
+    #[test]
+    fn figure3_example_distances_from_paper() {
+        // Example 1/3 of the paper, transposed to Figure 3's graph.
+        let g = paper_figure3();
+        let idx = IndexBuilder::default().build(&g);
+        assert_eq!(idx.distance(2, 5, 2), Some(2));
+        assert_eq!(idx.distance(2, 5, 3), Some(3));
+        assert_eq!(idx.distance(0, 4, 1), Some(2));
+        assert_eq!(idx.distance(0, 4, 3), Some(4));
+        assert_eq!(idx.distance(1, 3, 4), Some(2));
+    }
+
+    #[test]
+    fn figure2_example1_distances() {
+        let g = paper_figure2();
+        let idx = IndexBuilder::default().build(&g);
+        // dist¹(v0, v8) = 2 via v0→v2→v8; dist²(v0, v8) = 3 via v0→v1→v2→v8.
+        assert_eq!(idx.distance(0, 8, 1), Some(2));
+        assert_eq!(idx.distance(0, 8, 2), Some(3));
+        assert_matches_oracle(&g, &idx);
+    }
+
+    #[test]
+    fn natural_order_on_figure3_reproduces_table2_shape() {
+        // Table II lists |L| = 1,2,3,7,8,11 for v0..v5 under the natural
+        // hierarchy (v0 most important). Our natural order uses vertex 0 as
+        // the most important hub as well, so label counts must match.
+        let g = paper_figure3();
+        let idx = IndexBuilder::new()
+            .ordering(OrderingStrategy::Natural)
+            .build(&g);
+        let sizes: Vec<usize> = (0..6).map(|v| idx.labels(v).len()).collect();
+        assert_eq!(sizes, vec![1, 2, 3, 7, 8, 11]);
+        assert_matches_oracle(&g, &idx);
+    }
+
+    #[test]
+    fn both_modes_produce_identical_indexes() {
+        let g = paper_figure2();
+        let order = natural_order(&g);
+        let basic = IndexBuilder::new()
+            .mode(ConstructionMode::Basic)
+            .build_with_order(&g, order.clone());
+        let plus = IndexBuilder::new()
+            .mode(ConstructionMode::QueryEfficient)
+            .build_with_order(&g, order);
+        assert_eq!(basic.total_entries(), plus.total_entries());
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(basic.labels(v), plus.labels(v), "labels differ at vertex {v}");
+        }
+    }
+
+    #[test]
+    fn index_is_minimal_and_necessary_on_small_graphs() {
+        for g in [paper_figure3(), paper_figure2(), star_graph(8, 2), path_graph(9, 1)] {
+            let idx = IndexBuilder::default().build(&g);
+            assert!(idx.dominated_entries().is_empty(), "dominated entries found");
+            assert!(idx.unnecessary_entries().is_empty(), "unnecessary entries found");
+        }
+    }
+
+    #[test]
+    fn unreachable_pairs_return_none() {
+        let mut b = wcsd_graph::GraphBuilder::new(4);
+        b.add_edge(0, 1, 3);
+        b.add_edge(2, 3, 2);
+        let g = b.build();
+        let idx = IndexBuilder::default().build(&g);
+        assert_eq!(idx.distance(0, 2, 1), None);
+        assert_eq!(idx.distance(0, 1, 4), None, "quality constraint unsatisfiable");
+        assert_eq!(idx.distance(0, 1, 3), Some(1));
+        assert_eq!(idx.distance(3, 3, 9), Some(0), "self distance is always 0");
+    }
+
+    #[test]
+    fn within_predicate() {
+        let g = paper_figure3();
+        let idx = IndexBuilder::default().build(&g);
+        assert!(idx.within(2, 5, 2, 2));
+        assert!(idx.within(2, 5, 2, 5));
+        assert!(idx.within(2, 5, 3, 4), "dist³(v2, v5) = 3 ≤ 4");
+        assert!(!idx.within(2, 5, 3, 2), "dist³(v2, v5) = 3 > 2");
+        assert!(!idx.within(2, 5, 9, 100));
+    }
+
+    #[test]
+    #[should_panic(expected = "vertex order must cover")]
+    fn mismatched_order_length_panics() {
+        let g = paper_figure3();
+        let small = VertexOrder::from_permutation(vec![0, 1, 2]);
+        let _ = IndexBuilder::default().build_with_order(&g, small);
+    }
+}

@@ -1,0 +1,322 @@
+//! Dynamic maintenance of a WC-INDEX under edge updates.
+//!
+//! The paper's future-work section sketches the intended approach: compute the
+//! set of affected vertices and update only the affected entries, using the
+//! existing index instead of re-running full constrained BFS traversals. This
+//! module implements that sketch for **edge insertions** (the easy direction:
+//! new edges only create new paths, so existing entries stay sound and the
+//! index just needs new entries for the paths that now exist) and falls back
+//! to a full rebuild for **edge deletions** (where existing entries can become
+//! stale).
+//!
+//! Insertion resumes one pruned constrained search per hub, seeded *through*
+//! the new edge from the Pareto frontier of (distance, quality) pairs the
+//! current index certifies between the hub and the edge's endpoints — the
+//! natural generalisation of the resumed-BFS technique used for dynamic
+//! pruned landmark labeling. After an insertion the index remains sound and
+//! complete; it may temporarily contain non-minimal entries, which
+//! [`DynamicWcIndex::rebuild`] removes.
+
+use crate::build::IndexBuilder;
+use crate::index::WcIndex;
+use crate::label::LabelEntry;
+use crate::query;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use wcsd_graph::{Distance, Graph, GraphBuilder, Quality, VertexId};
+
+/// A WC-INDEX paired with its graph, supporting edge insertions and deletions.
+#[derive(Debug, Clone)]
+pub struct DynamicWcIndex {
+    edges: Vec<(VertexId, VertexId, Quality)>,
+    graph: Graph,
+    index: WcIndex,
+    builder: IndexBuilder,
+    rebuild_count: usize,
+}
+
+impl DynamicWcIndex {
+    /// Builds the initial index for `g` with the given builder configuration.
+    pub fn new(g: &Graph, builder: IndexBuilder) -> Self {
+        let edges: Vec<_> = g.edges().map(|e| (e.u, e.v, e.quality)).collect();
+        let index = builder.build(g);
+        Self { edges, graph: g.clone(), index, builder, rebuild_count: 0 }
+    }
+
+    /// The current graph.
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// The current index (read-only view).
+    pub fn index(&self) -> &WcIndex {
+        &self.index
+    }
+
+    /// How many full rebuilds have been performed (deletions and explicit
+    /// [`Self::rebuild`] calls).
+    pub fn rebuild_count(&self) -> usize {
+        self.rebuild_count
+    }
+
+    /// Answers a `w`-constrained distance query on the current graph.
+    pub fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+        self.index.distance(s, t, w)
+    }
+
+    /// Inserts the undirected edge `(a, b)` with quality `q` and incrementally
+    /// repairs the index. Returns `false` if the edge (with a quality at least
+    /// as high) already exists and nothing needed to change.
+    pub fn insert_edge(&mut self, a: VertexId, b: VertexId, q: Quality) -> bool {
+        if a == b {
+            return false;
+        }
+        if let Some(existing) = self.graph.edge_quality(a, b) {
+            if existing >= q {
+                return false;
+            }
+        }
+        self.edges.push((a, b, q));
+        self.graph = rebuild_graph(&self.edges, self.graph.num_vertices().max(a.max(b) as usize + 1));
+        self.incremental_insert(a, b, q);
+        true
+    }
+
+    /// Removes the undirected edge `(a, b)`. Deletions can invalidate existing
+    /// label entries, so the index is rebuilt from scratch (the paper leaves a
+    /// cheaper decremental algorithm as future work). Returns `false` if the
+    /// edge did not exist.
+    pub fn remove_edge(&mut self, a: VertexId, b: VertexId) -> bool {
+        let before = self.edges.len();
+        self.edges.retain(|&(u, v, _)| !((u == a && v == b) || (u == b && v == a)));
+        if self.edges.len() == before {
+            return false;
+        }
+        self.graph = rebuild_graph(&self.edges, self.graph.num_vertices());
+        self.rebuild();
+        true
+    }
+
+    /// Rebuilds the index from scratch, restoring minimality.
+    pub fn rebuild(&mut self) {
+        self.index = self.builder.build(&self.graph);
+        self.rebuild_count += 1;
+    }
+
+    /// Incremental repair after inserting `(a, b, q)`: for every hub (in rank
+    /// order) resume a pruned constrained search through the new edge.
+    fn incremental_insert(&mut self, a: VertexId, b: VertexId, q: Quality) {
+        let order = self.index.order().clone();
+        let rank = order.ranks().to_vec();
+        let quality_levels = self.graph.distinct_qualities();
+        let n = self.graph.num_vertices();
+        let mut best_quality: Vec<Quality> = vec![0; n];
+        let mut touched: Vec<VertexId> = Vec::new();
+
+        for k in 0..order.len() {
+            let root = order.vertex_at(k);
+            let root_rank = rank[root as usize];
+            // Seed the resumed search through the new edge in both directions.
+            let mut heap: BinaryHeap<Reverse<(Distance, Reverse<Quality>, VertexId)>> =
+                BinaryHeap::new();
+            for (x, y) in [(a, b), (b, a)] {
+                if rank[y as usize] <= root_rank {
+                    continue;
+                }
+                for &(d, w) in pareto_via_index(&self.index, root, x, &quality_levels).iter() {
+                    let w_new = w.min(q);
+                    if w_new == 0 {
+                        continue;
+                    }
+                    heap.push(Reverse((d.saturating_add(1), Reverse(w_new), y)));
+                }
+            }
+            if heap.is_empty() {
+                continue;
+            }
+
+            while let Some(Reverse((dist, Reverse(w), u))) = heap.pop() {
+                if w <= best_quality[u as usize] {
+                    continue;
+                }
+                let covered = query::covered(
+                    self.index.labels(root),
+                    self.index.labels(u),
+                    w,
+                    dist,
+                );
+                if covered {
+                    continue;
+                }
+                self.insert_label(u, LabelEntry::new(root, dist, w));
+                if best_quality[u as usize] == 0 {
+                    touched.push(u);
+                }
+                best_quality[u as usize] = w;
+                let ids = self.graph.neighbor_ids(u);
+                let quals = self.graph.neighbor_qualities(u);
+                for (idx, &v) in ids.iter().enumerate() {
+                    if rank[v as usize] <= root_rank {
+                        continue;
+                    }
+                    let w_new = w.min(quals[idx]);
+                    if w_new <= best_quality[v as usize] {
+                        continue;
+                    }
+                    heap.push(Reverse((dist + 1, Reverse(w_new), v)));
+                }
+            }
+            for v in touched.drain(..) {
+                best_quality[v as usize] = 0;
+            }
+        }
+    }
+
+    fn insert_label(&mut self, v: VertexId, entry: LabelEntry) {
+        // WcIndex stores labels immutably from the outside; go through a
+        // crate-internal accessor.
+        self.index.insert_label_entry(v, entry);
+    }
+}
+
+/// Pareto frontier of `(distance, quality)` pairs the index certifies between
+/// `root` and `x`, probed once per distinct quality level.
+fn pareto_via_index(
+    index: &WcIndex,
+    root: VertexId,
+    x: VertexId,
+    quality_levels: &[Quality],
+) -> Vec<(Distance, Quality)> {
+    let mut frontier: Vec<(Distance, Quality)> = Vec::new();
+    for &w in quality_levels.iter().rev() {
+        if let Some(d) = index.distance(root, x, w) {
+            match frontier.last() {
+                Some(&(dprev, _)) if dprev_covers(dprev, d) => {
+                    // A stricter level already achieved this distance; the
+                    // current level adds nothing new.
+                    continue;
+                }
+                _ => frontier.push((d, w)),
+            }
+        }
+    }
+    frontier
+}
+
+#[inline]
+fn dprev_covers(dprev: Distance, d: Distance) -> bool {
+    dprev <= d
+}
+
+fn rebuild_graph(edges: &[(VertexId, VertexId, Quality)], n: usize) -> Graph {
+    // `GraphBuilder::with_capacity(n, _)` fixes the vertex count at `n`, so no
+    // explicit padding is needed even if trailing vertices are isolated.
+    let mut b = GraphBuilder::with_capacity(n, edges.len());
+    for &(u, v, q) in edges {
+        b.add_edge(u, v, q);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{Rng, SeedableRng};
+    use wcsd_graph::generators::{erdos_renyi, paper_figure3, QualityAssigner};
+
+    fn oracle(g: &Graph, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+        use std::collections::VecDeque;
+        let mut dist = vec![u32::MAX; g.num_vertices()];
+        let mut q = VecDeque::new();
+        dist[s as usize] = 0;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for (v, quality) in g.neighbors(u) {
+                if quality >= w && dist[v as usize] == u32::MAX {
+                    dist[v as usize] = dist[u as usize] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        (dist[t as usize] != u32::MAX).then(|| dist[t as usize])
+    }
+
+    fn assert_full_agreement(dyn_idx: &DynamicWcIndex) {
+        let g = dyn_idx.graph();
+        let levels = g.distinct_qualities();
+        for s in 0..g.num_vertices() as VertexId {
+            for t in 0..g.num_vertices() as VertexId {
+                for &w in &levels {
+                    assert_eq!(
+                        dyn_idx.distance(s, t, w),
+                        oracle(g, s, t, w),
+                        "mismatch after update for Q({s}, {t}, {w})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn insertion_creates_shortcut() {
+        let g = paper_figure3();
+        let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::default());
+        assert_eq!(dyn_idx.distance(0, 4, 3), Some(4));
+        assert!(dyn_idx.insert_edge(0, 4, 5));
+        assert_eq!(dyn_idx.distance(0, 4, 3), Some(1));
+        assert_eq!(dyn_idx.distance(0, 4, 5), Some(1));
+        assert_full_agreement(&dyn_idx);
+        assert_eq!(dyn_idx.rebuild_count(), 0, "insertion must not trigger a rebuild");
+    }
+
+    #[test]
+    fn inserting_weaker_duplicate_is_a_noop() {
+        let g = paper_figure3();
+        let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::default());
+        assert!(!dyn_idx.insert_edge(0, 1, 2), "edge (0,1) already has quality 3");
+        assert!(!dyn_idx.insert_edge(2, 2, 5), "self loops are ignored");
+        assert!(dyn_idx.insert_edge(0, 1, 4), "higher quality upgrades the edge");
+        assert_full_agreement(&dyn_idx);
+    }
+
+    #[test]
+    fn deletion_falls_back_to_rebuild() {
+        let g = paper_figure3();
+        let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::default());
+        assert!(dyn_idx.remove_edge(3, 4));
+        assert!(!dyn_idx.remove_edge(3, 4), "already removed");
+        assert_eq!(dyn_idx.rebuild_count(), 1);
+        assert_full_agreement(&dyn_idx);
+        // v4 now only reaches the rest through v5.
+        assert_eq!(dyn_idx.distance(0, 4, 1), Some(3));
+    }
+
+    #[test]
+    fn random_insertion_sequences_stay_correct() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        for seed in 0..3u64 {
+            let g = erdos_renyi(30, 0.06, &QualityAssigner::uniform(4), seed);
+            let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::default());
+            for _ in 0..12 {
+                let a = rng.gen_range(0..30u32);
+                let b = rng.gen_range(0..30u32);
+                let q = rng.gen_range(1..=4u32);
+                dyn_idx.insert_edge(a, b, q);
+            }
+            assert_full_agreement(&dyn_idx);
+            assert_eq!(dyn_idx.rebuild_count(), 0);
+        }
+    }
+
+    #[test]
+    fn mixed_update_sequence() {
+        let g = erdos_renyi(25, 0.08, &QualityAssigner::uniform(3), 42);
+        let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::default());
+        dyn_idx.insert_edge(0, 24, 3);
+        dyn_idx.insert_edge(5, 17, 1);
+        let removed = dyn_idx.remove_edge(0, 24);
+        assert!(removed);
+        dyn_idx.insert_edge(3, 9, 2);
+        assert_full_agreement(&dyn_idx);
+    }
+}

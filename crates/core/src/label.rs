@@ -1,0 +1,267 @@
+//! 2-hop label entries and per-vertex label sets.
+//!
+//! An index entry `(v, dist, w̄)` in `L(u)` states that a minimal `w̄`-path of
+//! length `dist` exists between `u` and the hub `v` (Definition 6 of the
+//! paper). Within one vertex's label set the entries of a single hub are kept
+//! sorted by ascending distance; by Theorem 3 the qualities are then ascending
+//! as well, which is what makes the `Query⁺` binary search correct.
+
+use serde::{Deserialize, Serialize};
+use wcsd_graph::{Distance, Quality, VertexId};
+
+/// One 2-hop index entry `(hub, dist, quality)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct LabelEntry {
+    /// The hub vertex `v`.
+    pub hub: VertexId,
+    /// The `quality`-constrained distance between the labelled vertex and `hub`.
+    pub dist: Distance,
+    /// The quality threshold `w̄` this entry certifies.
+    pub quality: Quality,
+}
+
+impl LabelEntry {
+    /// Creates a new label entry.
+    #[inline]
+    pub fn new(hub: VertexId, dist: Distance, quality: Quality) -> Self {
+        Self { hub, dist, quality }
+    }
+
+    /// Returns `true` if `self` dominates `other` in the sense of
+    /// Definition 4: same hub, distance no larger and quality no smaller
+    /// (and not identical in both, which is mutual domination).
+    #[inline]
+    pub fn dominates(&self, other: &LabelEntry) -> bool {
+        self.hub == other.hub && self.dist <= other.dist && self.quality >= other.quality
+    }
+}
+
+/// The label set `L(u)` of a single vertex.
+///
+/// Entries are stored sorted by `(hub, dist)`. All entries of one hub form a
+/// contiguous *group*; within a group both `dist` and `quality` are strictly
+/// increasing (Theorem 3), so the group is a Pareto frontier of
+/// (distance, quality) trade-offs.
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct LabelSet {
+    entries: Vec<LabelEntry>,
+}
+
+impl LabelSet {
+    /// Creates an empty label set.
+    pub fn new() -> Self {
+        Self { entries: Vec::new() }
+    }
+
+    /// Creates the initial label set `{(v, 0, ∞)}` every vertex starts with.
+    pub fn self_label(v: VertexId) -> Self {
+        Self { entries: vec![LabelEntry::new(v, 0, wcsd_graph::INF_QUALITY)] }
+    }
+
+    /// Number of entries `|L(u)|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the label set is empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// All entries, sorted by `(hub, dist)`.
+    #[inline]
+    pub fn entries(&self) -> &[LabelEntry] {
+        &self.entries
+    }
+
+    /// Appends an entry **without** restoring the sort order; used by the
+    /// index builder, which appends hubs in processing order and calls
+    /// [`Self::finalize`] once construction is complete.
+    #[inline]
+    pub(crate) fn push_unordered(&mut self, entry: LabelEntry) {
+        self.entries.push(entry);
+    }
+
+    /// Sorts entries into the canonical `(hub, dist)` order.
+    pub(crate) fn finalize(&mut self) {
+        self.entries.sort_unstable_by_key(|e| (e.hub, e.dist));
+        self.entries.shrink_to_fit();
+    }
+
+    /// Inserts an entry into an already-finalized set, keeping the
+    /// `(hub, dist)` order and dropping any existing entries of the same hub
+    /// the new entry dominates. Used by the dynamic-update extension.
+    pub(crate) fn insert_sorted(&mut self, entry: LabelEntry) {
+        self.entries.retain(|e| !(e.hub == entry.hub && entry.dominates(e) && *e != entry));
+        let pos = self.entries.partition_point(|e| (e.hub, e.dist) < (entry.hub, entry.dist));
+        if self.entries.get(pos) != Some(&entry) {
+            self.entries.insert(pos, entry);
+        }
+    }
+
+    /// The contiguous slice of entries whose hub is `hub` (`L[u][hub]`), or an
+    /// empty slice if the hub does not occur.
+    pub fn hub_group(&self, hub: VertexId) -> &[LabelEntry] {
+        let start = self.entries.partition_point(|e| e.hub < hub);
+        let end = self.entries.partition_point(|e| e.hub <= hub);
+        &self.entries[start..end]
+    }
+
+    /// Iterates over `(hub, group)` pairs in ascending hub order.
+    pub fn hub_groups(&self) -> HubGroups<'_> {
+        HubGroups { entries: &self.entries, pos: 0 }
+    }
+
+    /// Given a hub group (sorted by ascending dist/quality), returns the
+    /// minimal distance among entries with `quality >= w`, using the binary
+    /// search justified by Theorem 3.
+    #[inline]
+    pub fn min_dist_in_group(group: &[LabelEntry], w: Quality) -> Option<Distance> {
+        let idx = group.partition_point(|e| e.quality < w);
+        group.get(idx).map(|e| e.dist)
+    }
+
+    /// Returns `true` if some entry in the set is dominated by another entry
+    /// of the same hub — i.e. the set violates the minimality invariant.
+    pub fn has_dominated_entry(&self) -> bool {
+        self.hub_groups().any(|(_, group)| {
+            group.iter().enumerate().any(|(i, a)| {
+                group
+                    .iter()
+                    .enumerate()
+                    .any(|(j, b)| i != j && b.dominates(a))
+            })
+        })
+    }
+
+    /// Total heap memory consumed by the entries, in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.entries.capacity() * std::mem::size_of::<LabelEntry>()
+    }
+}
+
+/// Iterator over contiguous hub groups of a [`LabelSet`].
+pub struct HubGroups<'a> {
+    entries: &'a [LabelEntry],
+    pos: usize,
+}
+
+impl<'a> Iterator for HubGroups<'a> {
+    type Item = (VertexId, &'a [LabelEntry]);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.pos >= self.entries.len() {
+            return None;
+        }
+        let hub = self.entries[self.pos].hub;
+        let start = self.pos;
+        while self.pos < self.entries.len() && self.entries[self.pos].hub == hub {
+            self.pos += 1;
+        }
+        Some((hub, &self.entries[start..self.pos]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcsd_graph::INF_QUALITY;
+
+    fn sample_set() -> LabelSet {
+        // Mirrors L(v5) from Table II of the paper (hub ids compressed).
+        let mut s = LabelSet::new();
+        for (hub, d, w) in [
+            (0, 2, 1),
+            (0, 3, 2),
+            (0, 5, 3),
+            (1, 2, 2),
+            (1, 4, 3),
+            (2, 2, 2),
+            (2, 3, 3),
+            (3, 1, 2),
+            (3, 2, 3),
+            (4, 1, 3),
+            (5, 0, INF_QUALITY),
+        ] {
+            s.push_unordered(LabelEntry::new(hub, d, w));
+        }
+        s.finalize();
+        s
+    }
+
+    #[test]
+    fn entries_are_sorted_after_finalize() {
+        let s = sample_set();
+        let e = s.entries();
+        assert!(e.windows(2).all(|w| (w[0].hub, w[0].dist) <= (w[1].hub, w[1].dist)));
+        assert_eq!(s.len(), 11);
+        assert!(!s.is_empty());
+    }
+
+    #[test]
+    fn hub_group_lookup() {
+        let s = sample_set();
+        assert_eq!(s.hub_group(0).len(), 3);
+        assert_eq!(s.hub_group(4).len(), 1);
+        assert_eq!(s.hub_group(9).len(), 0);
+        // Within a group both dist and quality ascend (Theorem 3 invariant).
+        let g = s.hub_group(0);
+        assert!(g.windows(2).all(|w| w[0].dist < w[1].dist && w[0].quality < w[1].quality));
+    }
+
+    #[test]
+    fn hub_groups_iterates_all_groups() {
+        let s = sample_set();
+        let hubs: Vec<_> = s.hub_groups().map(|(h, _)| h).collect();
+        assert_eq!(hubs, vec![0, 1, 2, 3, 4, 5]);
+        let total: usize = s.hub_groups().map(|(_, g)| g.len()).sum();
+        assert_eq!(total, s.len());
+    }
+
+    #[test]
+    fn min_dist_in_group_binary_search() {
+        let s = sample_set();
+        let g = s.hub_group(0); // (2,1), (3,2), (5,3)
+        assert_eq!(LabelSet::min_dist_in_group(g, 0), Some(2));
+        assert_eq!(LabelSet::min_dist_in_group(g, 1), Some(2));
+        assert_eq!(LabelSet::min_dist_in_group(g, 2), Some(3));
+        assert_eq!(LabelSet::min_dist_in_group(g, 3), Some(5));
+        assert_eq!(LabelSet::min_dist_in_group(g, 4), None);
+    }
+
+    #[test]
+    fn dominance_relation() {
+        let a = LabelEntry::new(3, 2, 5);
+        let b = LabelEntry::new(3, 3, 4);
+        let c = LabelEntry::new(4, 2, 5);
+        assert!(a.dominates(&b));
+        assert!(!b.dominates(&a));
+        assert!(!a.dominates(&c), "different hubs never dominate");
+        assert!(a.dominates(&a), "an entry trivially dominates itself");
+    }
+
+    #[test]
+    fn detects_dominated_entries() {
+        let clean = sample_set();
+        assert!(!clean.has_dominated_entry());
+        let mut dirty = sample_set();
+        dirty.push_unordered(LabelEntry::new(0, 4, 1)); // dominated by (0, 2, 1)
+        dirty.finalize();
+        assert!(dirty.has_dominated_entry());
+    }
+
+    #[test]
+    fn self_label_shape() {
+        let s = LabelSet::self_label(7);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.entries()[0], LabelEntry::new(7, 0, INF_QUALITY));
+    }
+
+    #[test]
+    fn memory_accounting() {
+        assert!(sample_set().memory_bytes() >= 11 * std::mem::size_of::<LabelEntry>());
+        assert_eq!(std::mem::size_of::<LabelEntry>(), 12);
+    }
+}

@@ -1,0 +1,60 @@
+//! # wcsd-core — WC-INDEX: 2-hop labeling for quality constrained shortest distances
+//!
+//! This crate implements the primary contribution of *"Efficiently Answering
+//! Quality Constrained Shortest Distance Queries in Large Graphs"* (ICDE
+//! 2023): a single 2-hop labeling index whose entries encode *minimal paths*
+//! under the paper's path-dominance order (shorter **and** higher-quality),
+//! so that `w`-constrained distance queries for **arbitrary** thresholds `w`
+//! are answered from one index in microseconds.
+//!
+//! * [`build::IndexBuilder`] — Algorithm 3 (quality- and distance-prioritized
+//!   constrained BFS) with both the basic and the query-efficient
+//!   (WC-INDEX+) construction modes and every vertex-ordering strategy.
+//! * [`index::WcIndex`] — the index itself: `distance`, `within`, statistics,
+//!   minimality verification and binary snapshots.
+//! * [`query`] — the three query implementations (Algorithms 2, 4 and 5).
+//! * [`path::PathIndex`] — the shortest-*path* extension (quad labels with
+//!   parent pointers, Section V).
+//! * [`parallel`] — scoped-thread batch query evaluation for large
+//!   workloads.
+//! * [`directed::DirectedWcIndex`] — the `L_in`/`L_out` extension for
+//!   directed graphs (Section V).
+//! * [`weighted::WeightedWcIndex`] — the constrained-Dijkstra extension for
+//!   weighted graphs (Section V).
+//! * [`dynamic::DynamicWcIndex`] — incremental edge insertions (the paper's
+//!   future-work sketch) with full-rebuild deletions.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wcsd_core::build::IndexBuilder;
+//! use wcsd_graph::generators::paper_figure3;
+//!
+//! let g = paper_figure3();
+//! let index = IndexBuilder::wc_index_plus().build(&g);
+//! // w-constrained distance between v2 and v5 with constraint 2 (Example 3).
+//! assert_eq!(index.distance(2, 5, 2), Some(2));
+//! // A stricter constraint forces a longer detour.
+//! assert_eq!(index.distance(2, 5, 3), Some(3));
+//! // Unsatisfiable constraints return None.
+//! assert_eq!(index.distance(2, 5, 99), None);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod build;
+pub mod directed;
+pub mod dynamic;
+pub mod index;
+pub mod label;
+pub mod parallel;
+pub mod path;
+pub mod query;
+pub mod stats;
+pub mod weighted;
+
+pub use build::{BuildConfig, ConstructionMode, IndexBuilder};
+pub use index::{QueryImpl, WcIndex};
+pub use label::{LabelEntry, LabelSet};
+pub use stats::IndexStats;

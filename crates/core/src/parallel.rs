@@ -1,0 +1,112 @@
+//! Parallel batch-query evaluation.
+//!
+//! The paper's query workloads are 10,000 independent point queries; because
+//! a built [`WcIndex`] is immutable, they parallelise trivially. This module
+//! provides a scoped-thread fan-out (crossbeam) that answers a batch across a
+//! fixed number of worker threads, which the benchmark harness and the
+//! examples use for large workloads.
+
+use crate::index::{QueryImpl, WcIndex};
+use parking_lot::Mutex;
+use wcsd_graph::{Distance, Quality, VertexId};
+
+/// Answers a batch of `(s, t, w)` queries using `num_threads` worker threads.
+///
+/// Results are returned in the same order as the input queries. With
+/// `num_threads <= 1` the batch is answered inline without spawning.
+///
+/// ```
+/// use wcsd_core::{parallel, IndexBuilder};
+/// use wcsd_graph::generators::paper_figure3;
+///
+/// let index = IndexBuilder::wc_index_plus().build(&paper_figure3());
+/// let queries = vec![(2, 5, 2), (2, 5, 3), (0, 4, 1), (2, 5, 99)];
+/// let answers = parallel::par_distances(&index, &queries, 2);
+/// assert_eq!(answers, vec![Some(2), Some(3), Some(2), None]);
+/// ```
+pub fn par_distances(
+    index: &WcIndex,
+    queries: &[(VertexId, VertexId, Quality)],
+    num_threads: usize,
+) -> Vec<Option<Distance>> {
+    par_distances_with(index, queries, num_threads, QueryImpl::Merge)
+}
+
+/// Same as [`par_distances`] but with an explicit query implementation.
+pub fn par_distances_with(
+    index: &WcIndex,
+    queries: &[(VertexId, VertexId, Quality)],
+    num_threads: usize,
+    imp: QueryImpl,
+) -> Vec<Option<Distance>> {
+    if queries.is_empty() {
+        return Vec::new();
+    }
+    if num_threads <= 1 || queries.len() < 2 * num_threads {
+        return queries.iter().map(|&(s, t, w)| index.distance_with(s, t, w, imp)).collect();
+    }
+
+    let chunk_size = queries.len().div_ceil(num_threads);
+    // Indexed result slots so output order matches input order regardless of
+    // which worker finishes first.
+    let results: Mutex<Vec<Option<Option<Distance>>>> = Mutex::new(vec![None; queries.len()]);
+
+    crossbeam::thread::scope(|scope| {
+        for (chunk_idx, chunk) in queries.chunks(chunk_size).enumerate() {
+            let results = &results;
+            scope.spawn(move |_| {
+                let base = chunk_idx * chunk_size;
+                let local: Vec<Option<Distance>> =
+                    chunk.iter().map(|&(s, t, w)| index.distance_with(s, t, w, imp)).collect();
+                let mut guard = results.lock();
+                for (offset, answer) in local.into_iter().enumerate() {
+                    guard[base + offset] = Some(answer);
+                }
+            });
+        }
+    })
+    .expect("query workers never panic");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|slot| slot.expect("every slot is filled by exactly one worker"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexBuilder;
+    use wcsd_graph::generators::{barabasi_albert, paper_figure3, QualityAssigner};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let g = barabasi_albert(200, 3, &QualityAssigner::uniform(5), 17);
+        let index = IndexBuilder::wc_index_plus().build(&g);
+        let queries: Vec<(u32, u32, u32)> =
+            (0..500).map(|i| (i % 200, (i * 7 + 3) % 200, i % 5 + 1)).collect();
+        let sequential: Vec<_> =
+            queries.iter().map(|&(s, t, w)| index.distance(s, t, w)).collect();
+        for threads in [1, 2, 4, 7] {
+            assert_eq!(par_distances(&index, &queries, threads), sequential, "{threads} threads");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_batches() {
+        let index = IndexBuilder::default().build(&paper_figure3());
+        assert!(par_distances(&index, &[], 4).is_empty());
+        assert_eq!(par_distances(&index, &[(2, 5, 2)], 8), vec![Some(2)]);
+    }
+
+    #[test]
+    fn all_query_impls_supported() {
+        let index = IndexBuilder::default().build(&paper_figure3());
+        let queries = vec![(2u32, 5u32, 2u32), (0, 4, 3), (1, 3, 4)];
+        let expected = vec![Some(2), Some(4), Some(2)];
+        for imp in [QueryImpl::PairScan, QueryImpl::HubBucket, QueryImpl::Merge] {
+            assert_eq!(par_distances_with(&index, &queries, 2, imp), expected);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! Structural analysis helpers: connected components, degree statistics,
+//! quality histograms and eccentricity estimation.
+//!
+//! These power the dataset-statistics tables of the benchmark harness
+//! (Tables III–VI of the paper) and the connectivity assertions in tests.
+
+use crate::csr::Graph;
+use crate::types::{Quality, VertexId};
+use std::collections::VecDeque;
+
+/// Assigns every vertex a component id (`0..num_components`). Component ids
+/// are ordered by the smallest vertex they contain.
+pub fn connected_components(g: &Graph) -> Vec<u32> {
+    const UNVISITED: u32 = u32::MAX;
+    let n = g.num_vertices();
+    let mut comp = vec![UNVISITED; n];
+    let mut next = 0u32;
+    let mut queue = VecDeque::new();
+    for start in 0..n as VertexId {
+        if comp[start as usize] != UNVISITED {
+            continue;
+        }
+        comp[start as usize] = next;
+        queue.push_back(start);
+        while let Some(u) = queue.pop_front() {
+            for (v, _) in g.neighbors(u) {
+                if comp[v as usize] == UNVISITED {
+                    comp[v as usize] = next;
+                    queue.push_back(v);
+                }
+            }
+        }
+        next += 1;
+    }
+    comp
+}
+
+/// Number of connected components given a component labelling.
+pub fn num_components(components: &[u32]) -> usize {
+    components.iter().copied().max().map_or(0, |m| m as usize + 1)
+}
+
+/// Size of the largest connected component.
+pub fn largest_component_size(components: &[u32]) -> usize {
+    let k = num_components(components);
+    let mut sizes = vec![0usize; k];
+    for &c in components {
+        sizes[c as usize] += 1;
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+/// Vertices of the largest connected component, sorted ascending.
+pub fn largest_component_vertices(g: &Graph) -> Vec<VertexId> {
+    let comp = connected_components(g);
+    let k = num_components(&comp);
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut sizes = vec![0usize; k];
+    for &c in &comp {
+        sizes[c as usize] += 1;
+    }
+    let best = sizes
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, s)| **s)
+        .map(|(i, _)| i as u32)
+        .expect("at least one component");
+    (0..g.num_vertices() as VertexId).filter(|&v| comp[v as usize] == best).collect()
+}
+
+/// Summary statistics of the degree distribution.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DegreeStats {
+    /// Minimum degree.
+    pub min: usize,
+    /// Maximum degree.
+    pub max: usize,
+    /// Mean degree.
+    pub mean: f64,
+    /// Median degree.
+    pub median: usize,
+}
+
+/// Computes the degree distribution summary of a graph. Returns all-zero
+/// stats for the empty graph.
+pub fn degree_stats(g: &Graph) -> DegreeStats {
+    let n = g.num_vertices();
+    if n == 0 {
+        return DegreeStats { min: 0, max: 0, mean: 0.0, median: 0 };
+    }
+    let mut degrees: Vec<usize> = (0..n as VertexId).map(|v| g.degree(v)).collect();
+    degrees.sort_unstable();
+    DegreeStats {
+        min: degrees[0],
+        max: degrees[n - 1],
+        mean: degrees.iter().sum::<usize>() as f64 / n as f64,
+        median: degrees[n / 2],
+    }
+}
+
+/// Histogram of edge qualities: `(quality, edge count)` sorted by quality.
+pub fn quality_histogram(g: &Graph) -> Vec<(Quality, usize)> {
+    let mut counts: std::collections::BTreeMap<Quality, usize> = std::collections::BTreeMap::new();
+    for e in g.edges() {
+        *counts.entry(e.quality).or_insert(0) += 1;
+    }
+    counts.into_iter().collect()
+}
+
+/// BFS distances (hop counts) from `source`, ignoring qualities.
+/// Unreachable vertices get `u32::MAX`.
+pub fn bfs_distances(g: &Graph, source: VertexId) -> Vec<u32> {
+    let mut dist = vec![u32::MAX; g.num_vertices()];
+    let mut queue = VecDeque::new();
+    dist[source as usize] = 0;
+    queue.push_back(source);
+    while let Some(u) = queue.pop_front() {
+        let du = dist[u as usize];
+        for (v, _) in g.neighbors(u) {
+            if dist[v as usize] == u32::MAX {
+                dist[v as usize] = du + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    dist
+}
+
+/// Lower bound on the graph diameter obtained by a double-sweep BFS from
+/// `start` (a standard heuristic: the true diameter is at least this value).
+pub fn diameter_lower_bound(g: &Graph, start: VertexId) -> u32 {
+    if g.num_vertices() == 0 {
+        return 0;
+    }
+    let d1 = bfs_distances(g, start);
+    let far = d1
+        .iter()
+        .enumerate()
+        .filter(|(_, &d)| d != u32::MAX)
+        .max_by_key(|(_, &d)| d)
+        .map(|(v, _)| v as VertexId)
+        .unwrap_or(start);
+    let d2 = bfs_distances(g, far);
+    d2.into_iter().filter(|&d| d != u32::MAX).max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{paper_figure3, path_graph, star_graph};
+    use crate::GraphBuilder;
+
+    #[test]
+    fn components_of_disconnected_graph() {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 2, 1);
+        b.add_edge(3, 4, 1);
+        let g = b.build();
+        let comps = connected_components(&g);
+        assert_eq!(num_components(&comps), 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(largest_component_size(&comps), 3);
+        assert_eq!(largest_component_vertices(&g), vec![0, 1, 2]);
+        assert_eq!(comps[0], comps[1]);
+        assert_eq!(comps[3], comps[4]);
+        assert_ne!(comps[0], comps[3]);
+    }
+
+    #[test]
+    fn degree_stats_of_star() {
+        let g = star_graph(5, 1);
+        let s = degree_stats(&g);
+        assert_eq!(s.min, 1);
+        assert_eq!(s.max, 4);
+        assert!((s.mean - 8.0 / 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quality_histogram_counts_edges_once() {
+        let g = paper_figure3();
+        let hist = quality_histogram(&g);
+        let total: usize = hist.iter().map(|(_, c)| c).sum();
+        assert_eq!(total, g.num_edges());
+        assert_eq!(hist.iter().find(|(q, _)| *q == 2).map(|(_, c)| *c), Some(2));
+    }
+
+    #[test]
+    fn bfs_distances_on_path() {
+        let g = path_graph(5, 1);
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d, vec![0, 1, 2, 3, 4]);
+        assert_eq!(diameter_lower_bound(&g, 2), 4);
+    }
+
+    #[test]
+    fn bfs_marks_unreachable() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let d = bfs_distances(&g, 0);
+        assert_eq!(d[1], 1);
+        assert_eq!(d[2], u32::MAX);
+        assert_eq!(d[3], u32::MAX);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(num_components(&connected_components(&g)), 0);
+        assert_eq!(degree_stats(&g).max, 0);
+        assert_eq!(diameter_lower_bound(&g, 0), 0);
+    }
+}

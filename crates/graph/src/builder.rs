@@ -1,0 +1,159 @@
+//! Incremental construction of [`Graph`] values.
+//!
+//! The builder accepts edges in any order, ignores self-loops, and collapses
+//! parallel edges by keeping the *maximum* quality (a lower-quality parallel
+//! edge can never be part of a minimal `w`-path when a higher-quality edge
+//! connects the same endpoints at the same hop cost).
+
+use crate::csr::Graph;
+use crate::types::{Edge, Quality, VertexId};
+
+/// Builder for undirected quality-labelled graphs.
+///
+/// ```
+/// use wcsd_graph::GraphBuilder;
+/// let mut b = GraphBuilder::new(3);
+/// b.add_edge(0, 1, 2);
+/// b.add_edge(1, 2, 5);
+/// b.add_edge(1, 0, 4);      // parallel edge: keeps quality 4
+/// b.add_edge(2, 2, 9);      // self loop: ignored
+/// let g = b.build();
+/// assert_eq!(g.num_edges(), 2);
+/// assert_eq!(g.edge_quality(0, 1), Some(4));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    num_vertices: usize,
+    edges: Vec<Edge>,
+}
+
+impl GraphBuilder {
+    /// Creates a builder for a graph with `num_vertices` vertices
+    /// (`0..num_vertices`). Adding an edge with a larger endpoint grows the
+    /// vertex set automatically.
+    pub fn new(num_vertices: usize) -> Self {
+        Self { num_vertices, edges: Vec::new() }
+    }
+
+    /// Creates a builder with pre-allocated capacity for `num_edges` edges.
+    pub fn with_capacity(num_vertices: usize, num_edges: usize) -> Self {
+        Self { num_vertices, edges: Vec::with_capacity(num_edges) }
+    }
+
+    /// Number of vertices the built graph will have.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of (possibly duplicate) edges added so far.
+    pub fn num_pending_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Adds an undirected edge `(u, v)` with quality `quality`.
+    ///
+    /// Self-loops are silently dropped: they can never appear on a shortest
+    /// path. Endpoints beyond the current vertex count grow the graph.
+    pub fn add_edge(&mut self, u: VertexId, v: VertexId, quality: Quality) {
+        if u == v {
+            return;
+        }
+        let needed = (u.max(v) as usize) + 1;
+        if needed > self.num_vertices {
+            self.num_vertices = needed;
+        }
+        self.edges.push(Edge::new(u, v, quality).canonical());
+    }
+
+    /// Adds every edge from an iterator.
+    pub fn extend_edges<I: IntoIterator<Item = Edge>>(&mut self, iter: I) {
+        for e in iter {
+            self.add_edge(e.u, e.v, e.quality);
+        }
+    }
+
+    /// Finalizes the builder into a CSR [`Graph`].
+    ///
+    /// Parallel edges are merged keeping the maximum quality; adjacency lists
+    /// are sorted by neighbour id, which the index construction relies on for
+    /// deterministic traversal order.
+    pub fn build(mut self) -> Graph {
+        // Deduplicate parallel edges, keeping the best (max) quality.
+        self.edges.sort_unstable_by_key(|e| (e.u, e.v, std::cmp::Reverse(e.quality)));
+        self.edges.dedup_by(|next, kept| {
+            if next.u == kept.u && next.v == kept.v {
+                // `kept` already has the larger quality thanks to the sort key.
+                true
+            } else {
+                false
+            }
+        });
+        Graph::from_dedup_edges(self.num_vertices, &self.edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_empty_graph() {
+        let g = GraphBuilder::new(4).build();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.degree(3), 0);
+    }
+
+    #[test]
+    fn grows_vertex_set_on_demand() {
+        let mut b = GraphBuilder::new(0);
+        b.add_edge(7, 2, 1);
+        let g = b.build();
+        assert_eq!(g.num_vertices(), 8);
+        assert_eq!(g.num_edges(), 1);
+    }
+
+    #[test]
+    fn parallel_edges_keep_max_quality() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 1, 1);
+        b.add_edge(1, 0, 9);
+        b.add_edge(0, 1, 5);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.edge_quality(0, 1), Some(9));
+        assert_eq!(g.edge_quality(1, 0), Some(9));
+    }
+
+    #[test]
+    fn self_loops_are_dropped() {
+        let mut b = GraphBuilder::new(2);
+        b.add_edge(0, 0, 3);
+        b.add_edge(0, 1, 2);
+        let g = b.build();
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn extend_edges_matches_add_edge() {
+        let edges = vec![Edge::new(0, 1, 2), Edge::new(1, 2, 3)];
+        let mut b1 = GraphBuilder::new(3);
+        b1.extend_edges(edges.iter().copied());
+        let mut b2 = GraphBuilder::new(3);
+        for e in &edges {
+            b2.add_edge(e.u, e.v, e.quality);
+        }
+        let g1 = b1.build();
+        let g2 = b2.build();
+        assert_eq!(g1.num_edges(), g2.num_edges());
+        assert_eq!(g1.edge_quality(1, 2), g2.edge_quality(1, 2));
+    }
+
+    #[test]
+    fn with_capacity_reserves() {
+        let b = GraphBuilder::with_capacity(10, 100);
+        assert_eq!(b.num_vertices(), 10);
+        assert_eq!(b.num_pending_edges(), 0);
+    }
+}

@@ -1,0 +1,287 @@
+//! Compressed sparse row (CSR) storage for undirected quality-labelled graphs.
+//!
+//! The adjacency of every vertex is a contiguous slice of `(neighbour,
+//! quality)` pairs stored in two parallel arrays. This is the memory layout
+//! every algorithm in the workspace iterates over, so it is deliberately
+//! minimal: three `Vec`s, no per-vertex allocation, and `u32` ids throughout.
+
+use crate::types::{Edge, Quality, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable undirected graph `G(V, E, Δ, δ)` in CSR form.
+///
+/// Build one with [`crate::GraphBuilder`], a generator from
+/// [`crate::generators`], or a parser from [`crate::io`].
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` is the adjacency slice of vertex `v`.
+    offsets: Vec<usize>,
+    /// Neighbour ids, grouped per vertex and sorted ascending within a group.
+    neighbors: Vec<VertexId>,
+    /// Edge qualities, parallel to `neighbors`.
+    qualities: Vec<Quality>,
+    /// Number of undirected edges.
+    num_edges: usize,
+}
+
+impl Graph {
+    /// Builds a CSR graph from canonical, deduplicated edges (each undirected
+    /// edge appears exactly once with `u <= v`). Intended to be called by
+    /// [`crate::GraphBuilder::build`]; use the builder in application code.
+    pub(crate) fn from_dedup_edges(num_vertices: usize, edges: &[Edge]) -> Self {
+        let mut degrees = vec![0usize; num_vertices];
+        for e in edges {
+            degrees[e.u as usize] += 1;
+            degrees[e.v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(num_vertices + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &degrees {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut neighbors = vec![0 as VertexId; acc];
+        let mut qualities = vec![0 as Quality; acc];
+        let mut cursor = offsets[..num_vertices].to_vec();
+        for e in edges {
+            let cu = cursor[e.u as usize];
+            neighbors[cu] = e.v;
+            qualities[cu] = e.quality;
+            cursor[e.u as usize] += 1;
+            let cv = cursor[e.v as usize];
+            neighbors[cv] = e.u;
+            qualities[cv] = e.quality;
+            cursor[e.v as usize] += 1;
+        }
+        // Sort each adjacency slice by neighbour id for deterministic traversal
+        // and binary-searchable `edge_quality`.
+        let mut graph = Self { offsets, neighbors, qualities, num_edges: edges.len() };
+        graph.sort_adjacency();
+        graph
+    }
+
+    fn sort_adjacency(&mut self) {
+        for v in 0..self.num_vertices() {
+            let (lo, hi) = (self.offsets[v], self.offsets[v + 1]);
+            let mut pairs: Vec<(VertexId, Quality)> = self.neighbors[lo..hi]
+                .iter()
+                .copied()
+                .zip(self.qualities[lo..hi].iter().copied())
+                .collect();
+            pairs.sort_unstable_by_key(|p| p.0);
+            for (i, (n, q)) in pairs.into_iter().enumerate() {
+                self.neighbors[lo + i] = n;
+                self.qualities[lo + i] = q;
+            }
+        }
+    }
+
+    /// Number of vertices `|V|`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `|E|`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_edges
+    }
+
+    /// Degree of vertex `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        self.offsets[v as usize + 1] - self.offsets[v as usize]
+    }
+
+    /// Iterator over all vertex ids.
+    pub fn vertices(&self) -> std::ops::Range<VertexId> {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// The neighbours of `v` with the quality of the connecting edge.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Quality)> + '_ {
+        let lo = self.offsets[v as usize];
+        let hi = self.offsets[v as usize + 1];
+        self.neighbors[lo..hi].iter().copied().zip(self.qualities[lo..hi].iter().copied())
+    }
+
+    /// Neighbour-id slice of `v` (sorted ascending).
+    #[inline]
+    pub fn neighbor_ids(&self, v: VertexId) -> &[VertexId] {
+        &self.neighbors[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Quality slice of `v`, parallel to [`Self::neighbor_ids`].
+    #[inline]
+    pub fn neighbor_qualities(&self, v: VertexId) -> &[Quality] {
+        &self.qualities[self.offsets[v as usize]..self.offsets[v as usize + 1]]
+    }
+
+    /// Quality of the edge `(u, v)` if it exists.
+    pub fn edge_quality(&self, u: VertexId, v: VertexId) -> Option<Quality> {
+        let ids = self.neighbor_ids(u);
+        ids.binary_search(&v).ok().map(|i| self.neighbor_qualities(u)[i])
+    }
+
+    /// Returns `true` if the edge `(u, v)` exists.
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        self.edge_quality(u, v).is_some()
+    }
+
+    /// Iterates over every undirected edge exactly once (`u < v`).
+    pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
+        (0..self.num_vertices() as VertexId).flat_map(move |u| {
+            self.neighbors(u)
+                .filter(move |(v, _)| *v > u)
+                .map(move |(v, q)| Edge::new(u, v, q))
+        })
+    }
+
+    /// The set of distinct quality ranks present on edges, sorted ascending.
+    pub fn distinct_qualities(&self) -> Vec<Quality> {
+        let mut qs: Vec<Quality> = self.qualities.clone();
+        qs.sort_unstable();
+        qs.dedup();
+        qs
+    }
+
+    /// Number of distinct quality values (the paper's `|w|`).
+    pub fn num_distinct_qualities(&self) -> usize {
+        self.distinct_qualities().len()
+    }
+
+    /// Maximum degree `d_max` over all vertices (0 for the empty graph).
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Average degree `2|E| / |V|`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            2.0 * self.num_edges as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// Returns the subgraph induced by keeping only edges with quality `>= w`.
+    /// This is the filtering step the Naive baseline performs per quality
+    /// level (Section III of the paper).
+    pub fn filter_by_quality(&self, w: Quality) -> Graph {
+        let mut b = crate::GraphBuilder::with_capacity(self.num_vertices(), self.num_edges);
+        for e in self.edges() {
+            if e.quality >= w {
+                b.add_edge(e.u, e.v, e.quality);
+            }
+        }
+        // Preserve the vertex count even if high-id vertices lost all edges.
+        let mut g = b.build();
+        if g.num_vertices() < self.num_vertices() {
+            g.pad_vertices(self.num_vertices());
+        }
+        g
+    }
+
+    /// Grows the vertex set to `n` isolated vertices (no-op if already `>= n`).
+    pub(crate) fn pad_vertices(&mut self, n: usize) {
+        while self.offsets.len() - 1 < n {
+            let last = *self.offsets.last().expect("offsets never empty");
+            self.offsets.push(last);
+        }
+    }
+
+    /// Approximate in-memory size of the CSR structure in bytes.
+    pub fn memory_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<VertexId>()
+            + self.qualities.len() * std::mem::size_of::<Quality>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn figure3() -> Graph {
+        let mut b = GraphBuilder::new(6);
+        b.add_edge(0, 1, 3);
+        b.add_edge(0, 3, 1);
+        b.add_edge(1, 2, 5);
+        b.add_edge(1, 3, 2);
+        b.add_edge(2, 3, 4);
+        b.add_edge(3, 4, 4);
+        b.add_edge(3, 5, 2);
+        b.add_edge(4, 5, 3);
+        b.build()
+    }
+
+    #[test]
+    fn csr_roundtrips_edges() {
+        let g = figure3();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 8);
+        let mut edges: Vec<_> = g.edges().collect();
+        edges.sort_by_key(|e| (e.u, e.v));
+        assert_eq!(edges.len(), 8);
+        assert_eq!(g.edge_quality(3, 4), Some(4));
+        assert_eq!(g.edge_quality(4, 3), Some(4));
+        assert_eq!(g.edge_quality(0, 4), None);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(2, 5));
+    }
+
+    #[test]
+    fn degrees_and_stats() {
+        let g = figure3();
+        assert_eq!(g.degree(3), 5);
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.max_degree(), 5);
+        assert!((g.avg_degree() - 16.0 / 6.0).abs() < 1e-9);
+        assert_eq!(g.distinct_qualities(), vec![1, 2, 3, 4, 5]);
+        assert_eq!(g.num_distinct_qualities(), 5);
+    }
+
+    #[test]
+    fn adjacency_is_sorted() {
+        let g = figure3();
+        for v in 0..g.num_vertices() as VertexId {
+            let ids = g.neighbor_ids(v);
+            assert!(ids.windows(2).all(|w| w[0] < w[1]), "adjacency of {v} not sorted: {ids:?}");
+        }
+    }
+
+    #[test]
+    fn quality_filtering_keeps_vertex_count() {
+        let g = figure3();
+        let g2 = g.filter_by_quality(3);
+        assert_eq!(g2.num_vertices(), 6);
+        // Edges with quality >= 3: (0,1,3),(1,2,5),(2,3,4),(3,4,4),(4,5,3).
+        assert_eq!(g2.num_edges(), 5);
+        assert!(!g2.has_edge(0, 3));
+        assert!(g2.has_edge(2, 3));
+        // Filtering with w = 1 keeps everything.
+        assert_eq!(g.filter_by_quality(1).num_edges(), 8);
+        // Filtering stricter than every quality leaves an empty edge set.
+        assert_eq!(g.filter_by_quality(100).num_edges(), 0);
+    }
+
+    #[test]
+    fn memory_accounting_is_positive() {
+        let g = figure3();
+        assert!(g.memory_bytes() > 0);
+    }
+
+    #[test]
+    fn empty_graph_edge_cases() {
+        let g = GraphBuilder::new(0).build();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert!(g.edges().next().is_none());
+    }
+}

@@ -1,0 +1,249 @@
+//! Directed quality-labelled graphs (Section V of the paper).
+//!
+//! The directed extension of WC-INDEX keeps two label sets per vertex
+//! (`L_in` / `L_out`) and runs a constrained BFS in both directions, so the
+//! substrate exposes out-neighbours and in-neighbours separately (CSR and
+//! reverse CSR).
+
+use crate::types::{Quality, VertexId};
+use serde::{Deserialize, Serialize};
+
+/// An immutable directed graph whose arcs carry quality values.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct DiGraph {
+    out_offsets: Vec<usize>,
+    out_neighbors: Vec<VertexId>,
+    out_qualities: Vec<Quality>,
+    in_offsets: Vec<usize>,
+    in_neighbors: Vec<VertexId>,
+    in_qualities: Vec<Quality>,
+    num_arcs: usize,
+}
+
+/// Builder for [`DiGraph`].
+#[derive(Debug, Clone, Default)]
+pub struct DiGraphBuilder {
+    num_vertices: usize,
+    arcs: Vec<(VertexId, VertexId, Quality)>,
+}
+
+impl DiGraphBuilder {
+    /// Creates a builder for `num_vertices` vertices.
+    pub fn new(num_vertices: usize) -> Self {
+        Self { num_vertices, arcs: Vec::new() }
+    }
+
+    /// Adds a directed arc `u -> v` with the given quality. Self-loops are
+    /// dropped; parallel arcs keep the maximum quality.
+    pub fn add_arc(&mut self, u: VertexId, v: VertexId, quality: Quality) {
+        if u == v {
+            return;
+        }
+        let needed = (u.max(v) as usize) + 1;
+        if needed > self.num_vertices {
+            self.num_vertices = needed;
+        }
+        self.arcs.push((u, v, quality));
+    }
+
+    /// Finalizes into a [`DiGraph`].
+    pub fn build(mut self) -> DiGraph {
+        self.arcs.sort_unstable_by_key(|&(u, v, q)| (u, v, std::cmp::Reverse(q)));
+        self.arcs.dedup_by(|next, kept| next.0 == kept.0 && next.1 == kept.1);
+        DiGraph::from_dedup_arcs(self.num_vertices, &self.arcs)
+    }
+}
+
+impl DiGraph {
+    fn from_dedup_arcs(n: usize, arcs: &[(VertexId, VertexId, Quality)]) -> Self {
+        let build_side = |key: fn(&(VertexId, VertexId, Quality)) -> (VertexId, VertexId)| {
+            let mut deg = vec![0usize; n];
+            for a in arcs {
+                deg[key(a).0 as usize] += 1;
+            }
+            let mut offsets = Vec::with_capacity(n + 1);
+            let mut acc = 0;
+            offsets.push(0);
+            for d in &deg {
+                acc += d;
+                offsets.push(acc);
+            }
+            let mut neighbors = vec![0 as VertexId; acc];
+            let mut qualities = vec![0 as Quality; acc];
+            let mut cursor = offsets[..n].to_vec();
+            for a in arcs {
+                let (src, dst) = key(a);
+                let c = cursor[src as usize];
+                neighbors[c] = dst;
+                qualities[c] = a.2;
+                cursor[src as usize] += 1;
+            }
+            (offsets, neighbors, qualities)
+        };
+        let (out_offsets, out_neighbors, out_qualities) = build_side(|a| (a.0, a.1));
+        let (in_offsets, in_neighbors, in_qualities) = build_side(|a| (a.1, a.0));
+        let mut g = Self {
+            out_offsets,
+            out_neighbors,
+            out_qualities,
+            in_offsets,
+            in_neighbors,
+            in_qualities,
+            num_arcs: arcs.len(),
+        };
+        g.sort_adjacency();
+        g
+    }
+
+    fn sort_adjacency(&mut self) {
+        for v in 0..self.num_vertices() {
+            for (offsets, neighbors, qualities) in [
+                (&self.out_offsets, &mut self.out_neighbors, &mut self.out_qualities),
+                (&self.in_offsets, &mut self.in_neighbors, &mut self.in_qualities),
+            ] {
+                let (lo, hi) = (offsets[v], offsets[v + 1]);
+                let mut pairs: Vec<(VertexId, Quality)> =
+                    neighbors[lo..hi].iter().copied().zip(qualities[lo..hi].iter().copied()).collect();
+                pairs.sort_unstable_by_key(|p| p.0);
+                for (i, (nb, q)) in pairs.into_iter().enumerate() {
+                    neighbors[lo + i] = nb;
+                    qualities[lo + i] = q;
+                }
+            }
+        }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.out_offsets.len() - 1
+    }
+
+    /// Number of directed arcs.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.num_arcs
+    }
+
+    /// Out-neighbours of `v` with arc qualities.
+    #[inline]
+    pub fn out_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Quality)> + '_ {
+        let lo = self.out_offsets[v as usize];
+        let hi = self.out_offsets[v as usize + 1];
+        self.out_neighbors[lo..hi].iter().copied().zip(self.out_qualities[lo..hi].iter().copied())
+    }
+
+    /// In-neighbours of `v` with arc qualities.
+    #[inline]
+    pub fn in_neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Quality)> + '_ {
+        let lo = self.in_offsets[v as usize];
+        let hi = self.in_offsets[v as usize + 1];
+        self.in_neighbors[lo..hi].iter().copied().zip(self.in_qualities[lo..hi].iter().copied())
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> usize {
+        self.out_offsets[v as usize + 1] - self.out_offsets[v as usize]
+    }
+
+    /// In-degree of `v`.
+    #[inline]
+    pub fn in_degree(&self, v: VertexId) -> usize {
+        self.in_offsets[v as usize + 1] - self.in_offsets[v as usize]
+    }
+
+    /// Quality of the arc `u -> v` if it exists.
+    pub fn arc_quality(&self, u: VertexId, v: VertexId) -> Option<Quality> {
+        let lo = self.out_offsets[u as usize];
+        let hi = self.out_offsets[u as usize + 1];
+        self.out_neighbors[lo..hi]
+            .binary_search(&v)
+            .ok()
+            .map(|i| self.out_qualities[lo + i])
+    }
+
+    /// Converts an undirected [`crate::Graph`] into a symmetric digraph
+    /// (each undirected edge becomes two arcs with the same quality).
+    pub fn from_undirected(g: &crate::Graph) -> Self {
+        let mut b = DiGraphBuilder::new(g.num_vertices());
+        for e in g.edges() {
+            b.add_arc(e.u, e.v, e.quality);
+            b.add_arc(e.v, e.u, e.quality);
+        }
+        let mut dg = b.build();
+        dg.pad_vertices(g.num_vertices());
+        dg
+    }
+
+    fn pad_vertices(&mut self, n: usize) {
+        while self.out_offsets.len() - 1 < n {
+            let last = *self.out_offsets.last().expect("non-empty");
+            self.out_offsets.push(last);
+            let last_in = *self.in_offsets.last().expect("non-empty");
+            self.in_offsets.push(last_in);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> DiGraph {
+        let mut b = DiGraphBuilder::new(4);
+        b.add_arc(0, 1, 3);
+        b.add_arc(1, 2, 5);
+        b.add_arc(2, 0, 1);
+        b.add_arc(0, 2, 2);
+        b.add_arc(0, 1, 1); // parallel, lower quality: dropped
+        b.add_arc(3, 3, 9); // self loop: dropped
+        b.build()
+    }
+
+    #[test]
+    fn arcs_and_degrees() {
+        let g = sample();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_arcs(), 4);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.out_degree(3), 0);
+        assert_eq!(g.arc_quality(0, 1), Some(3));
+        assert_eq!(g.arc_quality(1, 0), None);
+    }
+
+    #[test]
+    fn in_neighbors_mirror_out_neighbors() {
+        let g = sample();
+        for u in 0..g.num_vertices() as VertexId {
+            for (v, q) in g.out_neighbors(u) {
+                assert!(g.in_neighbors(v).any(|(x, xq)| x == u && xq == q));
+            }
+        }
+    }
+
+    #[test]
+    fn from_undirected_is_symmetric() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1, 2);
+        b.add_edge(1, 2, 4);
+        let g = b.build();
+        let dg = DiGraph::from_undirected(&g);
+        assert_eq!(dg.num_arcs(), 4);
+        assert_eq!(dg.arc_quality(0, 1), Some(2));
+        assert_eq!(dg.arc_quality(1, 0), Some(2));
+        assert_eq!(dg.arc_quality(2, 1), Some(4));
+    }
+
+    #[test]
+    fn isolated_trailing_vertices_survive_conversion() {
+        let mut b = GraphBuilder::new(5);
+        b.add_edge(0, 1, 1);
+        let g = b.build();
+        let dg = DiGraph::from_undirected(&g);
+        assert_eq!(dg.num_vertices(), 5);
+        assert_eq!(dg.out_degree(4), 0);
+    }
+}

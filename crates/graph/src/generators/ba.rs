@@ -1,0 +1,111 @@
+//! Barabási–Albert preferential attachment graphs (social-network stand-in).
+//!
+//! Real social and web graphs are scale-free with small diameter; the paper's
+//! Observation 2 (degree ordering beats tree-decomposition ordering on such
+//! graphs) depends on exactly those properties, which preferential attachment
+//! reproduces.
+
+use super::QualityAssigner;
+use crate::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// Generates a Barabási–Albert graph with `n` vertices where every new vertex
+/// attaches to `m` existing vertices chosen proportionally to their degree.
+///
+/// The first `m` vertices form a seed clique so every vertex ends with degree
+/// `>= m` and the graph is connected.
+///
+/// ```
+/// use wcsd_graph::generators::{barabasi_albert, QualityAssigner};
+/// let g = barabasi_albert(500, 4, &QualityAssigner::uniform(3), 7);
+/// assert_eq!(g.num_vertices(), 500);
+/// assert!(g.max_degree() > 20); // heavy-tailed degree distribution
+/// ```
+pub fn barabasi_albert(n: usize, m: usize, qualities: &QualityAssigner, seed: u64) -> Graph {
+    assert!(m >= 1, "attachment count m must be >= 1");
+    assert!(n > m, "need more vertices than the attachment count");
+    let mut rng = super::seeded_rng(seed);
+    let mut b = GraphBuilder::with_capacity(n, n * m);
+
+    // `targets` holds one entry per edge endpoint, so sampling uniformly from
+    // it is sampling proportional to degree (the standard BA trick).
+    let mut targets: Vec<u32> = Vec::with_capacity(2 * n * m);
+
+    // Seed clique over vertices 0..=m.
+    for u in 0..=(m as u32) {
+        for v in (u + 1)..=(m as u32) {
+            b.add_edge(u, v, qualities.sample(&mut rng));
+            targets.push(u);
+            targets.push(v);
+        }
+    }
+
+    for u in (m as u32 + 1)..(n as u32) {
+        let mut chosen = Vec::with_capacity(m);
+        let mut guard = 0usize;
+        while chosen.len() < m && guard < 50 * m {
+            guard += 1;
+            let t = targets[rng.gen_range(0..targets.len())];
+            if t != u && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+        }
+        // Extremely unlikely fallback: attach to the lowest-id vertices not
+        // yet chosen so the graph stays connected.
+        let mut fallback = 0u32;
+        while chosen.len() < m {
+            if fallback != u && !chosen.contains(&fallback) {
+                chosen.push(fallback);
+            }
+            fallback += 1;
+        }
+        for &t in &chosen {
+            b.add_edge(u, t, qualities.sample(&mut rng));
+            targets.push(u);
+            targets.push(t);
+        }
+    }
+
+    let mut g = b.build();
+    g.pad_vertices(n);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn ba_is_connected_and_scale_free_ish() {
+        let g = barabasi_albert(1000, 3, &QualityAssigner::uniform(5), 13);
+        assert_eq!(g.num_vertices(), 1000);
+        let comps = analysis::connected_components(&g);
+        assert_eq!(analysis::largest_component_size(&comps), 1000);
+        // Average degree ≈ 2m.
+        assert!(g.avg_degree() > 5.0 && g.avg_degree() < 7.0, "avg = {}", g.avg_degree());
+        // Hubs exist.
+        assert!(g.max_degree() > 30, "max = {}", g.max_degree());
+    }
+
+    #[test]
+    fn every_vertex_has_min_degree_m() {
+        let g = barabasi_albert(300, 2, &QualityAssigner::uniform(3), 5);
+        for v in g.vertices() {
+            assert!(g.degree(v) >= 2, "vertex {v} has degree {}", g.degree(v));
+        }
+    }
+
+    #[test]
+    fn small_cases_work() {
+        let g = barabasi_albert(3, 1, &QualityAssigner::Constant(1), 0);
+        assert_eq!(g.num_vertices(), 3);
+        assert!(g.num_edges() >= 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "more vertices")]
+    fn n_must_exceed_m() {
+        let _ = barabasi_albert(3, 3, &QualityAssigner::uniform(2), 0);
+    }
+}

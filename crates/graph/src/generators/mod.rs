@@ -1,0 +1,163 @@
+//! Synthetic graph generators.
+//!
+//! The paper evaluates on DIMACS road networks and KONECT/SNAP social
+//! networks; those datasets are not redistributable here, so the benchmark
+//! harness substitutes structurally-equivalent synthetic graphs
+//! (`DESIGN.md` §3):
+//!
+//! * [`road_grid`] — near-planar, low-degree, large-diameter lattices with
+//!   perturbations, standing in for road networks.
+//! * [`barabasi_albert`] — scale-free preferential-attachment graphs,
+//!   standing in for social/web networks.
+//! * [`erdos_renyi`], [`watts_strogatz`] — classic random-graph baselines for
+//!   ablations.
+//! * [`special`] — paths, cycles, stars, trees, complete graphs and the
+//!   paper's running examples, used heavily in tests.
+//!
+//! All generators are deterministic given a seed, and every generated edge is
+//! assigned a quality level by [`QualityAssigner`].
+
+mod ba;
+mod er;
+mod grid;
+mod special;
+mod ws;
+
+pub use ba::barabasi_albert;
+pub use er::erdos_renyi;
+pub use grid::{road_grid, RoadGridConfig};
+pub use special::{complete_graph, cycle_graph, paper_figure2, paper_figure3, path_graph, random_tree, star_graph};
+pub use ws::watts_strogatz;
+
+use crate::types::Quality;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Strategy for assigning quality levels to generated edges.
+///
+/// The paper takes `|w|` directly from labelled datasets (e.g. Movielens star
+/// ratings) and assigns random values for the unlabelled ones; this type
+/// reproduces that protocol with a seeded RNG.
+#[derive(Debug, Clone)]
+pub enum QualityAssigner {
+    /// Every edge gets quality drawn uniformly from `1..=levels`.
+    Uniform {
+        /// Number of distinct quality levels `|w|`.
+        levels: Quality,
+    },
+    /// Qualities are drawn from `1..=levels` with the given relative weights
+    /// (e.g. a ratings-like skew where middle levels dominate).
+    Weighted {
+        /// Number of distinct quality levels `|w|`.
+        levels: Quality,
+        /// Relative weight of each level; `weights.len() == levels`.
+        weights: Vec<f64>,
+    },
+    /// Every edge gets the same quality (useful for degenerate tests).
+    Constant(
+        /// The quality assigned to all edges.
+        Quality,
+    ),
+}
+
+impl QualityAssigner {
+    /// Uniform assigner over `1..=levels`.
+    pub fn uniform(levels: Quality) -> Self {
+        assert!(levels >= 1, "at least one quality level is required");
+        Self::Uniform { levels }
+    }
+
+    /// Ratings-like skewed assigner over `1..=levels`: weights follow a
+    /// unimodal profile peaking around the middle level, mimicking the
+    /// Movielens-style distributions the paper uses for labelled graphs.
+    pub fn ratings_skew(levels: Quality) -> Self {
+        assert!(levels >= 1);
+        let mid = (levels as f64 + 1.0) / 2.0;
+        let weights = (1..=levels)
+            .map(|l| {
+                let d = (f64::from(l) - mid).abs();
+                1.0 / (1.0 + d)
+            })
+            .collect();
+        Self::Weighted { levels, weights }
+    }
+
+    /// Number of quality levels this assigner can produce.
+    pub fn levels(&self) -> Quality {
+        match self {
+            Self::Uniform { levels } => *levels,
+            Self::Weighted { levels, .. } => *levels,
+            Self::Constant(_) => 1,
+        }
+    }
+
+    /// Samples one quality level.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Quality {
+        match self {
+            Self::Uniform { levels } => rng.gen_range(1..=*levels),
+            Self::Weighted { weights, .. } => {
+                let dist = WeightedIndex::new(weights).expect("weights validated at construction");
+                dist.sample(rng) as Quality + 1
+            }
+            Self::Constant(q) => *q,
+        }
+    }
+}
+
+/// Creates the seeded RNG used by every generator, so that graphs are fully
+/// reproducible across runs and platforms.
+pub(crate) fn seeded_rng(seed: u64) -> StdRng {
+    StdRng::seed_from_u64(seed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_assigner_stays_in_range() {
+        let a = QualityAssigner::uniform(5);
+        let mut rng = seeded_rng(42);
+        for _ in 0..1000 {
+            let q = a.sample(&mut rng);
+            assert!((1..=5).contains(&q));
+        }
+    }
+
+    #[test]
+    fn ratings_skew_prefers_middle_levels() {
+        let a = QualityAssigner::ratings_skew(5);
+        let mut rng = seeded_rng(7);
+        let mut counts = [0usize; 6];
+        for _ in 0..20_000 {
+            counts[a.sample(&mut rng) as usize] += 1;
+        }
+        assert!(counts[3] > counts[1], "middle level should dominate extremes: {counts:?}");
+        assert!(counts[3] > counts[5]);
+        assert_eq!(counts[0], 0);
+    }
+
+    #[test]
+    fn constant_assigner_is_constant() {
+        let a = QualityAssigner::Constant(3);
+        let mut rng = seeded_rng(1);
+        assert!((0..100).all(|_| a.sample(&mut rng) == 3));
+        assert_eq!(a.levels(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn zero_levels_rejected() {
+        let _ = QualityAssigner::uniform(0);
+    }
+
+    #[test]
+    fn generators_are_deterministic() {
+        let g1 = barabasi_albert(200, 3, &QualityAssigner::uniform(5), 99);
+        let g2 = barabasi_albert(200, 3, &QualityAssigner::uniform(5), 99);
+        assert_eq!(g1, g2);
+        let g3 = barabasi_albert(200, 3, &QualityAssigner::uniform(5), 100);
+        assert_ne!(g1, g3);
+    }
+}

@@ -1,0 +1,168 @@
+//! Small deterministic graphs used throughout unit tests, doc examples and
+//! the paper's running examples (Figure 2 and Figure 3).
+
+use super::QualityAssigner;
+use crate::{Graph, GraphBuilder};
+use rand::Rng;
+
+/// The running example of the paper's Figure 3 (6 vertices, 8 edges).
+///
+/// Edge qualities: (0,1)=3, (0,3)=1, (1,2)=5, (1,3)=2, (2,3)=4, (3,4)=4,
+/// (3,5)=2, (4,5)=3. Table II of the paper lists the WC-INDEX this graph
+/// produces under the natural vertex order, which our tests reproduce.
+pub fn paper_figure3() -> Graph {
+    let mut b = GraphBuilder::new(6);
+    b.add_edge(0, 1, 3);
+    b.add_edge(0, 3, 1);
+    b.add_edge(1, 2, 5);
+    b.add_edge(1, 3, 2);
+    b.add_edge(2, 3, 4);
+    b.add_edge(3, 4, 4);
+    b.add_edge(3, 5, 2);
+    b.add_edge(4, 5, 3);
+    b.build()
+}
+
+/// The example graph of the paper's Figure 2 (10 vertices).
+///
+/// Used by Example 1: `dist¹(v0, v8) = 2` via `v0→v2→v8` while
+/// `dist²(v0, v8) = 3` via `v0→v1→v2→v8`.
+pub fn paper_figure2() -> Graph {
+    let mut b = GraphBuilder::new(10);
+    b.add_edge(0, 1, 3);
+    b.add_edge(0, 2, 1);
+    b.add_edge(1, 2, 2);
+    b.add_edge(2, 8, 2);
+    b.add_edge(2, 9, 2);
+    b.add_edge(8, 9, 3);
+    b.add_edge(8, 5, 2);
+    b.add_edge(5, 4, 3);
+    b.add_edge(4, 3, 1);
+    b.add_edge(3, 0, 2);
+    b.add_edge(5, 6, 1);
+    b.add_edge(6, 7, 2);
+    b.add_edge(7, 9, 1);
+    b.build()
+}
+
+/// Path graph `0 - 1 - … - (n-1)` with the given quality on every edge.
+pub fn path_graph(n: usize, quality: u32) -> Graph {
+    let mut b = GraphBuilder::new(n);
+    for u in 1..n {
+        b.add_edge(u as u32 - 1, u as u32, quality);
+    }
+    let mut g = b.build();
+    g.pad_vertices(n);
+    g
+}
+
+/// Cycle graph over `n >= 3` vertices.
+pub fn cycle_graph(n: usize, quality: u32) -> Graph {
+    assert!(n >= 3, "a cycle needs at least 3 vertices");
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        b.add_edge(u as u32, ((u + 1) % n) as u32, quality);
+    }
+    b.build()
+}
+
+/// Star graph: vertex 0 is the hub connected to `n - 1` leaves.
+pub fn star_graph(n: usize, quality: u32) -> Graph {
+    assert!(n >= 2, "a star needs at least 2 vertices");
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n {
+        b.add_edge(0, v as u32, quality);
+    }
+    b.build()
+}
+
+/// Complete graph `K_n` with qualities sampled from the assigner.
+pub fn complete_graph(n: usize, qualities: &QualityAssigner, seed: u64) -> Graph {
+    let mut rng = super::seeded_rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n as u32 {
+        for v in (u + 1)..n as u32 {
+            b.add_edge(u, v, qualities.sample(&mut rng));
+        }
+    }
+    let mut g = b.build();
+    g.pad_vertices(n);
+    g
+}
+
+/// Uniformly random labelled tree over `n` vertices (via random attachment:
+/// vertex `i` attaches to a uniformly random earlier vertex).
+pub fn random_tree(n: usize, qualities: &QualityAssigner, seed: u64) -> Graph {
+    let mut rng = super::seeded_rng(seed);
+    let mut b = GraphBuilder::new(n);
+    for v in 1..n as u32 {
+        let parent = rng.gen_range(0..v);
+        b.add_edge(parent, v, qualities.sample(&mut rng));
+    }
+    let mut g = b.build();
+    g.pad_vertices(n);
+    g
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis;
+
+    #[test]
+    fn figure3_matches_paper() {
+        let g = paper_figure3();
+        assert_eq!(g.num_vertices(), 6);
+        assert_eq!(g.num_edges(), 8);
+        assert_eq!(g.edge_quality(0, 3), Some(1));
+        assert_eq!(g.edge_quality(1, 2), Some(5));
+        assert_eq!(g.degree(3), 5);
+    }
+
+    #[test]
+    fn figure2_example1_structure() {
+        let g = paper_figure2();
+        assert_eq!(g.num_vertices(), 10);
+        assert!(g.has_edge(0, 2));
+        assert!(g.has_edge(2, 8));
+        assert_eq!(g.edge_quality(0, 2), Some(1));
+    }
+
+    #[test]
+    fn path_cycle_star_shapes() {
+        let p = path_graph(5, 2);
+        assert_eq!(p.num_edges(), 4);
+        assert_eq!(p.max_degree(), 2);
+
+        let c = cycle_graph(6, 1);
+        assert_eq!(c.num_edges(), 6);
+        assert!(c.vertices().all(|v| c.degree(v) == 2));
+
+        let s = star_graph(7, 3);
+        assert_eq!(s.num_edges(), 6);
+        assert_eq!(s.degree(0), 6);
+        assert_eq!(s.degree(3), 1);
+    }
+
+    #[test]
+    fn complete_graph_has_all_pairs() {
+        let g = complete_graph(6, &QualityAssigner::uniform(3), 1);
+        assert_eq!(g.num_edges(), 15);
+        assert!(g.vertices().all(|v| g.degree(v) == 5));
+    }
+
+    #[test]
+    fn random_tree_is_a_tree() {
+        let g = random_tree(64, &QualityAssigner::uniform(4), 3);
+        assert_eq!(g.num_edges(), 63);
+        let comps = analysis::connected_components(&g);
+        assert_eq!(analysis::largest_component_size(&comps), 64);
+    }
+
+    #[test]
+    fn singleton_path_has_no_edges() {
+        let g = path_graph(1, 1);
+        assert_eq!(g.num_vertices(), 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

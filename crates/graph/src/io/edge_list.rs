@@ -1,0 +1,112 @@
+//! Whitespace-separated edge list format: one `u v quality` triple per line.
+//!
+//! Lines starting with `#` or `%` are comments (SNAP and KONECT conventions
+//! respectively). A missing third column defaults to quality 1 so plain
+//! unlabelled edge lists also load.
+
+use super::{IoError, Result};
+use crate::{Graph, GraphBuilder};
+use std::io::{BufRead, BufReader, Read, Write};
+
+/// Parses an edge list from a reader.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<Graph> {
+    let mut builder = GraphBuilder::new(0);
+    let buf = BufReader::new(reader);
+    let mut line_buf = String::new();
+    let mut buf = buf;
+    let mut line_no = 0usize;
+    loop {
+        line_buf.clear();
+        let n = buf.read_line(&mut line_buf)?;
+        if n == 0 {
+            break;
+        }
+        line_no += 1;
+        let line = line_buf.trim();
+        if line.is_empty() || line.starts_with('#') || line.starts_with('%') {
+            continue;
+        }
+        let mut it = line.split_whitespace();
+        let u: u32 = parse_field(it.next(), line_no, "source vertex")?;
+        let v: u32 = parse_field(it.next(), line_no, "target vertex")?;
+        let q: u32 = match it.next() {
+            Some(tok) => tok.parse().map_err(|_| IoError::Parse {
+                line: line_no,
+                reason: format!("invalid quality value {tok:?}"),
+            })?,
+            None => 1,
+        };
+        builder.add_edge(u, v, q);
+    }
+    Ok(builder.build())
+}
+
+fn parse_field(tok: Option<&str>, line: usize, what: &str) -> Result<u32> {
+    let tok = tok.ok_or_else(|| IoError::Parse { line, reason: format!("missing {what}") })?;
+    tok.parse().map_err(|_| IoError::Parse { line, reason: format!("invalid {what} {tok:?}") })
+}
+
+/// Parses an edge list from a string.
+pub fn parse_edge_list(text: &str) -> Result<Graph> {
+    read_edge_list(text.as_bytes())
+}
+
+/// Writes a graph as an edge list (one canonical `u v quality` line per edge).
+pub fn write_edge_list<W: Write>(g: &Graph, mut writer: W) -> Result<()> {
+    writeln!(writer, "# wcsd edge list: {} vertices, {} edges", g.num_vertices(), g.num_edges())?;
+    for e in g.edges() {
+        writeln!(writer, "{} {} {}", e.u, e.v, e.quality)?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::paper_figure3;
+
+    #[test]
+    fn parses_simple_list() {
+        let g = parse_edge_list("0 1 3\n1 2 5\n# comment\n% another\n\n2 3 4\n").unwrap();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.edge_quality(1, 2), Some(5));
+    }
+
+    #[test]
+    fn missing_quality_defaults_to_one() {
+        let g = parse_edge_list("0 1\n1 2\n").unwrap();
+        assert_eq!(g.edge_quality(0, 1), Some(1));
+    }
+
+    #[test]
+    fn reports_line_numbers_on_errors() {
+        let err = parse_edge_list("0 1 2\nnot a line\n").unwrap_err();
+        match err {
+            IoError::Parse { line, .. } => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_bad_quality() {
+        let err = parse_edge_list("0 1 abc\n").unwrap_err();
+        assert!(matches!(err, IoError::Parse { line: 1, .. }));
+    }
+
+    #[test]
+    fn roundtrips_figure3() {
+        let g = paper_figure3();
+        let mut out = Vec::new();
+        write_edge_list(&g, &mut out).unwrap();
+        let g2 = read_edge_list(out.as_slice()).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn empty_input_gives_empty_graph() {
+        let g = parse_edge_list("").unwrap();
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

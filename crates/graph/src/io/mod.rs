@@ -1,0 +1,65 @@
+//! Reading and writing graphs.
+//!
+//! Three formats are supported:
+//!
+//! * **Edge list** ([`edge_list`]) — whitespace-separated `u v quality` lines,
+//!   the format most public datasets (SNAP, KONECT) ship in.
+//! * **DIMACS-style** ([`dimacs`]) — the `.gr` format used by the 9th DIMACS
+//!   implementation challenge the paper's road networks come from, with the
+//!   edge weight reinterpreted as the quality value.
+//! * **Snapshots** ([`snapshot`]) — compact `serde`-based binary-ish (JSON is
+//!   avoided; a simple length-prefixed layout over [`bytes`]) round-trip of an
+//!   already-built [`crate::Graph`], used to cache generated benchmark inputs.
+
+pub mod dimacs;
+pub mod edge_list;
+pub mod snapshot;
+
+use std::fmt;
+
+/// Errors produced by the parsers in this module.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line could not be parsed; carries the 1-based line number and reason.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Human-readable description of the problem.
+        reason: String,
+    },
+    /// A snapshot buffer was malformed.
+    Corrupt(
+        /// Description of the corruption.
+        String,
+    ),
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "I/O error: {e}"),
+            IoError::Parse { line, reason } => write!(f, "parse error on line {line}: {reason}"),
+            IoError::Corrupt(reason) => write!(f, "corrupt snapshot: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for IoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            IoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Convenience alias for results in this module.
+pub type Result<T> = std::result::Result<T, IoError>;

@@ -1,0 +1,130 @@
+//! Compact binary snapshots of built graphs.
+//!
+//! The benchmark harness regenerates synthetic datasets on every run; caching
+//! them as snapshots makes repeated experiment runs cheap. The layout is a
+//! simple length-prefixed little-endian encoding built on [`bytes`]:
+//!
+//! ```text
+//! magic "WCSD" | version u32 | n u32 | m u32 | m × (u u32, v u32, q u32)
+//! ```
+
+use super::{IoError, Result};
+use crate::{Graph, GraphBuilder};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+const MAGIC: &[u8; 4] = b"WCSD";
+const VERSION: u32 = 1;
+
+/// Serializes a graph into a snapshot buffer.
+pub fn encode(g: &Graph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(16 + 12 * g.num_edges());
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u32_le(g.num_vertices() as u32);
+    buf.put_u32_le(g.num_edges() as u32);
+    for e in g.edges() {
+        buf.put_u32_le(e.u);
+        buf.put_u32_le(e.v);
+        buf.put_u32_le(e.quality);
+    }
+    buf.freeze()
+}
+
+/// Deserializes a snapshot buffer back into a graph.
+pub fn decode(mut buf: &[u8]) -> Result<Graph> {
+    if buf.remaining() < 16 {
+        return Err(IoError::Corrupt("buffer shorter than header".to_string()));
+    }
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(IoError::Corrupt(format!("bad magic {magic:?}")));
+    }
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(IoError::Corrupt(format!("unsupported snapshot version {version}")));
+    }
+    let n = buf.get_u32_le() as usize;
+    let m = buf.get_u32_le() as usize;
+    if buf.remaining() < 12 * m {
+        return Err(IoError::Corrupt(format!(
+            "truncated edge section: need {} bytes, have {}",
+            12 * m,
+            buf.remaining()
+        )));
+    }
+    let mut b = GraphBuilder::with_capacity(n, m);
+    for _ in 0..m {
+        let u = buf.get_u32_le();
+        let v = buf.get_u32_le();
+        let q = buf.get_u32_le();
+        b.add_edge(u, v, q);
+    }
+    let mut g = b.build();
+    g.pad_vertices(n);
+    Ok(g)
+}
+
+/// Writes a snapshot to a file path.
+pub fn write_file(g: &Graph, path: &std::path::Path) -> Result<()> {
+    std::fs::write(path, encode(g))?;
+    Ok(())
+}
+
+/// Reads a snapshot from a file path.
+pub fn read_file(path: &std::path::Path) -> Result<Graph> {
+    let data = std::fs::read(path)?;
+    decode(&data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, paper_figure3, QualityAssigner};
+
+    #[test]
+    fn roundtrip_small() {
+        let g = paper_figure3();
+        let bytes = encode(&g);
+        let g2 = decode(&bytes).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn roundtrip_larger_graph() {
+        let g = barabasi_albert(500, 3, &QualityAssigner::uniform(5), 2);
+        let g2 = decode(&encode(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn detects_bad_magic() {
+        let err = decode(b"NOPE00000000000000000000").unwrap_err();
+        assert!(matches!(err, IoError::Corrupt(_)));
+    }
+
+    #[test]
+    fn detects_truncation() {
+        let g = paper_figure3();
+        let bytes = encode(&g);
+        let err = decode(&bytes[..bytes.len() - 4]).unwrap_err();
+        assert!(matches!(err, IoError::Corrupt(_)));
+    }
+
+    #[test]
+    fn detects_short_header() {
+        assert!(matches!(decode(b"WC"), Err(IoError::Corrupt(_))));
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = paper_figure3();
+        let dir = std::env::temp_dir().join("wcsd_snapshot_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("fig3.wcsd");
+        write_file(&g, &path).unwrap();
+        let g2 = read_file(&path).unwrap();
+        assert_eq!(g, g2);
+        std::fs::remove_file(&path).ok();
+    }
+}

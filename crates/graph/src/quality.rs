@@ -1,0 +1,145 @@
+//! Mapping between raw real-valued edge qualities and dense integer ranks.
+//!
+//! The WCSD problem only ever *compares* qualities (`δ(e) ≥ w`), so any
+//! order-preserving re-encoding of the quality domain Δ leaves every query
+//! answer unchanged. [`QualityDomain`] collects the distinct raw values,
+//! sorts them, and exposes a bijection `raw ⇄ rank` with ranks `1..=|Δ|`.
+//! Rank `0` is reserved to mean "below every real quality" so that a query
+//! with `w = 0` degenerates to an unconstrained shortest-distance query.
+
+use crate::types::Quality;
+use serde::{Deserialize, Serialize};
+
+/// An order-preserving mapping from raw `f64` qualities to dense ranks.
+///
+/// ```
+/// use wcsd_graph::QualityDomain;
+/// let dom = QualityDomain::from_raw(&[0.5, 2.0, 0.5, 10.0]);
+/// assert_eq!(dom.num_levels(), 3);
+/// assert_eq!(dom.rank_of(0.5), Some(1));
+/// assert_eq!(dom.rank_of(10.0), Some(3));
+/// // A query constraint that is not itself a member of Δ maps to the
+/// // smallest rank whose raw value is >= the constraint.
+/// assert_eq!(dom.rank_for_constraint(1.0), 2);
+/// assert_eq!(dom.rank_for_constraint(11.0), 4); // stricter than everything
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+pub struct QualityDomain {
+    /// Sorted distinct raw quality values; `values[i]` has rank `i + 1`.
+    values: Vec<f64>,
+}
+
+impl QualityDomain {
+    /// Builds a domain from an arbitrary collection of raw quality values.
+    ///
+    /// Non-finite values are rejected with a panic because they cannot be
+    /// totally ordered in a meaningful way for the WCSD problem.
+    pub fn from_raw(raw: &[f64]) -> Self {
+        assert!(
+            raw.iter().all(|q| q.is_finite()),
+            "edge qualities must be finite real values"
+        );
+        let mut values: Vec<f64> = raw.to_vec();
+        values.sort_by(|a, b| a.partial_cmp(b).expect("finite values are totally ordered"));
+        values.dedup();
+        Self { values }
+    }
+
+    /// Builds the trivial domain `{1, 2, …, levels}` used when qualities are
+    /// generated synthetically as integer levels.
+    pub fn integer_levels(levels: u32) -> Self {
+        Self { values: (1..=levels).map(f64::from).collect() }
+    }
+
+    /// Number of distinct quality values `|Δ|` (the paper's `|w|`).
+    #[inline]
+    pub fn num_levels(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns the rank (1-based) of an exact member of Δ, or `None` if the
+    /// value does not occur in the domain.
+    pub fn rank_of(&self, raw: f64) -> Option<Quality> {
+        self.values
+            .binary_search_by(|v| v.partial_cmp(&raw).expect("finite"))
+            .ok()
+            .map(|i| (i + 1) as Quality)
+    }
+
+    /// Maps a query constraint `w` (any real value) to the smallest rank whose
+    /// raw value satisfies it. Constraints stricter than every member of Δ map
+    /// to `num_levels() + 1`, which no edge satisfies.
+    pub fn rank_for_constraint(&self, w: f64) -> Quality {
+        let idx = self.values.partition_point(|v| *v < w);
+        (idx + 1) as Quality
+    }
+
+    /// Returns the raw value of a rank, if the rank is within the domain.
+    pub fn raw_of(&self, rank: Quality) -> Option<f64> {
+        if rank == 0 || rank as usize > self.values.len() {
+            None
+        } else {
+            Some(self.values[rank as usize - 1])
+        }
+    }
+
+    /// Returns the sorted distinct raw values.
+    pub fn raw_values(&self) -> &[f64] {
+        &self.values
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_dense_and_order_preserving() {
+        let dom = QualityDomain::from_raw(&[3.5, 1.0, 2.0, 3.5, 2.0]);
+        assert_eq!(dom.num_levels(), 3);
+        assert_eq!(dom.rank_of(1.0), Some(1));
+        assert_eq!(dom.rank_of(2.0), Some(2));
+        assert_eq!(dom.rank_of(3.5), Some(3));
+        assert_eq!(dom.rank_of(9.9), None);
+        assert_eq!(dom.raw_of(2), Some(2.0));
+        assert_eq!(dom.raw_of(0), None);
+        assert_eq!(dom.raw_of(4), None);
+    }
+
+    #[test]
+    fn constraint_mapping_rounds_up() {
+        let dom = QualityDomain::from_raw(&[1.0, 2.0, 4.0]);
+        // Constraint below the whole domain is satisfied by every edge.
+        assert_eq!(dom.rank_for_constraint(0.0), 1);
+        // Exact member maps to its own rank.
+        assert_eq!(dom.rank_for_constraint(2.0), 2);
+        // Between members rounds up to the next satisfying rank.
+        assert_eq!(dom.rank_for_constraint(3.0), 3);
+        // Stricter than everything: unsatisfiable rank.
+        assert_eq!(dom.rank_for_constraint(5.0), 4);
+    }
+
+    #[test]
+    fn integer_levels_roundtrip() {
+        let dom = QualityDomain::integer_levels(5);
+        assert_eq!(dom.num_levels(), 5);
+        for lvl in 1..=5u32 {
+            assert_eq!(dom.rank_of(f64::from(lvl)), Some(lvl));
+            assert_eq!(dom.raw_of(lvl), Some(f64::from(lvl)));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "finite")]
+    fn non_finite_qualities_are_rejected() {
+        let _ = QualityDomain::from_raw(&[1.0, f64::NAN]);
+    }
+
+    #[test]
+    fn empty_domain_is_usable() {
+        let dom = QualityDomain::from_raw(&[]);
+        assert_eq!(dom.num_levels(), 0);
+        assert_eq!(dom.rank_for_constraint(1.0), 1);
+        assert_eq!(dom.rank_of(1.0), None);
+    }
+}

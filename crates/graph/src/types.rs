@@ -1,0 +1,112 @@
+//! Fundamental scalar types shared by every crate of the workspace.
+//!
+//! Vertex identifiers, distances and quality ranks are all `u32`: the paper's
+//! largest graph has 24 M vertices and hop-count distances, so 32-bit values
+//! keep label entries at 12 bytes and halve memory traffic compared to
+//! `usize`/`u64` (see the type-size guidance in the Rust Performance Book).
+
+use serde::{Deserialize, Serialize};
+
+/// A vertex identifier. Vertices are always densely numbered `0..n`.
+pub type VertexId = u32;
+
+/// A hop-count (or weighted) distance.
+pub type Distance = u32;
+
+/// A quality rank. Raw real-valued qualities are mapped to dense ranks by
+/// [`crate::QualityDomain`]; only the order matters for WCSD semantics.
+pub type Quality = u32;
+
+/// Distance value representing "unreachable".
+pub const INF_DIST: Distance = Distance::MAX;
+
+/// Quality value representing "no constraint" (`∞` in the paper). Used for the
+/// self label `(v, 0, ∞)` every vertex carries.
+pub const INF_QUALITY: Quality = Quality::MAX;
+
+/// An undirected edge `(u, v)` with quality `δ(e)`, as produced by generators
+/// and parsers before CSR construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Edge {
+    /// First endpoint.
+    pub u: VertexId,
+    /// Second endpoint.
+    pub v: VertexId,
+    /// Edge quality rank `δ(e)`.
+    pub quality: Quality,
+}
+
+impl Edge {
+    /// Creates a new edge.
+    #[inline]
+    pub fn new(u: VertexId, v: VertexId, quality: Quality) -> Self {
+        Self { u, v, quality }
+    }
+
+    /// Returns the edge with endpoints ordered `min, max` (canonical form for
+    /// undirected deduplication).
+    #[inline]
+    pub fn canonical(self) -> Self {
+        if self.u <= self.v {
+            self
+        } else {
+            Self { u: self.v, v: self.u, quality: self.quality }
+        }
+    }
+}
+
+/// A weighted edge: quality plus a positive length, used by the weighted
+/// extension (Section V of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct WeightedEdge {
+    /// First endpoint.
+    pub u: VertexId,
+    /// Second endpoint.
+    pub v: VertexId,
+    /// Edge quality rank `δ(e)`.
+    pub quality: Quality,
+    /// Edge length (`≥ 1`).
+    pub length: Distance,
+}
+
+impl WeightedEdge {
+    /// Creates a new weighted edge.
+    #[inline]
+    pub fn new(u: VertexId, v: VertexId, quality: Quality, length: Distance) -> Self {
+        Self { u, v, quality, length }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn edge_canonical_orders_endpoints() {
+        let e = Edge::new(5, 2, 7);
+        let c = e.canonical();
+        assert_eq!((c.u, c.v, c.quality), (2, 5, 7));
+        // Already-canonical edges are untouched.
+        assert_eq!(c.canonical(), c);
+    }
+
+    #[test]
+    fn infinities_are_extreme() {
+        assert!(INF_DIST > 1_000_000_000);
+        assert!(INF_QUALITY > 1_000_000_000);
+    }
+
+    #[test]
+    fn label_entry_sized_types_are_small() {
+        // Three u32s per index entry; guard against accidental widening.
+        assert_eq!(std::mem::size_of::<VertexId>(), 4);
+        assert_eq!(std::mem::size_of::<Distance>(), 4);
+        assert_eq!(std::mem::size_of::<Quality>(), 4);
+    }
+
+    #[test]
+    fn weighted_edge_constructor() {
+        let e = WeightedEdge::new(1, 2, 3, 4);
+        assert_eq!((e.u, e.v, e.quality, e.length), (1, 2, 3, 4));
+    }
+}

@@ -1,0 +1,273 @@
+//! Concrete ordering strategies (Section IV.D of the paper).
+
+use crate::tree_decomposition::{TreeDecomposition, TreeDecompositionConfig};
+use crate::VertexOrder;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+use wcsd_graph::{Graph, VertexId};
+
+/// Enumerates every ordering strategy, so callers (benchmarks, examples) can
+/// select one by name.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum OrderingStrategy {
+    /// Non-ascending degree (ties broken by vertex id).
+    Degree,
+    /// Hierarchy induced by minimum-degree-elimination tree decomposition.
+    TreeDecomposition,
+    /// The paper's hybrid core/periphery ordering with the default threshold.
+    Hybrid,
+    /// Identity order `0, 1, …, n-1`.
+    Natural,
+    /// Uniformly random permutation (seeded).
+    Random(
+        /// RNG seed.
+        u64,
+    ),
+    /// Vertices sorted by BFS level from the highest-degree vertex, then by
+    /// descending degree within a level.
+    BfsLevel,
+}
+
+impl OrderingStrategy {
+    /// Computes the vertex order of `g` under this strategy.
+    pub fn compute(&self, g: &Graph) -> VertexOrder {
+        match self {
+            Self::Degree => degree_order(g),
+            Self::TreeDecomposition => tree_decomposition_order(g),
+            Self::Hybrid => hybrid_order(g, &HybridConfig::default()),
+            Self::Natural => natural_order(g),
+            Self::Random(seed) => random_order(g, *seed),
+            Self::BfsLevel => bfs_level_order(g),
+        }
+    }
+
+    /// A short human-readable name used in benchmark output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Degree => "degree",
+            Self::TreeDecomposition => "tree-decomposition",
+            Self::Hybrid => "hybrid",
+            Self::Natural => "natural",
+            Self::Random(_) => "random",
+            Self::BfsLevel => "bfs-level",
+        }
+    }
+}
+
+/// Degree-based ordering: vertices sorted by non-ascending degree, ties broken
+/// by ascending vertex id (deterministic).
+pub fn degree_order(g: &Graph) -> VertexOrder {
+    let mut order: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    order.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+    VertexOrder::from_permutation(order)
+}
+
+/// Identity ordering `0, 1, …, n-1`. Matches the implicit order used by the
+/// paper's running example (Table II).
+pub fn natural_order(g: &Graph) -> VertexOrder {
+    VertexOrder::from_permutation((0..g.num_vertices() as VertexId).collect())
+}
+
+/// Uniformly random ordering with the given seed.
+pub fn random_order(g: &Graph, seed: u64) -> VertexOrder {
+    let mut order: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    order.shuffle(&mut rng);
+    VertexOrder::from_permutation(order)
+}
+
+/// Tree-decomposition ordering: the MDE hierarchy (vertices eliminated last
+/// first), as used for road networks.
+pub fn tree_decomposition_order(g: &Graph) -> VertexOrder {
+    let td = TreeDecomposition::build(g, &TreeDecompositionConfig::default());
+    VertexOrder::from_permutation(td.hierarchy_order(g))
+}
+
+/// Configuration of the paper's hybrid core/periphery ordering.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct HybridConfig {
+    /// Degree threshold δ separating the core (degree > δ, ordered by degree)
+    /// from the periphery (ordered by tree decomposition). `None` selects the
+    /// threshold automatically as `max(average degree × 4, 16)`.
+    pub degree_threshold: Option<usize>,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        Self { degree_threshold: None }
+    }
+}
+
+/// The paper's hybrid vertex ordering (Section IV.D):
+///
+/// 1. vertices with degree above the threshold form the *core* and are ordered
+///    by non-ascending degree (cheap, effective on hubs);
+/// 2. the remaining *periphery* vertices are ordered by the MDE tree
+///    decomposition hierarchy computed on the graph with the core removed
+///    conceptually (we cap bag growth at the threshold, which is equivalent
+///    in effect and avoids the dense-core blow-up);
+/// 3. core vertices precede periphery vertices.
+pub fn hybrid_order(g: &Graph, config: &HybridConfig) -> VertexOrder {
+    let threshold = config
+        .degree_threshold
+        .unwrap_or_else(|| ((g.avg_degree() * 4.0).ceil() as usize).max(16));
+
+    let mut core: Vec<VertexId> =
+        (0..g.num_vertices() as VertexId).filter(|&v| g.degree(v) > threshold).collect();
+    core.sort_by_key(|&v| (std::cmp::Reverse(g.degree(v)), v));
+
+    // Periphery hierarchy: run MDE but never eliminate a vertex whose transient
+    // degree exceeds the threshold — those end up in the decomposition's core,
+    // which we then order by degree (same rule as the core set above).
+    let td = TreeDecomposition::build(
+        g,
+        &TreeDecompositionConfig { max_bag_degree: Some(threshold) },
+    );
+    let is_core: Vec<bool> = {
+        let mut flags = vec![false; g.num_vertices()];
+        for &v in &core {
+            flags[v as usize] = true;
+        }
+        flags
+    };
+    let mut order = core.clone();
+    for v in td.hierarchy_order(g) {
+        if !is_core[v as usize] {
+            order.push(v);
+        }
+    }
+    VertexOrder::from_permutation(order)
+}
+
+/// BFS-level ordering: a BFS from the maximum-degree vertex assigns levels;
+/// vertices are sorted by ascending level, then by descending degree. Used as
+/// an ablation baseline.
+pub fn bfs_level_order(g: &Graph) -> VertexOrder {
+    let n = g.num_vertices();
+    if n == 0 {
+        return VertexOrder::from_permutation(Vec::new());
+    }
+    let root = (0..n as VertexId).max_by_key(|&v| g.degree(v)).expect("non-empty");
+    let mut level = vec![u32::MAX; n];
+    let mut queue = std::collections::VecDeque::new();
+    level[root as usize] = 0;
+    queue.push_back(root);
+    while let Some(u) = queue.pop_front() {
+        for (v, _) in g.neighbors(u) {
+            if level[v as usize] == u32::MAX {
+                level[v as usize] = level[u as usize] + 1;
+                queue.push_back(v);
+            }
+        }
+    }
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_by_key(|&v| (level[v as usize], std::cmp::Reverse(g.degree(v)), v));
+    VertexOrder::from_permutation(order)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use wcsd_graph::generators::{
+        barabasi_albert, paper_figure3, road_grid, star_graph, QualityAssigner, RoadGridConfig,
+    };
+
+    fn assert_is_permutation(o: &VertexOrder, n: usize) {
+        assert_eq!(o.len(), n);
+        let mut sorted: Vec<_> = o.as_slice().to_vec();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..n as VertexId).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn degree_order_puts_hub_first() {
+        let g = star_graph(8, 1);
+        let o = degree_order(&g);
+        assert_eq!(o.vertex_at(0), 0);
+        assert_is_permutation(&o, 8);
+    }
+
+    #[test]
+    fn degree_order_on_figure3() {
+        let g = paper_figure3();
+        let o = degree_order(&g);
+        // Vertex 3 has degree 5, the unique maximum.
+        assert_eq!(o.vertex_at(0), 3);
+        assert_is_permutation(&o, 6);
+    }
+
+    #[test]
+    fn natural_and_random_are_permutations() {
+        let g = paper_figure3();
+        assert_is_permutation(&natural_order(&g), 6);
+        let r1 = random_order(&g, 1);
+        let r2 = random_order(&g, 1);
+        assert_eq!(r1, r2, "random order must be deterministic per seed");
+        assert_is_permutation(&r1, 6);
+    }
+
+    #[test]
+    fn tree_decomposition_order_is_permutation() {
+        let g = road_grid(&RoadGridConfig::square(8), &QualityAssigner::uniform(3), 4);
+        let o = tree_decomposition_order(&g);
+        assert_is_permutation(&o, 64);
+    }
+
+    #[test]
+    fn hybrid_core_vertices_come_first() {
+        let g = barabasi_albert(300, 3, &QualityAssigner::uniform(3), 6);
+        let cfg = HybridConfig { degree_threshold: Some(20) };
+        let o = hybrid_order(&g, &cfg);
+        assert_is_permutation(&o, 300);
+        let core_count = (0..300u32).filter(|&v| g.degree(v) > 20).count();
+        assert!(core_count > 0, "test graph should have hubs");
+        // The first `core_count` positions are exactly the high-degree vertices.
+        for k in 0..core_count {
+            assert!(g.degree(o.vertex_at(k)) > 20, "position {k} is not a core vertex");
+        }
+        for k in core_count..300 {
+            assert!(g.degree(o.vertex_at(k)) <= 20);
+        }
+    }
+
+    #[test]
+    fn hybrid_default_threshold_is_permutation() {
+        let g = road_grid(&RoadGridConfig::square(10), &QualityAssigner::uniform(5), 9);
+        let o = hybrid_order(&g, &HybridConfig::default());
+        assert_is_permutation(&o, 100);
+    }
+
+    #[test]
+    fn bfs_level_order_starts_at_max_degree_vertex() {
+        let g = paper_figure3();
+        let o = bfs_level_order(&g);
+        assert_eq!(o.vertex_at(0), 3);
+        assert_is_permutation(&o, 6);
+    }
+
+    #[test]
+    fn strategy_enum_dispatches() {
+        let g = paper_figure3();
+        for strat in [
+            OrderingStrategy::Degree,
+            OrderingStrategy::TreeDecomposition,
+            OrderingStrategy::Hybrid,
+            OrderingStrategy::Natural,
+            OrderingStrategy::Random(3),
+            OrderingStrategy::BfsLevel,
+        ] {
+            let o = strat.compute(&g);
+            assert_is_permutation(&o, 6);
+            assert!(!strat.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn empty_graph_orders_are_empty() {
+        let g = wcsd_graph::GraphBuilder::new(0).build();
+        assert!(degree_order(&g).is_empty());
+        assert!(bfs_level_order(&g).is_empty());
+        assert!(hybrid_order(&g, &HybridConfig::default()).is_empty());
+    }
+}

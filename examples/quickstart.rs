@@ -1,0 +1,49 @@
+//! Quickstart: build a graph, build a WC-INDEX, answer constrained distance
+//! and path queries.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use wcsd::prelude::*;
+use wcsd_core::path::PathIndex;
+
+fn main() {
+    // The running example from the paper (Figure 3): 6 vertices, 8 edges,
+    // edge qualities between 1 and 5.
+    let graph = wcsd::graph::generators::paper_figure3();
+    println!(
+        "graph: {} vertices, {} edges, {} distinct quality levels",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.num_distinct_qualities()
+    );
+
+    // Build the WC-INDEX+ (query-efficient construction + hybrid ordering).
+    let index = IndexBuilder::wc_index_plus().build(&graph);
+    let stats = index.stats();
+    println!(
+        "index: {} entries, {:.1} per vertex, {} bytes",
+        stats.total_entries, stats.avg_label_size, stats.entry_bytes
+    );
+
+    // Distance queries with different quality constraints (Example 3).
+    for w in 1..=5 {
+        match index.distance(2, 5, w) {
+            Some(d) => println!("dist_w(v2, v5) with w = {w}: {d}"),
+            None => println!("dist_w(v2, v5) with w = {w}: unreachable"),
+        }
+    }
+
+    // The same index answers queries for any pair.
+    assert_eq!(index.distance(0, 4, 1), Some(2));
+    assert_eq!(index.distance(0, 4, 3), Some(4));
+
+    // The path extension reconstructs the actual route.
+    let paths = PathIndex::build(&graph);
+    let route = paths.shortest_path(2, 5, 2).expect("a 2-quality path exists");
+    println!("shortest 2-constrained path from v2 to v5: {route:?}");
+
+    // Cross-check against the online constrained BFS baseline.
+    let oracle = wcsd::baselines::online::constrained_bfs(&graph, 2, 5, 2);
+    assert_eq!(oracle, index.distance(2, 5, 2));
+    println!("index answer matches the online BFS oracle ✔");
+}

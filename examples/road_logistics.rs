@@ -1,0 +1,82 @@
+//! Road-network scenario (the paper's introduction): road segments carry
+//! weight limits and an auto-truck needs the shortest route using only
+//! segments that admit its weight.
+//!
+//! Edge qualities 1–5 encode weight limits (7.5 t … 60 t). The example
+//! compares the index against the online constrained BFS on a batch of
+//! dispatch queries and reports the speed-up, mirroring the shape of the
+//! paper's Exp 3.
+//!
+//! Run with: `cargo run --release --example road_logistics`
+
+use std::time::Instant;
+use wcsd::prelude::*;
+use wcsd_graph::generators::{road_grid, QualityAssigner, RoadGridConfig};
+
+const WEIGHT_LIMITS: [&str; 5] = ["7.5 t", "12 t", "26 t", "40 t", "60 t"];
+
+fn main() {
+    let road = road_grid(
+        &RoadGridConfig { rows: 60, cols: 60, removal_prob: 0.08, diagonal_prob: 0.04 },
+        &QualityAssigner::uniform(5),
+        99,
+    );
+    println!(
+        "road network: {} junctions, {} segments",
+        road.num_vertices(),
+        road.num_edges()
+    );
+
+    let start = Instant::now();
+    let index = IndexBuilder::wc_index_plus().build(&road);
+    println!(
+        "index built in {:.2?} ({} entries, {:.2} MiB)",
+        start.elapsed(),
+        index.stats().total_entries,
+        index.stats().megabytes()
+    );
+
+    // A single dispatch question: depot → customer for each truck class.
+    let (depot, customer) = (0, (road.num_vertices() - 1) as VertexId);
+    for (class, name) in WEIGHT_LIMITS.iter().enumerate() {
+        let w = class as Quality + 1;
+        match index.distance(depot, customer, w) {
+            Some(d) => println!("truck ≤ {name:>6}: {d} segments"),
+            None => println!("truck ≤ {name:>6}: no admissible route"),
+        }
+    }
+
+    // Batch of dispatch queries: index vs online BFS.
+    let queries: Vec<(VertexId, VertexId, Quality)> = (0..2_000)
+        .map(|i| {
+            let s = (i * 37) % road.num_vertices() as u32;
+            let t = (i * 101 + 13) % road.num_vertices() as u32;
+            (s, t, (i % 5 + 1) as Quality)
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let index_answers: Vec<_> =
+        queries.iter().map(|&(s, t, w)| index.distance(s, t, w)).collect();
+    let index_time = t0.elapsed();
+
+    let sample = 100.min(queries.len());
+    let t1 = Instant::now();
+    let bfs_answers: Vec<_> = queries[..sample]
+        .iter()
+        .map(|&(s, t, w)| wcsd::baselines::online::constrained_bfs(&road, s, t, w))
+        .collect();
+    let bfs_time = t1.elapsed();
+
+    assert_eq!(&index_answers[..sample], &bfs_answers[..], "index disagrees with BFS oracle");
+
+    let per_query_index = index_time.as_secs_f64() / queries.len() as f64;
+    let per_query_bfs = bfs_time.as_secs_f64() / sample as f64;
+    println!(
+        "\n{} queries: {:.2} µs/query via index, {:.2} µs/query via constrained BFS ({:.0}× speed-up)",
+        queries.len(),
+        1e6 * per_query_index,
+        1e6 * per_query_bfs,
+        per_query_bfs / per_query_index.max(1e-12)
+    );
+}

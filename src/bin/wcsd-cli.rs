@@ -1,0 +1,146 @@
+//! Command-line front end for building, inspecting and querying WC-INDEX
+//! snapshots from edge-list or DIMACS graph files.
+//!
+//! ```text
+//! wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--dimacs]
+//! wcsd-cli stats <graph-file> [--dimacs]
+//! wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]
+//! ```
+//!
+//! Run with: `cargo run --release --bin wcsd-cli -- <subcommand> ...`
+
+use std::process::ExitCode;
+use wcsd::prelude::*;
+use wcsd_graph::io::{dimacs, edge_list};
+use wcsd_graph::{analysis, Graph};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("usage:");
+            eprintln!("  wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--dimacs]");
+            eprintln!("  wcsd-cli stats <graph-file> [--dimacs]");
+            eprintln!("  wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let use_dimacs = args.iter().any(|a| a == "--dimacs");
+    let ordering = parse_ordering(args)?;
+    // Positional arguments: everything that is neither a flag nor the value
+    // consumed by `--ordering`.
+    let mut positional: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == "--ordering" {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        positional.push(a);
+    }
+
+    match positional.first().map(|s| s.as_str()) {
+        Some("build") => {
+            let [_, graph_path, index_path] = positional[..] else {
+                return Err("build requires <graph-file> <index-file>".to_string());
+            };
+            let graph = load_graph(graph_path, use_dimacs)?;
+            let start = std::time::Instant::now();
+            let index = IndexBuilder::new().ordering(ordering).build(&graph);
+            let stats = index.stats();
+            std::fs::write(index_path, index.encode())
+                .map_err(|e| format!("cannot write {index_path}: {e}"))?;
+            println!(
+                "built index for {} vertices / {} edges in {:.2?}: {} entries ({:.2} per vertex, {:.3} MiB) -> {index_path}",
+                graph.num_vertices(),
+                graph.num_edges(),
+                start.elapsed(),
+                stats.total_entries,
+                stats.avg_label_size,
+                stats.megabytes()
+            );
+            Ok(())
+        }
+        Some("stats") => {
+            let [_, graph_path] = positional[..] else {
+                return Err("stats requires <graph-file>".to_string());
+            };
+            let graph = load_graph(graph_path, use_dimacs)?;
+            let deg = analysis::degree_stats(&graph);
+            let comps = analysis::connected_components(&graph);
+            println!("vertices:            {}", graph.num_vertices());
+            println!("edges:               {}", graph.num_edges());
+            println!("distinct qualities:  {}", graph.num_distinct_qualities());
+            println!("degree min/med/max:  {}/{}/{}", deg.min, deg.median, deg.max);
+            println!("average degree:      {:.3}", deg.mean);
+            println!("components:          {}", analysis::num_components(&comps));
+            println!("largest component:   {}", analysis::largest_component_size(&comps));
+            Ok(())
+        }
+        Some("query") => {
+            let [_, graph_path, index_path, s, t, w] = positional[..] else {
+                return Err("query requires <graph-file> <index-file> <s> <t> <w>".to_string());
+            };
+            let graph = load_graph(graph_path, use_dimacs)?;
+            let data = std::fs::read(index_path).map_err(|e| format!("cannot read {index_path}: {e}"))?;
+            let index = WcIndex::decode(&data).map_err(|e| format!("corrupt index: {e}"))?;
+            if index.num_vertices() != graph.num_vertices() {
+                return Err(format!(
+                    "index covers {} vertices but the graph has {}",
+                    index.num_vertices(),
+                    graph.num_vertices()
+                ));
+            }
+            let s: VertexId = s.parse().map_err(|_| format!("invalid vertex {s:?}"))?;
+            let t: VertexId = t.parse().map_err(|_| format!("invalid vertex {t:?}"))?;
+            let w: Quality = w.parse().map_err(|_| format!("invalid constraint {w:?}"))?;
+            match index.distance(s, t, w) {
+                Some(d) => println!("dist_{w}({s}, {t}) = {d}"),
+                None => println!("dist_{w}({s}, {t}) = INF (no {w}-constrained path)"),
+            }
+            // Cross-check against the online oracle so the CLI doubles as a
+            // verification tool.
+            let oracle = wcsd::baselines::online::constrained_bfs(&graph, s, t, w);
+            if oracle != index.distance(s, t, w) {
+                return Err("index answer disagrees with the online BFS oracle".to_string());
+            }
+            Ok(())
+        }
+        _ => Err("missing or unknown subcommand".to_string()),
+    }
+}
+
+fn parse_ordering(args: &[String]) -> Result<OrderingStrategy, String> {
+    match args.iter().position(|a| a == "--ordering") {
+        None => Ok(OrderingStrategy::Hybrid),
+        Some(i) => match args.get(i + 1).map(|s| s.as_str()) {
+            Some("degree") => Ok(OrderingStrategy::Degree),
+            Some("tree") => Ok(OrderingStrategy::TreeDecomposition),
+            Some("hybrid") => Ok(OrderingStrategy::Hybrid),
+            other => Err(format!("unknown ordering {other:?} (expected degree|tree|hybrid)")),
+        },
+    }
+}
+
+fn load_graph(path: &str, use_dimacs: bool) -> Result<Graph, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    if use_dimacs {
+        dimacs::read_dimacs(reader).map_err(|e| format!("{path}: {e}"))
+    } else {
+        edge_list::read_edge_list(reader).map_err(|e| format!("{path}: {e}"))
+    }
+}

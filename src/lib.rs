@@ -1,0 +1,32 @@
+//! # wcsd — quality constrained shortest distance queries
+//!
+//! Umbrella crate re-exporting the whole workspace behind one dependency:
+//! the graph substrate ([`graph`]), vertex orderings ([`order`]), the
+//! WC-INDEX core ([`core`]) and the baselines ([`baselines`]).
+//!
+//! See the individual crates for detailed documentation, `README.md` for a
+//! guided tour, and the `examples/` directory for runnable scenarios.
+//!
+//! ```
+//! use wcsd::prelude::*;
+//!
+//! let graph = wcsd::graph::generators::paper_figure3();
+//! let index = IndexBuilder::wc_index_plus().build(&graph);
+//! assert_eq!(index.distance(2, 5, 2), Some(2));
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub use wcsd_baselines as baselines;
+pub use wcsd_core as core;
+pub use wcsd_graph as graph;
+pub use wcsd_order as order;
+
+/// Commonly used types, importable with a single `use wcsd::prelude::*`.
+pub mod prelude {
+    pub use wcsd_baselines::DistanceAlgorithm;
+    pub use wcsd_core::{ConstructionMode, IndexBuilder, QueryImpl, WcIndex};
+    pub use wcsd_graph::{Graph, GraphBuilder, Quality, QualityDomain, VertexId};
+    pub use wcsd_order::OrderingStrategy;
+}

@@ -1,0 +1,114 @@
+//! Integration tests that pin the repository to the paper's own worked
+//! examples: Example 1 (Figure 2), Examples 2–4 and Table II (Figure 3).
+
+use wcsd::prelude::*;
+use wcsd_core::LabelEntry;
+use wcsd_graph::generators::{paper_figure2, paper_figure3};
+use wcsd_graph::INF_QUALITY;
+use wcsd_order::natural_order;
+
+/// Example 1: dist¹(v0, v8) = 2 and dist²(v0, v8) = 3 on Figure 2's graph.
+#[test]
+fn example1_figure2_distances() {
+    let g = paper_figure2();
+    let idx = IndexBuilder::wc_index_plus().build(&g);
+    assert_eq!(idx.distance(0, 8, 1), Some(2));
+    assert_eq!(idx.distance(0, 8, 2), Some(3));
+}
+
+/// Example 3: query Q(v2, v5, 2) over Figure 3 returns 2.
+#[test]
+fn example3_figure3_query() {
+    let g = paper_figure3();
+    for builder in [
+        IndexBuilder::wc_index(),
+        IndexBuilder::wc_index_plus(),
+        IndexBuilder::new().ordering(OrderingStrategy::TreeDecomposition),
+    ] {
+        let idx = builder.build(&g);
+        assert_eq!(idx.distance(2, 5, 2), Some(2));
+    }
+}
+
+/// Table II: the exact WC-INDEX contents of Figure 3 under the natural vertex
+/// hierarchy (v0 the most important hub).
+#[test]
+fn table2_exact_index_contents() {
+    let g = paper_figure3();
+    let idx = IndexBuilder::new()
+        .ordering(OrderingStrategy::Natural)
+        .build_with_order(&g, natural_order(&g));
+
+    let expected: [&[(u32, u32, u32)]; 6] = [
+        &[(0, 0, INF_QUALITY)],
+        &[(0, 1, 3), (1, 0, INF_QUALITY)],
+        &[(0, 2, 3), (1, 1, 5), (2, 0, INF_QUALITY)],
+        &[(0, 1, 1), (0, 2, 2), (0, 3, 3), (1, 1, 2), (1, 2, 4), (2, 1, 4), (3, 0, INF_QUALITY)],
+        &[
+            (0, 2, 1),
+            (0, 3, 2),
+            (0, 4, 3),
+            (1, 2, 2),
+            (1, 3, 4),
+            (2, 2, 4),
+            (3, 1, 4),
+            (4, 0, INF_QUALITY),
+        ],
+        &[
+            (0, 2, 1),
+            (0, 3, 2),
+            (0, 5, 3),
+            (1, 2, 2),
+            (1, 4, 3),
+            (2, 2, 2),
+            (2, 3, 3),
+            (3, 1, 2),
+            (3, 2, 3),
+            (4, 1, 3),
+            (5, 0, INF_QUALITY),
+        ],
+    ];
+
+    for (v, want) in expected.iter().enumerate() {
+        let got: Vec<LabelEntry> = idx.labels(v as u32).entries().to_vec();
+        let want: Vec<LabelEntry> =
+            want.iter().map(|&(h, d, w)| LabelEntry::new(h, d, w)).collect();
+        assert_eq!(got, want, "L(v{v}) does not match Table II");
+    }
+}
+
+/// Example 2 (path dominance): the minimal paths the paper lists are exactly
+/// the distances the index reports.
+#[test]
+fn example2_path_dominance_consequences() {
+    let g = paper_figure3();
+    let idx = IndexBuilder::wc_index_plus().build(&g);
+    // {v0→v3→v4} is the minimal 1-path between v0 and v4 (length 2).
+    assert_eq!(idx.distance(0, 4, 1), Some(2));
+    // {v1→v2→v3} is both the minimal 3-path and minimal 4-path between v1, v3.
+    assert_eq!(idx.distance(1, 3, 3), Some(2));
+    assert_eq!(idx.distance(1, 3, 4), Some(2));
+    // {v1→v3} is the minimal 1- and 2-path (direct edge of quality 2).
+    assert_eq!(idx.distance(1, 3, 2), Some(1));
+}
+
+/// The constructed index is sound, complete and minimal on the paper graphs.
+#[test]
+fn figure_graphs_index_invariants() {
+    for g in [paper_figure2(), paper_figure3()] {
+        let idx = IndexBuilder::wc_index_plus().build(&g);
+        assert!(idx.dominated_entries().is_empty());
+        assert!(idx.unnecessary_entries().is_empty());
+        // Completeness / soundness versus the online oracle.
+        for s in 0..g.num_vertices() as u32 {
+            for t in 0..g.num_vertices() as u32 {
+                for &w in &g.distinct_qualities() {
+                    assert_eq!(
+                        idx.distance(s, t, w),
+                        wcsd::baselines::online::constrained_bfs(&g, s, t, w)
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests (proptest) for the core invariants of the system:
+//!
+//! * the index answers every query exactly like the online constrained BFS
+//!   oracle (soundness + completeness, Theorem 1/2);
+//! * no label entry is dominated by another entry of the same hub
+//!   (minimality, Theorem 1);
+//! * within one hub group, distance and quality are both strictly increasing
+//!   (Theorem 3);
+//! * reconstructed paths are valid `w`-paths of exactly the reported length;
+//! * graph snapshots and builders are lossless.
+
+use proptest::prelude::*;
+use wcsd::prelude::*;
+use wcsd_baselines::online::constrained_bfs;
+use wcsd_core::path::PathIndex;
+use wcsd_graph::Graph;
+
+/// Strategy: a random graph given as (vertex count, edge list with qualities).
+fn arb_graph(max_n: usize, max_edges: usize, max_q: u32) -> impl Strategy<Value = Graph> {
+    (2..=max_n).prop_flat_map(move |n| {
+        proptest::collection::vec(
+            (0..n as u32, 0..n as u32, 1..=max_q),
+            0..=max_edges,
+        )
+        .prop_map(move |edges| {
+            let mut b = GraphBuilder::new(n);
+            for (u, v, q) in edges {
+                b.add_edge(u, v, q);
+            }
+            b.build()
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The index agrees with the BFS oracle on every vertex pair and level.
+    #[test]
+    fn index_matches_oracle(g in arb_graph(28, 90, 5)) {
+        let idx = IndexBuilder::wc_index_plus().build(&g);
+        let levels = g.distinct_qualities();
+        for s in 0..g.num_vertices() as u32 {
+            for t in 0..g.num_vertices() as u32 {
+                for &w in &levels {
+                    prop_assert_eq!(idx.distance(s, t, w), constrained_bfs(&g, s, t, w));
+                }
+                // A constraint stricter than every edge is satisfiable only
+                // for s == t.
+                let too_strict = levels.last().copied().unwrap_or(1) + 1;
+                let expected = (s == t).then_some(0);
+                prop_assert_eq!(idx.distance(s, t, too_strict), expected);
+            }
+        }
+    }
+
+    /// Minimality: no entry is dominated by another entry of the same hub, in
+    /// any label set, for any ordering strategy.
+    #[test]
+    fn index_is_minimal(g in arb_graph(24, 70, 4), use_degree in any::<bool>()) {
+        let strat = if use_degree { OrderingStrategy::Degree } else { OrderingStrategy::Hybrid };
+        let idx = IndexBuilder::new().ordering(strat).build(&g);
+        prop_assert!(idx.dominated_entries().is_empty());
+    }
+
+    /// Theorem 3: within one vertex's entries for one hub, distances and
+    /// qualities are strictly co-monotone.
+    #[test]
+    fn theorem3_label_ordering(g in arb_graph(24, 70, 5)) {
+        let idx = IndexBuilder::wc_index_plus().build(&g);
+        for v in 0..g.num_vertices() as u32 {
+            for (_, group) in idx.labels(v).hub_groups() {
+                for pair in group.windows(2) {
+                    prop_assert!(pair[0].dist < pair[1].dist);
+                    prop_assert!(pair[0].quality < pair[1].quality);
+                }
+            }
+        }
+    }
+
+    /// All three query implementations return identical answers.
+    #[test]
+    fn query_implementations_agree(g in arb_graph(20, 60, 4)) {
+        let idx = IndexBuilder::wc_index_plus().build(&g);
+        let levels = g.distinct_qualities();
+        for s in 0..g.num_vertices() as u32 {
+            for t in 0..g.num_vertices() as u32 {
+                for &w in &levels {
+                    let a = idx.distance_with(s, t, w, QueryImpl::PairScan);
+                    let b = idx.distance_with(s, t, w, QueryImpl::HubBucket);
+                    let c = idx.distance_with(s, t, w, QueryImpl::Merge);
+                    prop_assert_eq!(a, b);
+                    prop_assert_eq!(b, c);
+                }
+            }
+        }
+    }
+
+    /// Reconstructed paths are valid w-paths of exactly the reported length.
+    #[test]
+    fn paths_are_valid(g in arb_graph(20, 55, 4)) {
+        let pidx = PathIndex::build(&g);
+        let levels = g.distinct_qualities();
+        for s in 0..g.num_vertices() as u32 {
+            for t in 0..g.num_vertices() as u32 {
+                for &w in &levels {
+                    match (constrained_bfs(&g, s, t, w), pidx.shortest_path(s, t, w)) {
+                        (None, p) => prop_assert!(p.is_none()),
+                        (Some(d), Some(path)) => {
+                            prop_assert_eq!(path.len() as u32 - 1, d);
+                            prop_assert_eq!(*path.first().unwrap(), s);
+                            prop_assert_eq!(*path.last().unwrap(), t);
+                            for pair in path.windows(2) {
+                                let q = g.edge_quality(pair[0], pair[1]);
+                                prop_assert!(q.is_some());
+                                prop_assert!(q.unwrap() >= w);
+                            }
+                        }
+                        (Some(_), None) => prop_assert!(false, "path missing"),
+                    }
+                }
+            }
+        }
+    }
+
+    /// Monotonicity in the constraint: strengthening w never shortens the
+    /// distance, and weakening it never lengthens it.
+    #[test]
+    fn distance_is_monotone_in_constraint(g in arb_graph(24, 70, 5)) {
+        let idx = IndexBuilder::wc_index_plus().build(&g);
+        for s in 0..g.num_vertices() as u32 {
+            for t in 0..g.num_vertices() as u32 {
+                let mut prev: Option<u32> = Some(0);
+                let mut prev_reachable = true;
+                for w in 1..=5u32 {
+                    let d = idx.distance(s, t, w);
+                    if let (Some(p), Some(cur)) = (prev, d) {
+                        prop_assert!(cur >= p, "Q({s},{t},{w}) shrank from {p} to {cur}");
+                    }
+                    // Once unreachable, stricter constraints stay unreachable.
+                    if !prev_reachable {
+                        prop_assert!(d.is_none());
+                    }
+                    prev_reachable = d.is_some();
+                    prev = d.or(prev);
+                }
+            }
+        }
+    }
+
+    /// Graph snapshot encode/decode is lossless.
+    #[test]
+    fn snapshot_roundtrip(g in arb_graph(30, 120, 6)) {
+        let bytes = wcsd::graph::io::snapshot::encode(&g);
+        let decoded = wcsd::graph::io::snapshot::decode(&bytes).unwrap();
+        prop_assert_eq!(g, decoded);
+    }
+
+    /// The builder collapses parallel edges to the maximum quality and the
+    /// resulting adjacency is symmetric.
+    #[test]
+    fn builder_invariants(edges in proptest::collection::vec((0u32..15, 0u32..15, 1u32..6), 0..80)) {
+        let mut b = GraphBuilder::new(15);
+        for (u, v, q) in &edges {
+            b.add_edge(*u, *v, *q);
+        }
+        let g = b.build();
+        prop_assert_eq!(g.num_vertices(), 15);
+        for e in g.edges() {
+            // Symmetry.
+            prop_assert_eq!(g.edge_quality(e.v, e.u), Some(e.quality));
+            // Max-quality merge.
+            let best = edges
+                .iter()
+                .filter(|(u, v, _)| (*u == e.u && *v == e.v) || (*u == e.v && *v == e.u))
+                .map(|(_, _, q)| *q)
+                .max();
+            prop_assert_eq!(best, Some(e.quality));
+        }
+    }
+}
