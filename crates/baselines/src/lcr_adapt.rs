@@ -13,13 +13,12 @@
 //! for the non-dominance-aware competitors.
 
 use crate::DistanceAlgorithm;
-use serde::{Deserialize, Serialize};
 use wcsd_graph::{Distance, Graph, Quality, VertexId, INF_DIST};
 use wcsd_order::{degree_order, VertexOrder};
 
 /// One LCR-adapt entry: the distance to `hub` using only edges of quality
 /// `>= level`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LcrEntry {
     /// The hub vertex.
     pub hub: VertexId,
@@ -30,7 +29,7 @@ pub struct LcrEntry {
 }
 
 /// Label-constrained-reachability style index adapted to quality constraints.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct LcrAdaptIndex {
     levels: Vec<Quality>,
     labels: Vec<Vec<LcrEntry>>,
@@ -70,9 +69,7 @@ impl LcrAdaptIndex {
                     }
                     if u != root {
                         labels[u as usize].push(LcrEntry { hub: root, level, dist: du });
-                    } else if !labels[u as usize]
-                        .iter()
-                        .any(|e| e.hub == root && e.level == level)
+                    } else if !labels[u as usize].iter().any(|e| e.hub == root && e.level == level)
                     {
                         labels[u as usize].push(LcrEntry { hub: root, level, dist: 0 });
                     }
@@ -118,10 +115,7 @@ impl LcrAdaptIndex {
 
     /// Approximate resident size in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.labels
-            .iter()
-            .map(|l| l.capacity() * std::mem::size_of::<LcrEntry>())
-            .sum()
+        self.labels.iter().map(|l| l.capacity() * std::mem::size_of::<LcrEntry>()).sum()
     }
 }
 

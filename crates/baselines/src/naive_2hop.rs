@@ -21,10 +21,7 @@ impl NaiveWIndex {
     /// Builds `|w|` PLL indexes, one per quality-filtered subgraph.
     pub fn build(g: &Graph) -> Self {
         let levels = g.distinct_qualities();
-        let indexes = levels
-            .iter()
-            .map(|&w| PllIndex::build(&g.filter_by_quality(w)))
-            .collect();
+        let indexes = levels.iter().map(|&w| PllIndex::build(&g.filter_by_quality(w))).collect();
         Self { levels, indexes }
     }
 

@@ -2,12 +2,11 @@
 //! distances — the substrate both the Naïve baseline and the LCR adaptation
 //! build on, and the state of the art the paper extends.
 
-use serde::{Deserialize, Serialize};
 use wcsd_graph::{Distance, Graph, VertexId, INF_DIST};
 use wcsd_order::VertexOrder;
 
 /// One PLL label entry `(hub, dist)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PllEntry {
     /// The hub vertex.
     pub hub: VertexId,
@@ -17,7 +16,7 @@ pub struct PllEntry {
 
 /// A pruned landmark labeling index over an unweighted graph (qualities are
 /// ignored).
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PllIndex {
     labels: Vec<Vec<PllEntry>>,
 }
@@ -43,7 +42,8 @@ impl PllIndex {
                 let du = dist[u as usize];
                 // Prune if an earlier hub already certifies a path of length
                 // <= du between root and u.
-                if u != root && Self::query_entries(&labels[root as usize], &labels[u as usize]) <= du
+                if u != root
+                    && Self::query_entries(&labels[root as usize], &labels[u as usize]) <= du
                 {
                     continue;
                 }
@@ -105,10 +105,7 @@ impl PllIndex {
 
     /// Approximate resident size in bytes.
     pub fn memory_bytes(&self) -> usize {
-        self.labels
-            .iter()
-            .map(|l| l.capacity() * std::mem::size_of::<PllEntry>())
-            .sum::<usize>()
+        self.labels.iter().map(|l| l.capacity() * std::mem::size_of::<PllEntry>()).sum::<usize>()
             + self.labels.capacity() * std::mem::size_of::<Vec<PllEntry>>()
     }
 }
@@ -117,7 +114,9 @@ impl PllIndex {
 mod tests {
     use super::*;
     use wcsd_graph::analysis::bfs_distances;
-    use wcsd_graph::generators::{barabasi_albert, paper_figure3, road_grid, QualityAssigner, RoadGridConfig};
+    use wcsd_graph::generators::{
+        barabasi_albert, paper_figure3, road_grid, QualityAssigner, RoadGridConfig,
+    };
 
     fn assert_matches_bfs(g: &Graph) {
         let idx = PllIndex::build(g);

@@ -20,11 +20,9 @@ fn bench_ordering(c: &mut Criterion) {
     for (kind, d) in datasets {
         let g = d.generate();
         for strat in strategies {
-            group.bench_with_input(
-                BenchmarkId::new(strat.name(), kind),
-                &g,
-                |b, g| b.iter(|| IndexBuilder::new().ordering(strat).build(g)),
-            );
+            group.bench_with_input(BenchmarkId::new(strat.name(), kind), &g, |b, g| {
+                b.iter(|| IndexBuilder::new().ordering(strat).build(g))
+            });
         }
     }
     group.finish();

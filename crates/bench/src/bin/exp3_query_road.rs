@@ -11,8 +11,7 @@ use wcsd_bench::{Dataset, QueryWorkload, Scale};
 
 fn main() {
     let scale = Scale::parse(&std::env::args().nth(1).unwrap_or_default());
-    let num_queries: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let num_queries: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10_000);
     let mut results = Vec::new();
     for d in Dataset::road_suite(scale) {
         let g = d.generate();

@@ -10,8 +10,7 @@ use wcsd_bench::{Dataset, QueryWorkload, Scale};
 
 fn main() {
     let scale = Scale::parse(&std::env::args().nth(1).unwrap_or_default());
-    let num_queries: usize =
-        std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let num_queries: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10_000);
     let mut indexing = Vec::new();
     let mut queries = Vec::new();
     for d in Dataset::social_suite(scale) {

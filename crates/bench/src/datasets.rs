@@ -6,12 +6,11 @@
 //! growing size and density. Every dataset is generated deterministically from
 //! its name, so results are reproducible across runs.
 
-use serde::{Deserialize, Serialize};
 use wcsd_graph::generators::{barabasi_albert, road_grid, QualityAssigner, RoadGridConfig};
 use wcsd_graph::{Graph, Quality};
 
 /// Dataset family: which real-world class the synthetic graph substitutes for.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DatasetKind {
     /// Near-planar, low-degree, large-diameter (DIMACS road networks).
     Road,
@@ -21,7 +20,7 @@ pub enum DatasetKind {
 
 /// Overall experiment scale; controls the vertex counts of every dataset so
 /// the whole suite finishes in seconds (`Tiny`) to minutes (`Large`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
     /// Smallest sizes, used by integration tests and CI.
     Tiny,
@@ -65,7 +64,7 @@ impl Scale {
 }
 
 /// A named synthetic dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct Dataset {
     /// Short name, mirroring the paper's dataset abbreviations.
     pub name: String,
@@ -164,9 +163,7 @@ impl Dataset {
             DatasetKind::Road => {
                 road_grid(&RoadGridConfig::square(self.base_size), &qualities, self.seed)
             }
-            DatasetKind::Social => {
-                barabasi_albert(self.base_size.max(8), 5, &qualities, self.seed)
-            }
+            DatasetKind::Social => barabasi_albert(self.base_size.max(8), 5, &qualities, self.seed),
         }
     }
 }

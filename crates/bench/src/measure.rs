@@ -5,17 +5,14 @@
 //! which is exactly the protocol behind the paper's Figures 5–12.
 
 use crate::workload::QueryWorkload;
-use serde::{Deserialize, Serialize};
 use std::time::Instant;
-use wcsd_baselines::{
-    online, DistanceAlgorithm, LcrAdaptIndex, NaiveWIndex, PartitionedGraphs,
-};
+use wcsd_baselines::{online, DistanceAlgorithm, LcrAdaptIndex, NaiveWIndex, PartitionedGraphs};
 use wcsd_core::{ConstructionMode, IndexBuilder, WcIndex};
 use wcsd_graph::Graph;
 use wcsd_order::OrderingStrategy;
 
 /// Every method the experiments compare.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MethodKind {
     /// Online constrained BFS on the original graph.
     CBfs,
@@ -59,7 +56,7 @@ impl MethodKind {
 }
 
 /// Result of building one index-based method on one dataset.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct IndexingResult {
     /// Dataset name.
     pub dataset: String,
@@ -74,7 +71,7 @@ pub struct IndexingResult {
 }
 
 /// Result of replaying a query workload against one method.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QueryResult {
     /// Dataset name.
     pub dataset: String,
@@ -211,7 +208,12 @@ mod tests {
         for &(s, t, w) in workload.queries() {
             let reference = builds[0].1.distance(s, t, w);
             for (m, b) in &builds {
-                assert_eq!(b.distance(s, t, w), reference, "{} disagrees on Q({s},{t},{w})", m.name());
+                assert_eq!(
+                    b.distance(s, t, w),
+                    reference,
+                    "{} disagrees on Q({s},{t},{w})",
+                    m.name()
+                );
             }
         }
     }

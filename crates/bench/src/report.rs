@@ -2,7 +2,6 @@
 //! the paper's figures plot.
 
 use crate::measure::{IndexingResult, QueryResult};
-use serde::Serialize;
 
 /// Renders a plain-text table with one row per dataset and one column per
 /// method, from `(dataset, method, value)` cells.
@@ -40,10 +39,7 @@ pub fn render_matrix(
 pub fn indexing_time_table(title: &str, results: &[IndexingResult]) -> String {
     let (datasets, methods) = axes(results.iter().map(|r| (r.dataset.clone(), r.method.clone())));
     render_matrix(title, "seconds", &datasets, &methods, |d, m| {
-        results
-            .iter()
-            .find(|r| r.dataset == d && r.method == m)
-            .map(|r| r.build_seconds)
+        results.iter().find(|r| r.dataset == d && r.method == m).map(|r| r.build_seconds)
     })
 }
 
@@ -62,16 +58,89 @@ pub fn index_size_table(title: &str, results: &[IndexingResult]) -> String {
 pub fn query_time_table(title: &str, results: &[QueryResult]) -> String {
     let (datasets, methods) = axes(results.iter().map(|r| (r.dataset.clone(), r.method.clone())));
     render_matrix(title, "µs/query", &datasets, &methods, |d, m| {
-        results
-            .iter()
-            .find(|r| r.dataset == d && r.method == m)
-            .map(|r| r.avg_query_us)
+        results.iter().find(|r| r.dataset == d && r.method == m).map(|r| r.avg_query_us)
     })
 }
 
+/// Result records that can render themselves as a JSON object.
+///
+/// Hand-rolled (rather than serde-derived) because the build environment has
+/// no registry access; the two record types below are flat structs of strings
+/// and numbers, so the JSON is trivial to emit directly.
+pub trait JsonRecord {
+    /// Renders the record as `"key": value` pairs, without surrounding braces.
+    fn json_fields(&self) -> Vec<(&'static str, String)>;
+}
+
+impl JsonRecord for IndexingResult {
+    fn json_fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("dataset", json_string(&self.dataset)),
+            ("method", json_string(&self.method)),
+            ("build_seconds", json_f64(self.build_seconds)),
+            ("index_bytes", self.index_bytes.to_string()),
+            ("entries", self.entries.to_string()),
+        ]
+    }
+}
+
+impl JsonRecord for QueryResult {
+    fn json_fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("dataset", json_string(&self.dataset)),
+            ("method", json_string(&self.method)),
+            ("avg_query_us", json_f64(self.avg_query_us)),
+            ("queries", self.queries.to_string()),
+            ("reachable", self.reachable.to_string()),
+        ]
+    }
+}
+
 /// Serializes any result list as pretty JSON for machine post-processing.
-pub fn to_json<T: Serialize>(results: &[T]) -> String {
-    serde_json::to_string_pretty(results).expect("results are always serializable")
+pub fn to_json<T: JsonRecord>(results: &[T]) -> String {
+    let mut out = String::from("[");
+    for (i, r) in results.iter().enumerate() {
+        out.push_str(if i == 0 { "\n  {\n" } else { ",\n  {\n" });
+        let fields = r.json_fields();
+        for (j, (key, value)) in fields.iter().enumerate() {
+            out.push_str(&format!("    \"{key}\": {value}"));
+            out.push_str(if j + 1 == fields.len() { "\n" } else { ",\n" });
+        }
+        out.push_str("  }");
+    }
+    out.push_str("\n]");
+    out
+}
+
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        // Always include a decimal point so the value parses as a float.
+        if v.fract() == 0.0 && v.abs() < 1e15 {
+            format!("{v:.1}")
+        } else {
+            format!("{v}")
+        }
+    } else {
+        "null".to_string()
+    }
 }
 
 fn axes(pairs: impl Iterator<Item = (String, String)>) -> (Vec<String>, Vec<String>) {
@@ -125,13 +194,13 @@ mod tests {
 
     #[test]
     fn missing_cells_render_as_inf() {
-        let t = render_matrix(
-            "x",
-            "u",
-            &["A".into()],
-            &["m1".into(), "m2".into()],
-            |_, m| if m == "m1" { Some(1.0) } else { None },
-        );
+        let t = render_matrix("x", "u", &["A".into()], &["m1".into(), "m2".into()], |_, m| {
+            if m == "m1" {
+                Some(1.0)
+            } else {
+                None
+            }
+        });
         assert!(t.contains("INF"));
     }
 

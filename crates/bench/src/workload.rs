@@ -2,11 +2,10 @@
 //! queries per dataset and reports the average time.
 
 use rand::{Rng, SeedableRng};
-use serde::{Deserialize, Serialize};
 use wcsd_graph::{Graph, Quality, VertexId};
 
 /// A reproducible batch of `(s, t, w)` queries.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct QueryWorkload {
     queries: Vec<(VertexId, VertexId, Quality)>,
 }

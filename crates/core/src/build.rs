@@ -30,12 +30,11 @@
 
 use crate::index::WcIndex;
 use crate::label::{LabelEntry, LabelSet};
-use serde::{Deserialize, Serialize};
 use wcsd_graph::{Distance, Graph, Quality, VertexId, INF_QUALITY};
 use wcsd_order::{OrderingStrategy, VertexOrder};
 
 /// Which cover-query implementation the builder uses (WC-INDEX vs WC-INDEX+).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ConstructionMode {
     /// Basic WC-INDEX: pairwise cover queries.
     Basic,
@@ -45,7 +44,7 @@ pub enum ConstructionMode {
 }
 
 /// Configuration of [`IndexBuilder`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct BuildConfig {
     /// Vertex ordering strategy (Section IV.D).
     pub ordering: OrderingStrategy,
@@ -86,7 +85,12 @@ impl IndexBuilder {
 
     /// The paper's basic WC-INDEX configuration with degree ordering.
     pub fn wc_index() -> Self {
-        Self { config: BuildConfig { ordering: OrderingStrategy::Degree, mode: ConstructionMode::Basic } }
+        Self {
+            config: BuildConfig {
+                ordering: OrderingStrategy::Degree,
+                mode: ConstructionMode::Basic,
+            },
+        }
     }
 
     /// The paper's WC-INDEX+ configuration: query-efficient construction and
@@ -310,10 +314,7 @@ impl<'g> BuildState<'g> {
                 continue;
             }
             for er in lr {
-                if er.hub == eu.hub
-                    && er.quality >= w
-                    && er.dist.saturating_add(eu.dist) <= d
-                {
+                if er.hub == eu.hub && er.quality >= w && er.dist.saturating_add(eu.dist) <= d {
                     return true;
                 }
             }
@@ -458,9 +459,7 @@ mod tests {
         // hierarchy (v0 most important). Our natural order uses vertex 0 as
         // the most important hub as well, so label counts must match.
         let g = paper_figure3();
-        let idx = IndexBuilder::new()
-            .ordering(OrderingStrategy::Natural)
-            .build(&g);
+        let idx = IndexBuilder::new().ordering(OrderingStrategy::Natural).build(&g);
         let sizes: Vec<usize> = (0..6).map(|v| idx.labels(v).len()).collect();
         assert_eq!(sizes, vec![1, 2, 3, 7, 8, 11]);
         assert_matches_oracle(&g, &idx);
@@ -470,12 +469,10 @@ mod tests {
     fn both_modes_produce_identical_indexes() {
         let g = paper_figure2();
         let order = natural_order(&g);
-        let basic = IndexBuilder::new()
-            .mode(ConstructionMode::Basic)
-            .build_with_order(&g, order.clone());
-        let plus = IndexBuilder::new()
-            .mode(ConstructionMode::QueryEfficient)
-            .build_with_order(&g, order);
+        let basic =
+            IndexBuilder::new().mode(ConstructionMode::Basic).build_with_order(&g, order.clone());
+        let plus =
+            IndexBuilder::new().mode(ConstructionMode::QueryEfficient).build_with_order(&g, order);
         assert_eq!(basic.total_entries(), plus.total_entries());
         for v in 0..g.num_vertices() as VertexId {
             assert_eq!(basic.labels(v), plus.labels(v), "labels differ at vertex {v}");

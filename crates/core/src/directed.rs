@@ -8,12 +8,11 @@
 
 use crate::label::{LabelEntry, LabelSet};
 use crate::query;
-use serde::{Deserialize, Serialize};
 use wcsd_graph::{DiGraph, Distance, Quality, VertexId, INF_DIST, INF_QUALITY};
 use wcsd_order::VertexOrder;
 
 /// 2-hop index for directed quality-labelled graphs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct DirectedWcIndex {
     l_out: Vec<LabelSet>,
     l_in: Vec<LabelSet>,
@@ -26,9 +25,7 @@ impl DirectedWcIndex {
     /// (out-degree + in-degree, non-ascending).
     pub fn build(g: &DiGraph) -> Self {
         let mut by_degree: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
-        by_degree.sort_by_key(|&v| {
-            (std::cmp::Reverse(g.out_degree(v) + g.in_degree(v)), v)
-        });
+        by_degree.sort_by_key(|&v| (std::cmp::Reverse(g.out_degree(v) + g.in_degree(v)), v));
         Self::build_with_order(g, VertexOrder::from_permutation(by_degree))
     }
 

@@ -77,7 +77,8 @@ impl DynamicWcIndex {
             }
         }
         self.edges.push((a, b, q));
-        self.graph = rebuild_graph(&self.edges, self.graph.num_vertices().max(a.max(b) as usize + 1));
+        self.graph =
+            rebuild_graph(&self.edges, self.graph.num_vertices().max(a.max(b) as usize + 1));
         self.incremental_insert(a, b, q);
         true
     }
@@ -139,12 +140,8 @@ impl DynamicWcIndex {
                 if w <= best_quality[u as usize] {
                     continue;
                 }
-                let covered = query::covered(
-                    self.index.labels(root),
-                    self.index.labels(u),
-                    w,
-                    dist,
-                );
+                let covered =
+                    query::covered(self.index.labels(root), self.index.labels(u), w, dist);
                 if covered {
                     continue;
                 }

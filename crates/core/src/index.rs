@@ -4,12 +4,11 @@
 use crate::label::{LabelEntry, LabelSet};
 use crate::query;
 use crate::stats::IndexStats;
-use serde::{Deserialize, Serialize};
 use wcsd_graph::{Distance, Quality, VertexId, INF_DIST};
 use wcsd_order::VertexOrder;
 
 /// Which query implementation to use (Section IV.C ablation).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QueryImpl {
     /// Algorithm 2: scan all entry pairs.
     PairScan,
@@ -24,7 +23,7 @@ pub enum QueryImpl {
 ///
 /// Construct one with [`crate::build::IndexBuilder`]. Queries never touch the
 /// graph again: only the two relevant label sets are inspected.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WcIndex {
     labels: Vec<LabelSet>,
     order: VertexOrder,

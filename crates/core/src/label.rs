@@ -6,11 +6,10 @@
 //! sorted by ascending distance; by Theorem 3 the qualities are then ascending
 //! as well, which is what makes the `Query⁺` binary search correct.
 
-use serde::{Deserialize, Serialize};
 use wcsd_graph::{Distance, Quality, VertexId};
 
 /// One 2-hop index entry `(hub, dist, quality)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct LabelEntry {
     /// The hub vertex `v`.
     pub hub: VertexId,
@@ -42,7 +41,7 @@ impl LabelEntry {
 /// contiguous *group*; within a group both `dist` and `quality` are strictly
 /// increasing (Theorem 3), so the group is a Pareto frontier of
 /// (distance, quality) trade-offs.
-#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct LabelSet {
     entries: Vec<LabelEntry>,
 }
@@ -127,12 +126,10 @@ impl LabelSet {
     /// of the same hub — i.e. the set violates the minimality invariant.
     pub fn has_dominated_entry(&self) -> bool {
         self.hub_groups().any(|(_, group)| {
-            group.iter().enumerate().any(|(i, a)| {
-                group
-                    .iter()
-                    .enumerate()
-                    .any(|(j, b)| i != j && b.dominates(a))
-            })
+            group
+                .iter()
+                .enumerate()
+                .any(|(i, a)| group.iter().enumerate().any(|(j, b)| i != j && b.dominates(a)))
         })
     }
 

@@ -2,12 +2,12 @@
 //!
 //! The paper's query workloads are 10,000 independent point queries; because
 //! a built [`WcIndex`] is immutable, they parallelise trivially. This module
-//! provides a scoped-thread fan-out (crossbeam) that answers a batch across a
-//! fixed number of worker threads, which the benchmark harness and the
-//! examples use for large workloads.
+//! provides a scoped-thread fan-out ([`std::thread::scope`]) that answers a
+//! batch across a fixed number of worker threads, which the benchmark harness
+//! and the examples use for large workloads.
 
 use crate::index::{QueryImpl, WcIndex};
-use parking_lot::Mutex;
+use std::sync::Mutex;
 use wcsd_graph::{Distance, Quality, VertexId};
 
 /// Answers a batch of `(s, t, w)` queries using `num_threads` worker threads.
@@ -51,24 +51,24 @@ pub fn par_distances_with(
     // which worker finishes first.
     let results: Mutex<Vec<Option<Option<Distance>>>> = Mutex::new(vec![None; queries.len()]);
 
-    crossbeam::thread::scope(|scope| {
+    std::thread::scope(|scope| {
         for (chunk_idx, chunk) in queries.chunks(chunk_size).enumerate() {
             let results = &results;
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let base = chunk_idx * chunk_size;
                 let local: Vec<Option<Distance>> =
                     chunk.iter().map(|&(s, t, w)| index.distance_with(s, t, w, imp)).collect();
-                let mut guard = results.lock();
+                let mut guard = results.lock().expect("query workers never panic");
                 for (offset, answer) in local.into_iter().enumerate() {
                     guard[base + offset] = Some(answer);
                 }
             });
         }
-    })
-    .expect("query workers never panic");
+    });
 
     results
         .into_inner()
+        .expect("query workers never panic")
         .into_iter()
         .map(|slot| slot.expect("every slot is filled by exactly one worker"))
         .collect()
@@ -86,8 +86,7 @@ mod tests {
         let index = IndexBuilder::wc_index_plus().build(&g);
         let queries: Vec<(u32, u32, u32)> =
             (0..500).map(|i| (i % 200, (i * 7 + 3) % 200, i % 5 + 1)).collect();
-        let sequential: Vec<_> =
-            queries.iter().map(|&(s, t, w)| index.distance(s, t, w)).collect();
+        let sequential: Vec<_> = queries.iter().map(|&(s, t, w)| index.distance(s, t, w)).collect();
         for threads in [1, 2, 4, 7] {
             assert_eq!(par_distances(&index, &queries, threads), sequential, "{threads} threads");
         }

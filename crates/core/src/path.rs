@@ -7,12 +7,11 @@
 //! parents from both endpoints towards the meeting hub.
 
 use crate::label::LabelSet;
-use serde::{Deserialize, Serialize};
 use wcsd_graph::{Distance, Graph, Quality, VertexId, INF_QUALITY};
 use wcsd_order::{OrderingStrategy, VertexOrder};
 
 /// A label quad `(hub, dist, quality, parent)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PathLabelEntry {
     /// The hub vertex.
     pub hub: VertexId,
@@ -26,7 +25,7 @@ pub struct PathLabelEntry {
 }
 
 /// Per-vertex quad label set, kept sorted by `(hub, dist)`.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 struct PathLabelSet {
     entries: Vec<PathLabelEntry>,
 }
@@ -62,7 +61,7 @@ impl PathLabelSet {
 /// assert_eq!(path.last(), Some(&5));
 /// assert_eq!(path.len() - 1, 2); // dist²(v2, v5) = 2
 /// ```
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct PathIndex {
     labels: Vec<PathLabelSet>,
     #[allow(dead_code)]
@@ -203,10 +202,9 @@ impl PathIndex {
             } else {
                 let ia = skip(a, i);
                 let jb = skip(b, j);
-                if let (Some(ea), Some(eb)) = (
-                    PathLabelSet::min_entry(&a[i..ia], w),
-                    PathLabelSet::min_entry(&b[j..jb], w),
-                ) {
+                if let (Some(ea), Some(eb)) =
+                    (PathLabelSet::min_entry(&a[i..ia], w), PathLabelSet::min_entry(&b[j..jb], w))
+                {
                     let d = ea.dist.saturating_add(eb.dist);
                     if best.map_or(true, |(_, bd)| d < bd) {
                         best = Some((ha, d));

@@ -100,7 +100,10 @@ fn skip_group(entries: &[LabelEntry], idx: usize) -> usize {
 /// does the current index already certify a `w`-path between the two vertices
 /// of length at most `d`?
 pub fn covered(ls: &LabelSet, lt: &LabelSet, w: Quality, d: Distance) -> bool {
-    query_merge(ls, lt, w) <= d
+    // `query_merge` signals "no w-path" with `INF_DIST`, which must not count
+    // as covered even for the loosest possible bound `d == INF_DIST`.
+    let dist = query_merge(ls, lt, w);
+    dist != INF_DIST && dist <= d
 }
 
 #[cfg(test)]

@@ -2,10 +2,9 @@
 //! Exp 5b) of the paper's evaluation.
 
 use crate::label::{LabelEntry, LabelSet};
-use serde::{Deserialize, Serialize};
 
 /// Aggregate size statistics of a WC-INDEX.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct IndexStats {
     /// Number of vertices covered.
     pub num_vertices: usize,

@@ -9,14 +9,13 @@
 
 use crate::label::{LabelEntry, LabelSet};
 use crate::query;
-use serde::{Deserialize, Serialize};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use wcsd_graph::{Distance, Quality, VertexId, WeightedGraph, INF_DIST, INF_QUALITY};
 use wcsd_order::VertexOrder;
 
 /// 2-hop index for weighted quality-labelled graphs.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct WeightedWcIndex {
     labels: Vec<LabelSet>,
     #[allow(dead_code)]
@@ -142,7 +141,13 @@ mod tests {
         None
     }
 
-    fn random_weighted(n: usize, edges: usize, levels: u32, max_len: u32, seed: u64) -> WeightedGraph {
+    fn random_weighted(
+        n: usize,
+        edges: usize,
+        levels: u32,
+        max_len: u32,
+        seed: u64,
+    ) -> WeightedGraph {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         let mut b = WeightedGraphBuilder::new(n);
         for _ in 0..edges {

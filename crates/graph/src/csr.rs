@@ -6,13 +6,12 @@
 //! minimal: three `Vec`s, no per-vertex allocation, and `u32` ids throughout.
 
 use crate::types::{Edge, Quality, VertexId};
-use serde::{Deserialize, Serialize};
 
 /// An immutable undirected graph `G(V, E, Δ, δ)` in CSR form.
 ///
 /// Build one with [`crate::GraphBuilder`], a generator from
 /// [`crate::generators`], or a parser from [`crate::io`].
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Graph {
     /// `offsets[v]..offsets[v+1]` is the adjacency slice of vertex `v`.
     offsets: Vec<usize>,
@@ -134,9 +133,7 @@ impl Graph {
     /// Iterates over every undirected edge exactly once (`u < v`).
     pub fn edges(&self) -> impl Iterator<Item = Edge> + '_ {
         (0..self.num_vertices() as VertexId).flat_map(move |u| {
-            self.neighbors(u)
-                .filter(move |(v, _)| *v > u)
-                .map(move |(v, q)| Edge::new(u, v, q))
+            self.neighbors(u).filter(move |(v, _)| *v > u).map(move |(v, q)| Edge::new(u, v, q))
         })
     }
 

@@ -6,10 +6,9 @@
 //! reverse CSR).
 
 use crate::types::{Quality, VertexId};
-use serde::{Deserialize, Serialize};
 
 /// An immutable directed graph whose arcs carry quality values.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DiGraph {
     out_offsets: Vec<usize>,
     out_neighbors: Vec<VertexId>,
@@ -102,8 +101,11 @@ impl DiGraph {
                 (&self.in_offsets, &mut self.in_neighbors, &mut self.in_qualities),
             ] {
                 let (lo, hi) = (offsets[v], offsets[v + 1]);
-                let mut pairs: Vec<(VertexId, Quality)> =
-                    neighbors[lo..hi].iter().copied().zip(qualities[lo..hi].iter().copied()).collect();
+                let mut pairs: Vec<(VertexId, Quality)> = neighbors[lo..hi]
+                    .iter()
+                    .copied()
+                    .zip(qualities[lo..hi].iter().copied())
+                    .collect();
                 pairs.sort_unstable_by_key(|p| p.0);
                 for (i, (nb, q)) in pairs.into_iter().enumerate() {
                     neighbors[lo + i] = nb;
@@ -157,10 +159,7 @@ impl DiGraph {
     pub fn arc_quality(&self, u: VertexId, v: VertexId) -> Option<Quality> {
         let lo = self.out_offsets[u as usize];
         let hi = self.out_offsets[u as usize + 1];
-        self.out_neighbors[lo..hi]
-            .binary_search(&v)
-            .ok()
-            .map(|i| self.out_qualities[lo + i])
+        self.out_neighbors[lo..hi].binary_search(&v).ok().map(|i| self.out_qualities[lo + i])
     }
 
     /// Converts an undirected [`crate::Graph`] into a symmetric digraph

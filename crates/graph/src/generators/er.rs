@@ -104,10 +104,7 @@ mod tests {
         let g = erdos_renyi(n, p, &QualityAssigner::uniform(3), 42);
         let expected = p * (n * (n - 1) / 2) as f64;
         let actual = g.num_edges() as f64;
-        assert!(
-            (actual - expected).abs() < 0.25 * expected,
-            "expected ≈ {expected}, got {actual}"
-        );
+        assert!((actual - expected).abs() < 0.25 * expected, "expected ≈ {expected}, got {actual}");
     }
 
     #[test]

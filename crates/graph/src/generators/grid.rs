@@ -49,10 +49,7 @@ impl RoadGridConfig {
 /// ```
 pub fn road_grid(config: &RoadGridConfig, qualities: &QualityAssigner, seed: u64) -> Graph {
     assert!(config.rows >= 1 && config.cols >= 1, "grid must be non-empty");
-    assert!(
-        (0.0..0.5).contains(&config.removal_prob),
-        "removal_prob must be in [0, 0.5)"
-    );
+    assert!((0.0..0.5).contains(&config.removal_prob), "removal_prob must be in [0, 0.5)");
     let mut rng = super::seeded_rng(seed);
     let n = config.rows * config.cols;
     let mut b = GraphBuilder::with_capacity(n, 2 * n);
@@ -69,7 +66,8 @@ pub fn road_grid(config: &RoadGridConfig, qualities: &QualityAssigner, seed: u64
                 b.add_edge(id(r, c), id(r + 1, c), qualities.sample(&mut rng));
             }
             // Occasional diagonal shortcut.
-            if r + 1 < config.rows && c + 1 < config.cols && rng.gen::<f64>() < config.diagonal_prob {
+            if r + 1 < config.rows && c + 1 < config.cols && rng.gen::<f64>() < config.diagonal_prob
+            {
                 b.add_edge(id(r, c), id(r + 1, c + 1), qualities.sample(&mut rng));
             }
         }

@@ -26,7 +26,9 @@ mod ws;
 pub use ba::barabasi_albert;
 pub use er::erdos_renyi;
 pub use grid::{road_grid, RoadGridConfig};
-pub use special::{complete_graph, cycle_graph, paper_figure2, paper_figure3, path_graph, random_tree, star_graph};
+pub use special::{
+    complete_graph, cycle_graph, paper_figure2, paper_figure3, path_graph, random_tree, star_graph,
+};
 pub use ws::watts_strogatz;
 
 use crate::types::Quality;

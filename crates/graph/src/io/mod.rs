@@ -7,7 +7,7 @@
 //! * **DIMACS-style** ([`dimacs`]) — the `.gr` format used by the 9th DIMACS
 //!   implementation challenge the paper's road networks come from, with the
 //!   edge weight reinterpreted as the quality value.
-//! * **Snapshots** ([`snapshot`]) — compact `serde`-based binary-ish (JSON is
+//! * **Snapshots** ([`snapshot`]) — compact binary (JSON is
 //!   avoided; a simple length-prefixed layout over [`bytes`]) round-trip of an
 //!   already-built [`crate::Graph`], used to cache generated benchmark inputs.
 

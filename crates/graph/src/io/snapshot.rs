@@ -116,15 +116,88 @@ mod tests {
         assert!(matches!(decode(b"WC"), Err(IoError::Corrupt(_))));
     }
 
+    /// Full build → save → load cycle: the reloaded graph must answer every
+    /// constrained-BFS query exactly like the original, not merely compare
+    /// equal structurally.
+    #[test]
+    fn file_roundtrip_preserves_query_answers() {
+        use std::collections::VecDeque;
+
+        fn constrained_bfs(g: &Graph, s: u32, t: u32, w: u32) -> Option<u32> {
+            let mut dist = vec![u32::MAX; g.num_vertices()];
+            let mut q = VecDeque::new();
+            dist[s as usize] = 0;
+            q.push_back(s);
+            while let Some(u) = q.pop_front() {
+                for (v, quality) in g.neighbors(u) {
+                    if quality >= w && dist[v as usize] == u32::MAX {
+                        dist[v as usize] = dist[u as usize] + 1;
+                        q.push_back(v);
+                    }
+                }
+            }
+            (dist[t as usize] != u32::MAX).then(|| dist[t as usize])
+        }
+
+        let g = barabasi_albert(80, 3, &QualityAssigner::uniform(4), 9);
+        // Per-process path so concurrent `cargo test` invocations cannot race
+        // on the same file.
+        let dir = std::env::temp_dir().join(format!("wcsd_snapshot_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("ba80.wcsd");
+        write_file(&g, &path).unwrap();
+        let g2 = read_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+
+        assert_eq!(g.num_vertices(), g2.num_vertices());
+        for s in (0..80).step_by(9) {
+            for t in (0..80).step_by(7) {
+                for w in 1..=4 {
+                    assert_eq!(
+                        constrained_bfs(&g, s, t, w),
+                        constrained_bfs(&g2, s, t, w),
+                        "reloaded graph disagrees on Q({s}, {t}, {w})"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Corrupting any of the header fields must yield a `Corrupt` error, not
+    /// a garbage graph or a panic.
+    #[test]
+    fn detects_corrupted_header() {
+        let g = paper_figure3();
+        let good = encode(&g);
+
+        // Flip a magic byte.
+        let mut bad_magic = good.to_vec();
+        bad_magic[0] ^= 0xFF;
+        assert!(matches!(decode(&bad_magic), Err(IoError::Corrupt(_))));
+
+        // Bump the version field (bytes 4..8).
+        let mut bad_version = good.to_vec();
+        bad_version[4] = 0xFE;
+        let err = decode(&bad_version).unwrap_err();
+        assert!(err.to_string().contains("version"), "unexpected error: {err}");
+
+        // Claim more edges than the buffer carries (bytes 12..16).
+        let mut bad_count = good.to_vec();
+        bad_count[12..16].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode(&bad_count), Err(IoError::Corrupt(_))));
+    }
+
     #[test]
     fn file_roundtrip() {
         let g = paper_figure3();
-        let dir = std::env::temp_dir().join("wcsd_snapshot_test");
+        let dir = std::env::temp_dir().join(format!("wcsd_snapshot_fig3_{}", std::process::id()));
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("fig3.wcsd");
         write_file(&g, &path).unwrap();
         let g2 = read_file(&path).unwrap();
         assert_eq!(g, g2);
         std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
     }
 }

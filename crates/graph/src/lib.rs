@@ -13,7 +13,7 @@
 //!   WCSD problem).
 //! * [`generators`] — synthetic datasets substituting for the paper's DIMACS
 //!   road networks and KONECT/SNAP social networks (see `DESIGN.md` §3).
-//! * [`io`] — edge-list and DIMACS-style readers/writers plus serde snapshots.
+//! * [`io`] — edge-list and DIMACS-style readers/writers plus binary snapshots.
 //! * [`analysis`] — connected components, degree statistics, quality
 //!   histograms and diameter estimation used to characterise workloads.
 //! * [`directed`] / [`weighted`] — the directed and weighted variants needed

@@ -8,7 +8,6 @@
 //! with `w = 0` degenerates to an unconstrained shortest-distance query.
 
 use crate::types::Quality;
-use serde::{Deserialize, Serialize};
 
 /// An order-preserving mapping from raw `f64` qualities to dense ranks.
 ///
@@ -23,7 +22,7 @@ use serde::{Deserialize, Serialize};
 /// assert_eq!(dom.rank_for_constraint(1.0), 2);
 /// assert_eq!(dom.rank_for_constraint(11.0), 4); // stricter than everything
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize, Default)]
+#[derive(Debug, Clone, PartialEq, Default)]
 pub struct QualityDomain {
     /// Sorted distinct raw quality values; `values[i]` has rank `i + 1`.
     values: Vec<f64>,
@@ -35,10 +34,7 @@ impl QualityDomain {
     /// Non-finite values are rejected with a panic because they cannot be
     /// totally ordered in a meaningful way for the WCSD problem.
     pub fn from_raw(raw: &[f64]) -> Self {
-        assert!(
-            raw.iter().all(|q| q.is_finite()),
-            "edge qualities must be finite real values"
-        );
+        assert!(raw.iter().all(|q| q.is_finite()), "edge qualities must be finite real values");
         let mut values: Vec<f64> = raw.to_vec();
         values.sort_by(|a, b| a.partial_cmp(b).expect("finite values are totally ordered"));
         values.dedup();

@@ -5,8 +5,6 @@
 //! keep label entries at 12 bytes and halve memory traffic compared to
 //! `usize`/`u64` (see the type-size guidance in the Rust Performance Book).
 
-use serde::{Deserialize, Serialize};
-
 /// A vertex identifier. Vertices are always densely numbered `0..n`.
 pub type VertexId = u32;
 
@@ -26,7 +24,7 @@ pub const INF_QUALITY: Quality = Quality::MAX;
 
 /// An undirected edge `(u, v)` with quality `δ(e)`, as produced by generators
 /// and parsers before CSR construction.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct Edge {
     /// First endpoint.
     pub u: VertexId,
@@ -57,7 +55,7 @@ impl Edge {
 
 /// A weighted edge: quality plus a positive length, used by the weighted
 /// extension (Section V of the paper).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WeightedEdge {
     /// First endpoint.
     pub u: VertexId,
@@ -91,6 +89,7 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::assertions_on_constants)]
     fn infinities_are_extreme() {
         assert!(INF_DIST > 1_000_000_000);
         assert!(INF_QUALITY > 1_000_000_000);

@@ -5,11 +5,10 @@
 //! alongside the CSR adjacency.
 
 use crate::types::{Distance, Quality, VertexId, WeightedEdge};
-use serde::{Deserialize, Serialize};
 
 /// An immutable undirected graph whose edges carry both a quality and a
 /// positive integer length.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct WeightedGraph {
     offsets: Vec<usize>,
     neighbors: Vec<VertexId>,
@@ -52,8 +51,7 @@ impl WeightedGraphBuilder {
     /// dominated parallel edge is the only thing we can safely drop, so we
     /// keep one representative per (u, v, quality) group with minimal length.
     pub fn build(mut self) -> WeightedGraph {
-        self.edges
-            .sort_unstable_by_key(|e| (e.u, e.v, std::cmp::Reverse(e.quality), e.length));
+        self.edges.sort_unstable_by_key(|e| (e.u, e.v, std::cmp::Reverse(e.quality), e.length));
         self.edges.dedup_by(|next, kept| {
             next.u == kept.u && next.v == kept.v && next.quality == kept.quality
         });
@@ -106,7 +104,10 @@ impl WeightedGraph {
 
     /// Neighbours of `v` with `(neighbour, quality, length)` triples.
     #[inline]
-    pub fn neighbors(&self, v: VertexId) -> impl Iterator<Item = (VertexId, Quality, Distance)> + '_ {
+    pub fn neighbors(
+        &self,
+        v: VertexId,
+    ) -> impl Iterator<Item = (VertexId, Quality, Distance)> + '_ {
         let lo = self.offsets[v as usize];
         let hi = self.offsets[v as usize + 1];
         (lo..hi).map(move |i| (self.neighbors[i], self.qualities[i], self.lengths[i]))

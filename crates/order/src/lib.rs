@@ -31,7 +31,6 @@ pub use orderings::{
 };
 pub use tree_decomposition::{TreeDecomposition, TreeDecompositionConfig};
 
-use serde::{Deserialize, Serialize};
 use wcsd_graph::VertexId;
 
 /// A total order over the vertices of a graph.
@@ -39,7 +38,7 @@ use wcsd_graph::VertexId;
 /// `order[k]` is the k-th vertex to be processed; `rank[v]` is the position of
 /// vertex `v` in that order (its "importance": smaller rank = processed
 /// earlier = more important hub).
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct VertexOrder {
     order: Vec<VertexId>,
     rank: Vec<u32>,

@@ -4,12 +4,11 @@ use crate::tree_decomposition::{TreeDecomposition, TreeDecompositionConfig};
 use crate::VertexOrder;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use serde::{Deserialize, Serialize};
 use wcsd_graph::{Graph, VertexId};
 
 /// Enumerates every ordering strategy, so callers (benchmarks, examples) can
 /// select one by name.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum OrderingStrategy {
     /// Non-ascending degree (ties broken by vertex id).
     Degree,
@@ -85,18 +84,12 @@ pub fn tree_decomposition_order(g: &Graph) -> VertexOrder {
 }
 
 /// Configuration of the paper's hybrid core/periphery ordering.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct HybridConfig {
     /// Degree threshold δ separating the core (degree > δ, ordered by degree)
     /// from the periphery (ordered by tree decomposition). `None` selects the
     /// threshold automatically as `max(average degree × 4, 16)`.
     pub degree_threshold: Option<usize>,
-}
-
-impl Default for HybridConfig {
-    fn default() -> Self {
-        Self { degree_threshold: None }
-    }
 }
 
 /// The paper's hybrid vertex ordering (Section IV.D):
@@ -109,9 +102,8 @@ impl Default for HybridConfig {
 ///    in effect and avoids the dense-core blow-up);
 /// 3. core vertices precede periphery vertices.
 pub fn hybrid_order(g: &Graph, config: &HybridConfig) -> VertexOrder {
-    let threshold = config
-        .degree_threshold
-        .unwrap_or_else(|| ((g.avg_degree() * 4.0).ceil() as usize).max(16));
+    let threshold =
+        config.degree_threshold.unwrap_or_else(|| ((g.avg_degree() * 4.0).ceil() as usize).max(16));
 
     let mut core: Vec<VertexId> =
         (0..g.num_vertices() as VertexId).filter(|&v| g.degree(v) > threshold).collect();
@@ -120,10 +112,8 @@ pub fn hybrid_order(g: &Graph, config: &HybridConfig) -> VertexOrder {
     // Periphery hierarchy: run MDE but never eliminate a vertex whose transient
     // degree exceeds the threshold — those end up in the decomposition's core,
     // which we then order by degree (same rule as the core set above).
-    let td = TreeDecomposition::build(
-        g,
-        &TreeDecompositionConfig { max_bag_degree: Some(threshold) },
-    );
+    let td =
+        TreeDecomposition::build(g, &TreeDecompositionConfig { max_bag_degree: Some(threshold) });
     let is_core: Vec<bool> = {
         let mut flags = vec![false; g.num_vertices()];
         for &v in &core {

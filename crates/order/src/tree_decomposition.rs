@@ -8,12 +8,11 @@
 //! make good hubs for 2-hop labeling on low-treewidth graphs such as road
 //! networks.
 
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, BinaryHeap};
 use wcsd_graph::{Graph, VertexId};
 
 /// Configuration for [`TreeDecomposition::build`].
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct TreeDecompositionConfig {
     /// Stop eliminating once the minimum degree in the transient graph
     /// exceeds this bound and place all remaining vertices in one final
@@ -23,14 +22,8 @@ pub struct TreeDecompositionConfig {
     pub max_bag_degree: Option<usize>,
 }
 
-impl Default for TreeDecompositionConfig {
-    fn default() -> Self {
-        Self { max_bag_degree: None }
-    }
-}
-
 /// The result of a minimum-degree-elimination tree decomposition.
-#[derive(Debug, Clone, Serialize, Deserialize)]
+#[derive(Debug, Clone)]
 pub struct TreeDecomposition {
     /// Elimination order: `elimination[i]` is the vertex removed in round `i`.
     elimination: Vec<VertexId>,
@@ -49,18 +42,16 @@ impl TreeDecomposition {
         let n = g.num_vertices();
         // Transient adjacency as sorted sets: elimination adds clique edges, so
         // adjacency must support insertion and removal.
-        let mut adj: Vec<BTreeSet<VertexId>> = (0..n as VertexId)
-            .map(|v| g.neighbor_ids(v).iter().copied().collect())
-            .collect();
+        let mut adj: Vec<BTreeSet<VertexId>> =
+            (0..n as VertexId).map(|v| g.neighbor_ids(v).iter().copied().collect()).collect();
         let mut eliminated = vec![false; n];
         let mut elimination = Vec::with_capacity(n);
         let mut bags = Vec::with_capacity(n);
         let mut max_bag_size = 0usize;
 
         // Min-heap of (degree, vertex); stale entries are skipped lazily.
-        let mut heap: BinaryHeap<std::cmp::Reverse<(usize, VertexId)>> = (0..n as VertexId)
-            .map(|v| std::cmp::Reverse((adj[v as usize].len(), v)))
-            .collect();
+        let mut heap: BinaryHeap<std::cmp::Reverse<(usize, VertexId)>> =
+            (0..n as VertexId).map(|v| std::cmp::Reverse((adj[v as usize].len(), v))).collect();
 
         while let Some(std::cmp::Reverse((deg, v))) = heap.pop() {
             if eliminated[v as usize] || adj[v as usize].len() != deg {
@@ -102,8 +93,7 @@ impl TreeDecomposition {
             }
         }
 
-        let core: Vec<VertexId> =
-            (0..n as VertexId).filter(|&v| !eliminated[v as usize]).collect();
+        let core: Vec<VertexId> = (0..n as VertexId).filter(|&v| !eliminated[v as usize]).collect();
         if !core.is_empty() {
             max_bag_size = max_bag_size.max(core.len());
         }
@@ -226,10 +216,7 @@ mod tests {
         let g = paper_figure3();
         let td = TreeDecomposition::build(&g, &TreeDecompositionConfig::default());
         for e in g.edges() {
-            let covered = td
-                .bags()
-                .iter()
-                .any(|bag| bag.contains(&e.u) && bag.contains(&e.v));
+            let covered = td.bags().iter().any(|bag| bag.contains(&e.u) && bag.contains(&e.v));
             assert!(covered, "edge ({}, {}) not covered by any bag", e.u, e.v);
         }
     }

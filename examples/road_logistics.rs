@@ -21,11 +21,7 @@ fn main() {
         &QualityAssigner::uniform(5),
         99,
     );
-    println!(
-        "road network: {} junctions, {} segments",
-        road.num_vertices(),
-        road.num_edges()
-    );
+    println!("road network: {} junctions, {} segments", road.num_vertices(), road.num_edges());
 
     let start = Instant::now();
     let index = IndexBuilder::wc_index_plus().build(&road);
@@ -56,8 +52,7 @@ fn main() {
         .collect();
 
     let t0 = Instant::now();
-    let index_answers: Vec<_> =
-        queries.iter().map(|&(s, t, w)| index.distance(s, t, w)).collect();
+    let index_answers: Vec<_> = queries.iter().map(|&(s, t, w)| index.distance(s, t, w)).collect();
     let index_time = t0.elapsed();
 
     let sample = 100.min(queries.len());

@@ -24,10 +24,8 @@ fn main() {
     println!("closeness index: {} entries", index.stats().total_entries);
 
     let me: VertexId = 42;
-    let candidates: Vec<VertexId> = (0..network.num_vertices() as VertexId)
-        .filter(|&v| v != me)
-        .step_by(97)
-        .collect();
+    let candidates: Vec<VertexId> =
+        (0..network.num_vertices() as VertexId).filter(|&v| v != me).step_by(97).collect();
 
     let mut ranked: Vec<(VertexId, Option<u32>, Option<u32>)> = candidates
         .iter()
@@ -35,9 +33,7 @@ fn main() {
         .collect();
     // Rank by strong-tie distance first (unreachable last), then by weak-tie
     // distance as a tiebreaker.
-    ranked.sort_by_key(|&(_, weak, strong)| {
-        (strong.unwrap_or(u32::MAX), weak.unwrap_or(u32::MAX))
-    });
+    ranked.sort_by_key(|&(_, weak, strong)| (strong.unwrap_or(u32::MAX), weak.unwrap_or(u32::MAX)));
 
     println!("\ntop 10 candidates for user {me} (strong ties = strength ≥ 3):");
     println!("{:<10}{:>16}{:>16}", "user", "any-tie dist", "strong-tie dist");

@@ -95,7 +95,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err("query requires <graph-file> <index-file> <s> <t> <w>".to_string());
             };
             let graph = load_graph(graph_path, use_dimacs)?;
-            let data = std::fs::read(index_path).map_err(|e| format!("cannot read {index_path}: {e}"))?;
+            let data =
+                std::fs::read(index_path).map_err(|e| format!("cannot read {index_path}: {e}"))?;
             let index = WcIndex::decode(&data).map_err(|e| format!("corrupt index: {e}"))?;
             if index.num_vertices() != graph.num_vertices() {
                 return Err(format!(
@@ -107,6 +108,12 @@ fn run(args: &[String]) -> Result<(), String> {
             let s: VertexId = s.parse().map_err(|_| format!("invalid vertex {s:?}"))?;
             let t: VertexId = t.parse().map_err(|_| format!("invalid vertex {t:?}"))?;
             let w: Quality = w.parse().map_err(|_| format!("invalid constraint {w:?}"))?;
+            let n = graph.num_vertices();
+            for v in [s, t] {
+                if v as usize >= n {
+                    return Err(format!("vertex {v} out of range (graph has vertices 0..{n})"));
+                }
+            }
             match index.distance(s, t, w) {
                 Some(d) => println!("dist_{w}({s}, {t}) = {d}"),
                 None => println!("dist_{w}({s}, {t}) = INF (no {w}-constrained path)"),

@@ -85,12 +85,10 @@ fn every_ordering_strategy_yields_a_correct_index() {
 fn basic_and_query_efficient_builds_are_identical() {
     for (name, g) in test_graphs() {
         let order = wcsd_order::degree_order(&g);
-        let basic = IndexBuilder::new()
-            .mode(ConstructionMode::Basic)
-            .build_with_order(&g, order.clone());
-        let plus = IndexBuilder::new()
-            .mode(ConstructionMode::QueryEfficient)
-            .build_with_order(&g, order);
+        let basic =
+            IndexBuilder::new().mode(ConstructionMode::Basic).build_with_order(&g, order.clone());
+        let plus =
+            IndexBuilder::new().mode(ConstructionMode::QueryEfficient).build_with_order(&g, order);
         assert_eq!(basic.total_entries(), plus.total_entries(), "{name}: entry count differs");
         for v in 0..g.num_vertices() as u32 {
             assert_eq!(basic.labels(v), plus.labels(v), "{name}: labels differ at v{v}");

@@ -1,4 +1,5 @@
-//! Property-based tests (proptest) for the core invariants of the system:
+//! Property-style tests for the core invariants of the system, driven by a
+//! seeded random-graph fuzzer (a registry-free stand-in for proptest):
 //!
 //! * the index answers every query exactly like the online constrained BFS
 //!   oracle (soundness + completeness, Theorem 1/2);
@@ -6,81 +7,104 @@
 //!   (minimality, Theorem 1);
 //! * within one hub group, distance and quality are both strictly increasing
 //!   (Theorem 3);
+//! * all three query implementations agree;
 //! * reconstructed paths are valid `w`-paths of exactly the reported length;
+//! * distance is monotonically non-decreasing in the constraint `w`;
+//! * `index.within(s, t, w, d)` agrees with `distance` on all sampled triples;
 //! * graph snapshots and builders are lossless.
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 use wcsd::prelude::*;
 use wcsd_baselines::online::constrained_bfs;
 use wcsd_core::path::PathIndex;
 use wcsd_graph::Graph;
 
-/// Strategy: a random graph given as (vertex count, edge list with qualities).
-fn arb_graph(max_n: usize, max_edges: usize, max_q: u32) -> impl Strategy<Value = Graph> {
-    (2..=max_n).prop_flat_map(move |n| {
-        proptest::collection::vec(
-            (0..n as u32, 0..n as u32, 1..=max_q),
-            0..=max_edges,
-        )
-        .prop_map(move |edges| {
-            let mut b = GraphBuilder::new(n);
-            for (u, v, q) in edges {
-                b.add_edge(u, v, q);
-            }
-            b.build()
-        })
-    })
+/// Number of random graphs each property is checked against.
+const CASES: u64 = 48;
+
+/// Deterministic random graph: up to `max_n` vertices, up to `max_edges`
+/// edge insertions (self loops and duplicates included, exercising the
+/// builder's cleanup paths), qualities in `1..=max_q`.
+fn random_graph(seed: u64, max_n: usize, max_edges: usize, max_q: u32) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9) ^ 0x00C0_FFEE);
+    let n = rng.gen_range(2..=max_n);
+    let m = rng.gen_range(0..=max_edges);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        let q = rng.gen_range(1..=max_q);
+        b.add_edge(u, v, q);
+    }
+    b.build()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// The index agrees with the BFS oracle on every vertex pair and level.
-    #[test]
-    fn index_matches_oracle(g in arb_graph(28, 90, 5)) {
+/// The index agrees with the BFS oracle on every vertex pair and level.
+#[test]
+fn index_matches_oracle() {
+    for seed in 0..CASES {
+        let g = random_graph(seed, 28, 90, 5);
         let idx = IndexBuilder::wc_index_plus().build(&g);
         let levels = g.distinct_qualities();
         for s in 0..g.num_vertices() as u32 {
             for t in 0..g.num_vertices() as u32 {
                 for &w in &levels {
-                    prop_assert_eq!(idx.distance(s, t, w), constrained_bfs(&g, s, t, w));
+                    assert_eq!(
+                        idx.distance(s, t, w),
+                        constrained_bfs(&g, s, t, w),
+                        "seed {seed}: Q({s},{t},{w})"
+                    );
                 }
                 // A constraint stricter than every edge is satisfiable only
                 // for s == t.
                 let too_strict = levels.last().copied().unwrap_or(1) + 1;
                 let expected = (s == t).then_some(0);
-                prop_assert_eq!(idx.distance(s, t, too_strict), expected);
+                assert_eq!(idx.distance(s, t, too_strict), expected, "seed {seed}");
             }
         }
     }
+}
 
-    /// Minimality: no entry is dominated by another entry of the same hub, in
-    /// any label set, for any ordering strategy.
-    #[test]
-    fn index_is_minimal(g in arb_graph(24, 70, 4), use_degree in any::<bool>()) {
-        let strat = if use_degree { OrderingStrategy::Degree } else { OrderingStrategy::Hybrid };
+/// Minimality: no entry is dominated by another entry of the same hub, in
+/// any label set, for any ordering strategy.
+#[test]
+fn index_is_minimal() {
+    for seed in 0..CASES {
+        let g = random_graph(seed, 24, 70, 4);
+        let strat = if seed % 2 == 0 { OrderingStrategy::Degree } else { OrderingStrategy::Hybrid };
         let idx = IndexBuilder::new().ordering(strat).build(&g);
-        prop_assert!(idx.dominated_entries().is_empty());
+        assert!(
+            idx.dominated_entries().is_empty(),
+            "seed {seed}: dominated entries under {:?}",
+            strat
+        );
     }
+}
 
-    /// Theorem 3: within one vertex's entries for one hub, distances and
-    /// qualities are strictly co-monotone.
-    #[test]
-    fn theorem3_label_ordering(g in arb_graph(24, 70, 5)) {
+/// Theorem 3: within one vertex's entries for one hub, distances and
+/// qualities are strictly co-monotone.
+#[test]
+fn theorem3_label_ordering() {
+    for seed in 0..CASES {
+        let g = random_graph(seed, 24, 70, 5);
         let idx = IndexBuilder::wc_index_plus().build(&g);
         for v in 0..g.num_vertices() as u32 {
-            for (_, group) in idx.labels(v).hub_groups() {
+            for (hub, group) in idx.labels(v).hub_groups() {
                 for pair in group.windows(2) {
-                    prop_assert!(pair[0].dist < pair[1].dist);
-                    prop_assert!(pair[0].quality < pair[1].quality);
+                    assert!(pair[0].dist < pair[1].dist, "seed {seed}: L(v{v})[{hub}]");
+                    assert!(pair[0].quality < pair[1].quality, "seed {seed}: L(v{v})[{hub}]");
                 }
             }
         }
     }
+}
 
-    /// All three query implementations return identical answers.
-    #[test]
-    fn query_implementations_agree(g in arb_graph(20, 60, 4)) {
+/// All three query implementations return identical answers.
+#[test]
+fn query_implementations_agree() {
+    for seed in 0..CASES {
+        let g = random_graph(seed, 20, 60, 4);
         let idx = IndexBuilder::wc_index_plus().build(&g);
         let levels = g.distinct_qualities();
         for s in 0..g.num_vertices() as u32 {
@@ -89,44 +113,54 @@ proptest! {
                     let a = idx.distance_with(s, t, w, QueryImpl::PairScan);
                     let b = idx.distance_with(s, t, w, QueryImpl::HubBucket);
                     let c = idx.distance_with(s, t, w, QueryImpl::Merge);
-                    prop_assert_eq!(a, b);
-                    prop_assert_eq!(b, c);
+                    assert_eq!(a, b, "seed {seed}: Q({s},{t},{w})");
+                    assert_eq!(b, c, "seed {seed}: Q({s},{t},{w})");
                 }
             }
         }
     }
+}
 
-    /// Reconstructed paths are valid w-paths of exactly the reported length.
-    #[test]
-    fn paths_are_valid(g in arb_graph(20, 55, 4)) {
+/// Reconstructed paths are valid w-paths of exactly the reported length.
+#[test]
+fn paths_are_valid() {
+    for seed in 0..CASES {
+        let g = random_graph(seed, 20, 55, 4);
         let pidx = PathIndex::build(&g);
         let levels = g.distinct_qualities();
         for s in 0..g.num_vertices() as u32 {
             for t in 0..g.num_vertices() as u32 {
                 for &w in &levels {
                     match (constrained_bfs(&g, s, t, w), pidx.shortest_path(s, t, w)) {
-                        (None, p) => prop_assert!(p.is_none()),
+                        (None, p) => {
+                            assert!(p.is_none(), "seed {seed}: phantom path Q({s},{t},{w})")
+                        }
                         (Some(d), Some(path)) => {
-                            prop_assert_eq!(path.len() as u32 - 1, d);
-                            prop_assert_eq!(*path.first().unwrap(), s);
-                            prop_assert_eq!(*path.last().unwrap(), t);
+                            assert_eq!(path.len() as u32 - 1, d, "seed {seed}: Q({s},{t},{w})");
+                            assert_eq!(*path.first().unwrap(), s);
+                            assert_eq!(*path.last().unwrap(), t);
                             for pair in path.windows(2) {
                                 let q = g.edge_quality(pair[0], pair[1]);
-                                prop_assert!(q.is_some());
-                                prop_assert!(q.unwrap() >= w);
+                                assert!(
+                                    q.is_some_and(|q| q >= w),
+                                    "seed {seed}: Q({s},{t},{w}) has invalid edge {pair:?}"
+                                );
                             }
                         }
-                        (Some(_), None) => prop_assert!(false, "path missing"),
+                        (Some(_), None) => panic!("seed {seed}: path missing for Q({s},{t},{w})"),
                     }
                 }
             }
         }
     }
+}
 
-    /// Monotonicity in the constraint: strengthening w never shortens the
-    /// distance, and weakening it never lengthens it.
-    #[test]
-    fn distance_is_monotone_in_constraint(g in arb_graph(24, 70, 5)) {
+/// Monotonicity in the constraint: strengthening w never shortens the
+/// distance, and once a pair becomes unreachable it stays unreachable.
+#[test]
+fn distance_is_monotone_in_constraint() {
+    for seed in 0..CASES {
+        let g = random_graph(seed, 24, 70, 5);
         let idx = IndexBuilder::wc_index_plus().build(&g);
         for s in 0..g.num_vertices() as u32 {
             for t in 0..g.num_vertices() as u32 {
@@ -135,11 +169,10 @@ proptest! {
                 for w in 1..=5u32 {
                     let d = idx.distance(s, t, w);
                     if let (Some(p), Some(cur)) = (prev, d) {
-                        prop_assert!(cur >= p, "Q({s},{t},{w}) shrank from {p} to {cur}");
+                        assert!(cur >= p, "seed {seed}: Q({s},{t},{w}) shrank from {p} to {cur}");
                     }
-                    // Once unreachable, stricter constraints stay unreachable.
                     if !prev_reachable {
-                        prop_assert!(d.is_none());
+                        assert!(d.is_none(), "seed {seed}: Q({s},{t},{w}) became reachable");
                     }
                     prev_reachable = d.is_some();
                     prev = d.or(prev);
@@ -147,35 +180,83 @@ proptest! {
             }
         }
     }
+}
 
-    /// Graph snapshot encode/decode is lossless.
-    #[test]
-    fn snapshot_roundtrip(g in arb_graph(30, 120, 6)) {
+/// `within(s, t, w, d)` is exactly `distance(s, t, w) <= d`: true for every
+/// bound at or above the distance, false below it, false for unreachable
+/// pairs at any bound.
+#[test]
+fn within_agrees_with_distance() {
+    for seed in 0..CASES {
+        let g = random_graph(seed, 22, 66, 4);
+        let idx = IndexBuilder::wc_index_plus().build(&g);
+        let levels = g.distinct_qualities();
+        for s in 0..g.num_vertices() as u32 {
+            for t in 0..g.num_vertices() as u32 {
+                for &w in &levels {
+                    match idx.distance(s, t, w) {
+                        Some(d) => {
+                            assert!(idx.within(s, t, w, d), "seed {seed}: Q({s},{t},{w}) d={d}");
+                            assert!(idx.within(s, t, w, d + 1));
+                            assert!(idx.within(s, t, w, u32::MAX));
+                            if d > 0 {
+                                assert!(
+                                    !idx.within(s, t, w, d - 1),
+                                    "seed {seed}: Q({s},{t},{w}) within bound {} too loose",
+                                    d - 1
+                                );
+                            }
+                        }
+                        None => {
+                            assert!(
+                                !idx.within(s, t, w, u32::MAX),
+                                "seed {seed}: unreachable Q({s},{t},{w}) claimed within"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Graph snapshot encode/decode is lossless.
+#[test]
+fn snapshot_roundtrip() {
+    for seed in 0..CASES {
+        let g = random_graph(seed, 30, 120, 6);
         let bytes = wcsd::graph::io::snapshot::encode(&g);
         let decoded = wcsd::graph::io::snapshot::decode(&bytes).unwrap();
-        prop_assert_eq!(g, decoded);
+        assert_eq!(g, decoded, "seed {seed}");
     }
+}
 
-    /// The builder collapses parallel edges to the maximum quality and the
-    /// resulting adjacency is symmetric.
-    #[test]
-    fn builder_invariants(edges in proptest::collection::vec((0u32..15, 0u32..15, 1u32..6), 0..80)) {
+/// The builder collapses parallel edges to the maximum quality and the
+/// resulting adjacency is symmetric.
+#[test]
+fn builder_invariants() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0B11_1DE5);
+        let m = rng.gen_range(0..80usize);
+        let edges: Vec<(u32, u32, u32)> = (0..m)
+            .map(|_| (rng.gen_range(0..15u32), rng.gen_range(0..15u32), rng.gen_range(1..6u32)))
+            .collect();
         let mut b = GraphBuilder::new(15);
-        for (u, v, q) in &edges {
-            b.add_edge(*u, *v, *q);
+        for &(u, v, q) in &edges {
+            b.add_edge(u, v, q);
         }
         let g = b.build();
-        prop_assert_eq!(g.num_vertices(), 15);
+        assert_eq!(g.num_vertices(), 15);
         for e in g.edges() {
             // Symmetry.
-            prop_assert_eq!(g.edge_quality(e.v, e.u), Some(e.quality));
+            assert_eq!(g.edge_quality(e.v, e.u), Some(e.quality), "seed {seed}");
             // Max-quality merge.
             let best = edges
                 .iter()
                 .filter(|(u, v, _)| (*u == e.u && *v == e.v) || (*u == e.v && *v == e.u))
                 .map(|(_, _, q)| *q)
                 .max();
-            prop_assert_eq!(best, Some(e.quality));
+            assert_eq!(best, Some(e.quality), "seed {seed}");
         }
     }
 }

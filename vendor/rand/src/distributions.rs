@@ -1,0 +1,105 @@
+//! Distribution sampling (the subset the workspace uses: `WeightedIndex`).
+
+use crate::Rng;
+use core::borrow::Borrow;
+
+/// Types that can sample values of `T` given an entropy source.
+pub trait Distribution<T> {
+    /// Draws one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error constructing a [`WeightedIndex`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WeightedError {
+    /// The weight collection was empty.
+    NoItem,
+    /// A weight was negative or not finite.
+    InvalidWeight,
+    /// All weights were zero.
+    AllWeightsZero,
+}
+
+impl core::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            Self::NoItem => write!(f, "no weights provided"),
+            Self::InvalidWeight => write!(f, "weight is negative or not finite"),
+            Self::AllWeightsZero => write!(f, "all weights are zero"),
+        }
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Samples indices `0..n` proportionally to a list of `f64` weights.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WeightedIndex {
+    cumulative: Vec<f64>,
+}
+
+impl WeightedIndex {
+    /// Builds the sampler from relative weights.
+    pub fn new<I>(weights: I) -> Result<Self, WeightedError>
+    where
+        I: IntoIterator,
+        I::Item: Borrow<f64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0.0f64;
+        for w in weights {
+            let w = *w.borrow();
+            if !w.is_finite() || w < 0.0 {
+                return Err(WeightedError::InvalidWeight);
+            }
+            total += w;
+            cumulative.push(total);
+        }
+        if cumulative.is_empty() {
+            return Err(WeightedError::NoItem);
+        }
+        if total <= 0.0 {
+            return Err(WeightedError::AllWeightsZero);
+        }
+        Ok(Self { cumulative })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("validated non-empty");
+        let x = rng.gen::<f64>() * total;
+        // First cumulative weight strictly greater than x.
+        match self.cumulative.binary_search_by(|c| c.partial_cmp(&x).expect("weights are finite")) {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn respects_weights() {
+        let dist = WeightedIndex::new([1.0, 0.0, 3.0]).unwrap();
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut counts = [0usize; 3];
+        for _ in 0..40_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        assert!(counts[2] > 2 * counts[0], "counts: {counts:?}");
+        assert!(counts[0] > 5_000);
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        assert_eq!(WeightedIndex::new(Vec::<f64>::new().iter()), Err(WeightedError::NoItem));
+        assert_eq!(WeightedIndex::new([1.0, -2.0]), Err(WeightedError::InvalidWeight));
+        assert_eq!(WeightedIndex::new([0.0, 0.0]), Err(WeightedError::AllWeightsZero));
+        assert_eq!(WeightedIndex::new([f64::NAN]), Err(WeightedError::InvalidWeight));
+    }
+}

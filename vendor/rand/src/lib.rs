@@ -1,0 +1,226 @@
+//! Minimal, dependency-free stand-in for the `rand` crate (0.8 API subset).
+//!
+//! Vendored because this build environment has no registry access. It
+//! implements exactly the surface this workspace uses: a seedable
+//! [`rngs::StdRng`], the [`Rng`] extension methods `gen`, `gen_range` and
+//! `gen_bool`, [`distributions::WeightedIndex`] and
+//! [`seq::SliceRandom::shuffle`]. The generator is SplitMix64 — statistically
+//! solid for synthetic-graph generation, deterministic per seed, but **not**
+//! bit-compatible with upstream rand's ChaCha-based `StdRng`.
+
+pub mod distributions;
+pub mod rngs;
+pub mod seq;
+
+/// Core entropy source: one uniformly distributed `u64` per call.
+pub trait RngCore {
+    /// Returns the next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Construction of a generator from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from a seed; identical seeds yield identical
+    /// output streams.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that [`Rng::gen`] can produce from one draw of 64 bits.
+pub trait Standard: Sized {
+    /// Maps 64 uniform bits to a uniform value of `Self`.
+    fn from_uniform_bits(bits: u64) -> Self;
+}
+
+impl Standard for f64 {
+    #[inline]
+    fn from_uniform_bits(bits: u64) -> Self {
+        // 53 mantissa bits -> uniform in [0, 1).
+        (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    #[inline]
+    fn from_uniform_bits(bits: u64) -> Self {
+        (bits >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    #[inline]
+    fn from_uniform_bits(bits: u64) -> Self {
+        bits
+    }
+}
+
+impl Standard for u32 {
+    #[inline]
+    fn from_uniform_bits(bits: u64) -> Self {
+        (bits >> 32) as u32
+    }
+}
+
+impl Standard for bool {
+    #[inline]
+    fn from_uniform_bits(bits: u64) -> Self {
+        bits & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] can sample from.
+pub trait SampleRange<T> {
+    /// Returns `true` when the range contains no values.
+    fn is_empty_range(&self) -> bool;
+    /// Maps 64 uniform bits into the range. Must not be called on an empty
+    /// range.
+    fn sample_from_bits(&self, bits: u64) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            #[inline]
+            fn is_empty_range(&self) -> bool {
+                self.start >= self.end
+            }
+            #[inline]
+            fn sample_from_bits(&self, bits: u64) -> $t {
+                let span = (self.end as u128) - (self.start as u128);
+                self.start + (bits as u128 % span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            #[inline]
+            fn is_empty_range(&self) -> bool {
+                self.start() > self.end()
+            }
+            #[inline]
+            fn sample_from_bits(&self, bits: u64) -> $t {
+                let span = (*self.end() as u128) - (*self.start() as u128) + 1;
+                self.start() + (bits as u128 % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_int!(u8, u16, u32, u64, usize);
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    #[inline]
+    fn is_empty_range(&self) -> bool {
+        // NaN endpoints compare as incomparable and therefore count as empty.
+        self.start.partial_cmp(&self.end) != Some(core::cmp::Ordering::Less)
+    }
+    #[inline]
+    fn sample_from_bits(&self, bits: u64) -> f64 {
+        self.start + f64::from_uniform_bits(bits) * (self.end - self.start)
+    }
+}
+
+/// Convenience extension methods over any [`RngCore`], mirroring rand 0.8.
+pub trait Rng: RngCore {
+    /// Uniform sample of the full range of `T` (for `f64`/`f32`: `[0, 1)`).
+    #[inline]
+    fn gen<T: Standard>(&mut self) -> T {
+        T::from_uniform_bits(self.next_u64())
+    }
+
+    /// Uniform sample from a range.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        assert!(!range.is_empty_range(), "cannot sample from an empty range");
+        range.sample_from_bits(self.next_u64())
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= p <= 1.0`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(StdRng::seed_from_u64(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..10_000 {
+            let x: u32 = rng.gen_range(3..17);
+            assert!((3..17).contains(&x));
+            let y: u32 = rng.gen_range(1..=5);
+            assert!((1..=5).contains(&y));
+            let z: usize = rng.gen_range(0..9);
+            assert!(z < 9);
+        }
+    }
+
+    #[test]
+    fn gen_range_is_roughly_uniform() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut counts = [0usize; 10];
+        for _ in 0..100_000 {
+            counts[rng.gen_range(0..10usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "skewed counts: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn gen_f64_in_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let x = rng.gen::<f64>();
+            assert!((0.0..1.0).contains(&x));
+            sum += x;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty range")]
+    fn empty_range_panics() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let _: u32 = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn works_through_unsized_refs() {
+        fn sample<R: Rng + ?Sized>(rng: &mut R) -> u32 {
+            rng.gen_range(0..100)
+        }
+        let mut rng = StdRng::seed_from_u64(9);
+        assert!(sample(&mut rng) < 100);
+    }
+}

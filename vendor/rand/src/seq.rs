@@ -1,0 +1,70 @@
+//! Sequence helpers (the subset the workspace uses: in-place shuffle).
+
+use crate::Rng;
+
+/// Randomisation methods on slices.
+pub trait SliceRandom {
+    /// Element type.
+    type Item;
+
+    /// Shuffles the slice in place (Fisher–Yates).
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+
+    /// Returns a uniformly random element, or `None` for an empty slice.
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+}
+
+impl<T> SliceRandom for [T] {
+    type Item = T;
+
+    fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+        for i in (1..self.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            self.swap(i, j);
+        }
+    }
+
+    fn choose<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+        if self.is_empty() {
+            None
+        } else {
+            self.get(rng.gen_range(0..self.len()))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+    use crate::SeedableRng;
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut v: Vec<u32> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "50 elements almost surely move");
+    }
+
+    #[test]
+    fn shuffle_deterministic_per_seed() {
+        let mut a: Vec<u32> = (0..20).collect();
+        let mut b: Vec<u32> = (0..20).collect();
+        a.shuffle(&mut StdRng::seed_from_u64(3));
+        b.shuffle(&mut StdRng::seed_from_u64(3));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn choose_empty_and_nonempty() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let empty: [u32; 0] = [];
+        assert!(empty.choose(&mut rng).is_none());
+        let v = [7u32, 8, 9];
+        assert!(v.contains(v.choose(&mut rng).unwrap()));
+    }
+}
