@@ -1,0 +1,74 @@
+//! Load generator driving a running `wcsd-cli serve` instance with
+//! `QueryWorkload`-generated traffic over concurrent connections.
+//!
+//! ```text
+//! loadgen <host:port> <graph-file> [--queries N] [--connections C] [--batch B]
+//!         [--seed S] [--small] [--dimacs] [--json <path>]
+//! ```
+//!
+//! `--small` is the CI smoke preset (500 queries, 2 connections, batch 16).
+//! Prints a human summary plus the JSON record; exits non-zero when any
+//! request failed, so CI can assert a clean run.
+
+use std::process::ExitCode;
+use std::time::Duration;
+use wcsd_bench::loadgen::{self, LoadgenConfig};
+use wcsd_bench::report::to_json;
+use wcsd_bench::QueryWorkload;
+use wcsd_cliutil::{flag_value, positional_args};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(clean) => {
+            if clean {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("loadgen: completed with errors");
+                ExitCode::FAILURE
+            }
+        }
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!(
+                "usage: loadgen <host:port> <graph-file> [--queries N] [--connections C] \
+                 [--batch B] [--seed S] [--small] [--dimacs] [--json <path>]"
+            );
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn run(args: &[String]) -> Result<bool, String> {
+    let positional =
+        positional_args(args, &["--queries", "--connections", "--batch", "--seed", "--json"]);
+    let [addr, graph_path] = positional[..] else {
+        return Err("expected <host:port> <graph-file>".to_string());
+    };
+
+    let small = args.iter().any(|a| a == "--small");
+    let queries = flag_value(args, "--queries")?.unwrap_or(if small { 500 } else { 10_000 });
+    let connections = flag_value(args, "--connections")?.unwrap_or(if small { 2 } else { 4 });
+    let batch = flag_value(args, "--batch")?.unwrap_or(if small { 16 } else { 0 });
+    let seed: u64 = flag_value(args, "--seed")?.unwrap_or(42);
+    let json_path: Option<String> = flag_value(args, "--json")?;
+
+    let graph = wcsd_graph::io::read_graph_file(graph_path, args.iter().any(|a| a == "--dimacs"))?;
+    let workload = QueryWorkload::uniform(&graph, queries, seed);
+    let dataset = graph_path.rsplit('/').next().unwrap_or(graph_path);
+    let config =
+        LoadgenConfig { connections, batch_size: batch, connect_timeout: Duration::from_secs(10) };
+    let (result, _answers) = loadgen::run_against(addr, dataset, &workload, &config)?;
+    println!("{}", loadgen::summary(&result));
+    let clean = result.errors == 0;
+    let json = to_json(&[result]);
+    match json_path {
+        Some(path) => {
+            std::fs::write(&path, &json).map_err(|e| format!("cannot write {path}: {e}"))?;
+            println!("wrote {path}");
+        }
+        None => println!("{json}"),
+    }
+    Ok(clean)
+}

@@ -14,6 +14,7 @@
 //! | Fig. 10/11/12 — social networks | `exp5_social` | `indexing_social`, `query_social` |
 //! | (ours) ordering ablation | `exp_ablation_ordering` | `ordering_ablation` |
 //! | (ours) query implementation ablation | — | `query_impl_ablation` |
+//! | (ours) server throughput/latency | `loadgen` | — |
 //! | everything above in one run | `exp_all` | — |
 //!
 //! Binaries accept a scale argument (`tiny`, `small`, `medium`, `large`) so
@@ -25,10 +26,12 @@
 #![forbid(unsafe_code)]
 
 pub mod datasets;
+pub mod loadgen;
 pub mod measure;
 pub mod report;
 pub mod workload;
 
 pub use datasets::{Dataset, DatasetKind, Scale};
+pub use loadgen::{LoadgenConfig, LoadgenResult};
 pub use measure::{IndexingResult, MethodKind, QueryResult};
 pub use workload::QueryWorkload;

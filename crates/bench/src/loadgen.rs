@@ -1,0 +1,314 @@
+//! Client-side load generation against a running `wcsd-server`.
+//!
+//! Drives a [`QueryWorkload`] over N concurrent connections (each its own
+//! [`wcsd_server::Client`]), optionally packing queries into `BATCH` requests,
+//! and reports throughput and latency percentiles through the same
+//! [`crate::report`] JSON machinery as the offline experiments. The answers
+//! received over the wire are returned to the caller so integration tests can
+//! cross-check them against a directly queried [`wcsd_core::WcIndex`].
+
+use crate::report::{json_string, JsonRecord};
+use crate::workload::QueryWorkload;
+use std::time::{Duration, Instant};
+use wcsd_graph::Distance;
+use wcsd_server::Client;
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Concurrent connections (each served by its own thread).
+    pub connections: usize,
+    /// Queries per `BATCH` request; 0 sends individual `QUERY` requests.
+    pub batch_size: usize,
+    /// How long to keep retrying the initial connection (covers a server
+    /// still starting up in another process).
+    pub connect_timeout: Duration,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        Self { connections: 4, batch_size: 0, connect_timeout: Duration::from_secs(10) }
+    }
+}
+
+/// Aggregate result of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadgenResult {
+    /// Dataset / workload label.
+    pub dataset: String,
+    /// Concurrent connections used.
+    pub connections: usize,
+    /// Batch size used (0 = individual queries).
+    pub batch_size: usize,
+    /// Total queries sent.
+    pub queries: usize,
+    /// Queries with a finite answer.
+    pub reachable: usize,
+    /// Requests that failed (connection or protocol errors).
+    pub errors: usize,
+    /// Wall-clock duration of the traffic phase in seconds.
+    pub elapsed_seconds: f64,
+    /// Queries answered per second across all connections.
+    pub throughput_qps: f64,
+    /// Median request latency in microseconds (per `BATCH` when batching).
+    pub p50_us: f64,
+    /// 90th-percentile request latency in microseconds.
+    pub p90_us: f64,
+    /// 99th-percentile request latency in microseconds.
+    pub p99_us: f64,
+    /// Worst request latency in microseconds.
+    pub max_us: f64,
+    /// Server-side result-cache hit rate after the run (from `STATS`).
+    pub cache_hit_rate: f64,
+}
+
+impl JsonRecord for LoadgenResult {
+    fn json_fields(&self) -> Vec<(&'static str, String)> {
+        fn f(v: f64) -> String {
+            format!("{v:.3}")
+        }
+        vec![
+            ("dataset", json_string(&self.dataset)),
+            ("connections", self.connections.to_string()),
+            ("batch_size", self.batch_size.to_string()),
+            ("queries", self.queries.to_string()),
+            ("reachable", self.reachable.to_string()),
+            ("errors", self.errors.to_string()),
+            ("elapsed_seconds", f(self.elapsed_seconds)),
+            ("throughput_qps", f(self.throughput_qps)),
+            ("p50_us", f(self.p50_us)),
+            ("p90_us", f(self.p90_us)),
+            ("p99_us", f(self.p99_us)),
+            ("max_us", f(self.max_us)),
+            ("cache_hit_rate", format!("{:.4}", self.cache_hit_rate)),
+        ]
+    }
+}
+
+/// What one connection worker produced: answers aligned with its chunk of the
+/// workload, request latencies, and an error count.
+struct WorkerOutput {
+    base: usize,
+    answers: Vec<Option<Distance>>,
+    latencies_us: Vec<f64>,
+    errors: usize,
+}
+
+/// Replays `workload` against the server at `addr` and aggregates the
+/// result. Returns the aggregate plus the per-query answers in workload
+/// order (`None` both for unreachable pairs and for failed requests — use
+/// `errors == 0` to distinguish).
+pub fn run_against(
+    addr: &str,
+    dataset: &str,
+    workload: &QueryWorkload,
+    config: &LoadgenConfig,
+) -> Result<(LoadgenResult, Vec<Option<Distance>>), String> {
+    let queries = workload.queries();
+    let connections = config.connections.max(1);
+    let chunk_size = queries.len().div_ceil(connections).max(1);
+    // Establish every connection before starting the clock, so
+    // elapsed/throughput measure traffic only — not the retry wait for a
+    // server that is still loading its index in another process.
+    struct Worker<'w> {
+        base: usize,
+        chunk: &'w [(u32, u32, u32)],
+        client: Client,
+    }
+    let mut workers: Vec<Worker<'_>> = Vec::with_capacity(connections);
+    for (chunk_idx, chunk) in queries.chunks(chunk_size).enumerate() {
+        let client = Client::connect_retry(addr, config.connect_timeout)
+            .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+        workers.push(Worker { base: chunk_idx * chunk_size, chunk, client });
+    }
+    let start = Instant::now();
+    let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(connections);
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for w in workers {
+            handles.push(scope.spawn(move || drive_connection(w.client, w.base, w.chunk, config)));
+        }
+        for handle in handles {
+            outputs.push(handle.join().expect("loadgen workers never panic"));
+        }
+    });
+    let elapsed = start.elapsed().as_secs_f64();
+
+    let mut answers = vec![None; queries.len()];
+    let mut latencies: Vec<f64> = Vec::new();
+    let mut errors = 0usize;
+    for out in outputs {
+        for (offset, answer) in out.answers.into_iter().enumerate() {
+            answers[out.base + offset] = answer;
+        }
+        latencies.extend(out.latencies_us);
+        errors += out.errors;
+    }
+    latencies.sort_by(|a, b| a.partial_cmp(b).expect("latencies are finite"));
+
+    // The hit rate comes from the server itself, over a fresh connection so
+    // worker connection state cannot skew it.
+    let cache_hit_rate = Client::connect_retry(addr, config.connect_timeout)
+        .map_err(|e| format!("cannot connect for STATS: {e}"))?
+        .stats()?
+        .hit_rate();
+
+    let result = LoadgenResult {
+        dataset: dataset.to_string(),
+        connections,
+        batch_size: config.batch_size,
+        queries: queries.len(),
+        reachable: answers.iter().filter(|a| a.is_some()).count(),
+        errors,
+        elapsed_seconds: elapsed,
+        throughput_qps: if elapsed > 0.0 { queries.len() as f64 / elapsed } else { 0.0 },
+        p50_us: percentile(&latencies, 0.50),
+        p90_us: percentile(&latencies, 0.90),
+        p99_us: percentile(&latencies, 0.99),
+        max_us: latencies.last().copied().unwrap_or(0.0),
+        cache_hit_rate,
+    };
+    Ok((result, answers))
+}
+
+/// One connection worker: sends its chunk as individual queries or batches
+/// over its pre-established connection.
+fn drive_connection(
+    mut client: Client,
+    base: usize,
+    chunk: &[(u32, u32, u32)],
+    config: &LoadgenConfig,
+) -> WorkerOutput {
+    let mut out = WorkerOutput {
+        base,
+        answers: vec![None; chunk.len()],
+        latencies_us: Vec::new(),
+        errors: 0,
+    };
+    if config.batch_size == 0 {
+        for (i, &(s, t, w)) in chunk.iter().enumerate() {
+            let sent = Instant::now();
+            match client.query(s, t, w) {
+                Ok(answer) => out.answers[i] = answer,
+                Err(_) => out.errors += 1,
+            }
+            out.latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+        }
+    } else {
+        for (batch_idx, batch) in chunk.chunks(config.batch_size).enumerate() {
+            let sent = Instant::now();
+            match client.batch(batch) {
+                Ok(batch_answers) => {
+                    let offset = batch_idx * config.batch_size;
+                    for (j, answer) in batch_answers.into_iter().enumerate() {
+                        out.answers[offset + j] = answer;
+                    }
+                }
+                Err(_) => out.errors += batch.len(),
+            }
+            out.latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+        }
+    }
+    out
+}
+
+/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// Renders a short human-readable summary of a run.
+pub fn summary(result: &LoadgenResult) -> String {
+    format!(
+        "{}: {} queries over {} connections (batch {}) in {:.3}s -> {:.0} q/s, \
+         latency p50/p90/p99/max {:.1}/{:.1}/{:.1}/{:.1} µs, {} reachable, {} errors, \
+         cache hit rate {:.1}%",
+        result.dataset,
+        result.queries,
+        result.connections,
+        result.batch_size,
+        result.elapsed_seconds,
+        result.throughput_qps,
+        result.p50_us,
+        result.p90_us,
+        result.p99_us,
+        result.max_us,
+        result.reachable,
+        result.errors,
+        100.0 * result.cache_hit_rate
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::to_json;
+    use wcsd_core::IndexBuilder;
+    use wcsd_graph::generators::{barabasi_albert, QualityAssigner};
+    use wcsd_server::{Server, ServerConfig};
+
+    #[test]
+    fn loadgen_round_trip_matches_direct_queries() {
+        let g = barabasi_albert(120, 3, &QualityAssigner::uniform(4), 11);
+        let index = IndexBuilder::wc_index_plus().build(&g);
+        let reference = index.clone();
+        let server = Server::bind(index, ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        let workload = QueryWorkload::uniform(&g, 300, 5);
+        for batch_size in [0usize, 7] {
+            let config = LoadgenConfig { connections: 3, batch_size, ..Default::default() };
+            let (result, answers) = run_against(&addr, "ba-120", &workload, &config).unwrap();
+            assert_eq!(result.errors, 0);
+            assert_eq!(result.queries, 300);
+            assert!(result.throughput_qps > 0.0);
+            assert!(result.p50_us <= result.p99_us && result.p99_us <= result.max_us);
+            for (&(s, t, w), answer) in workload.queries().iter().zip(&answers) {
+                assert_eq!(*answer, reference.distance(s, t, w), "Q({s},{t},{w})");
+            }
+        }
+        // The second pass replayed the same workload: the cache must hit.
+        let mut client = Client::connect(&*addr).unwrap();
+        assert!(client.stats().unwrap().hit_rate() > 0.0);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn loadgen_result_renders_as_json() {
+        let result = LoadgenResult {
+            dataset: "smoke".into(),
+            connections: 2,
+            batch_size: 8,
+            queries: 100,
+            reachable: 90,
+            errors: 0,
+            elapsed_seconds: 0.5,
+            throughput_qps: 200.0,
+            p50_us: 10.0,
+            p90_us: 20.0,
+            p99_us: 30.0,
+            max_us: 40.0,
+            cache_hit_rate: 0.25,
+        };
+        let json = to_json(&[result]);
+        assert!(json.contains("\"throughput_qps\": 200.000"));
+        assert!(json.contains("\"cache_hit_rate\": 0.2500"));
+        assert!(json.contains("\"dataset\": \"smoke\""));
+    }
+
+    #[test]
+    fn percentile_edges() {
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[3.0], 0.99), 3.0);
+        let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
+        assert_eq!(percentile(&sorted, 0.50), 51.0); // nearest rank on 0..=99
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&sorted, 1.0), 100.0);
+    }
+}

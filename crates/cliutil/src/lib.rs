@@ -1,0 +1,81 @@
+//! # wcsd-cliutil — minimal `--flag value` argument parsing
+//!
+//! Shared by the workspace's binary front ends (`wcsd-cli`, `loadgen`), so
+//! flag semantics cannot drift between them. Deliberately dependency-free and
+//! tiny: positional/flag splitting and typed flag values, nothing more.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+/// Parses the value of `--flag <value>`, if the flag is present.
+///
+/// ```
+/// use wcsd_cliutil::flag_value;
+///
+/// let args: Vec<String> = vec!["--port".into(), "7979".into()];
+/// assert_eq!(flag_value::<u16>(&args, "--port"), Ok(Some(7979)));
+/// assert_eq!(flag_value::<u16>(&args, "--threads"), Ok(None));
+/// ```
+pub fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Result<Option<T>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            None => Err(format!("{flag} requires a value")),
+            Some(v) => v.parse().map(Some).map_err(|_| format!("invalid value {v:?} for {flag}")),
+        },
+    }
+}
+
+/// Splits `args` into positional arguments, skipping `--...` flags and the
+/// values consumed by the flags listed in `value_flags`.
+pub fn positional_args<'a>(args: &'a [String], value_flags: &[&str]) -> Vec<&'a String> {
+    let mut positional = Vec::new();
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if value_flags.contains(&a.as_str()) {
+            skip_next = true;
+            continue;
+        }
+        if a.starts_with("--") {
+            continue;
+        }
+        positional.push(a);
+    }
+    positional
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &[&str]) -> Vec<String> {
+        s.iter().map(|a| a.to_string()).collect()
+    }
+
+    #[test]
+    fn flag_value_parses_and_reports_errors() {
+        let a = args(&["serve", "--port", "7979", "--threads", "x"]);
+        assert_eq!(flag_value::<u16>(&a, "--port"), Ok(Some(7979)));
+        assert_eq!(flag_value::<u16>(&a, "--cache-size"), Ok(None));
+        assert!(flag_value::<usize>(&a, "--threads").unwrap_err().contains("invalid value"));
+        let dangling = args(&["--port"]);
+        assert!(flag_value::<u16>(&dangling, "--port").unwrap_err().contains("requires a value"));
+        // String parsing is infallible, so it doubles as a raw-value getter.
+        assert_eq!(flag_value::<String>(&a, "--threads"), Ok(Some("x".to_string())));
+    }
+
+    #[test]
+    fn positional_args_skip_flags_and_their_values() {
+        let a = args(&["serve", "g.el", "--port", "7979", "i.idx", "--dimacs"]);
+        let pos = positional_args(&a, &["--port"]);
+        assert_eq!(pos, ["serve", "g.el", "i.idx"]);
+        // A boolean flag listed as value-taking would eat the next positional;
+        // not listing it keeps everything.
+        let pos = positional_args(&a, &[]);
+        assert_eq!(pos, ["serve", "g.el", "7979", "i.idx"]);
+    }
+}

@@ -63,3 +63,29 @@ impl From<std::io::Error> for IoError {
 
 /// Convenience alias for results in this module.
 pub type Result<T> = std::result::Result<T, IoError>;
+
+/// Loads a graph from a file in either supported text format, with the file
+/// path woven into the error message. Shared by every binary front end
+/// (`wcsd-cli`, `loadgen`).
+pub fn read_graph_file(path: &str, use_dimacs: bool) -> std::result::Result<crate::Graph, String> {
+    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    let reader = std::io::BufReader::new(file);
+    if use_dimacs {
+        dimacs::read_dimacs(reader).map_err(|e| format!("{path}: {e}"))
+    } else {
+        edge_list::read_edge_list(reader).map_err(|e| format!("{path}: {e}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn read_graph_file_reports_path_in_errors() {
+        let err = super::read_graph_file("/nonexistent/x.el", false).unwrap_err();
+        assert!(err.contains("/nonexistent/x.el"), "{err}");
+        let dir = std::env::temp_dir().join("wcsd_read_graph_file_test.el");
+        std::fs::write(&dir, "0 1 2\n1 2 3\n").unwrap();
+        let g = super::read_graph_file(dir.to_str().unwrap(), false).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+}

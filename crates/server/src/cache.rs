@@ -1,0 +1,323 @@
+//! Sharded LRU result cache keyed on `(s, t, w)`.
+//!
+//! Point-query traffic against an immutable [`wcsd_core::WcIndex`] is
+//! embarrassingly cacheable: the answer to `(s, t, w)` never changes for the
+//! lifetime of the loaded index, so the cache needs no invalidation — only
+//! bounded memory. Each shard is an independent [`std::sync::Mutex`]-guarded
+//! LRU list (slab-backed doubly linked list + hash map), so concurrent
+//! connections rarely contend on the same lock. Hit/miss counters are lock-free
+//! atomics feeding the `STATS` command and the load-generator report.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use wcsd_graph::{Distance, Quality, VertexId};
+
+/// Cache key: one point query.
+pub type QueryKey = (VertexId, VertexId, Quality);
+
+/// Cached value: the query answer (`None` = unreachable, which is just as
+/// worth caching as a finite distance).
+pub type CachedAnswer = Option<Distance>;
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: QueryKey,
+    value: CachedAnswer,
+    prev: usize,
+    next: usize,
+}
+
+/// One LRU shard: a slab of nodes threaded into a doubly linked recency list,
+/// plus a hash map from key to slab slot.
+struct Shard {
+    map: HashMap<QueryKey, usize>,
+    slab: Vec<Node>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Self {
+        Self {
+            map: HashMap::with_capacity(capacity.min(1024)),
+            slab: Vec::with_capacity(capacity.min(1024)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, slot: usize) {
+        let (prev, next) = (self.slab[slot].prev, self.slab[slot].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, slot: usize) {
+        self.slab[slot].prev = NIL;
+        self.slab[slot].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = slot;
+        }
+        self.head = slot;
+        if self.tail == NIL {
+            self.tail = slot;
+        }
+    }
+
+    fn get(&mut self, key: &QueryKey) -> Option<CachedAnswer> {
+        let slot = *self.map.get(key)?;
+        if slot != self.head {
+            self.unlink(slot);
+            self.push_front(slot);
+        }
+        Some(self.slab[slot].value)
+    }
+
+    fn insert(&mut self, key: QueryKey, value: CachedAnswer) {
+        if let Some(&slot) = self.map.get(&key) {
+            self.slab[slot].value = value;
+            if slot != self.head {
+                self.unlink(slot);
+                self.push_front(slot);
+            }
+            return;
+        }
+        let slot = if self.slab.len() < self.capacity {
+            self.slab.push(Node { key, value, prev: NIL, next: NIL });
+            self.slab.len() - 1
+        } else {
+            // Evict the least recently used entry and reuse its slot.
+            let victim = self.tail;
+            self.unlink(victim);
+            self.map.remove(&self.slab[victim].key);
+            self.slab[victim] = Node { key, value, prev: NIL, next: NIL };
+            victim
+        };
+        self.map.insert(key, slot);
+        self.push_front(slot);
+    }
+}
+
+/// A sharded, bounded, thread-safe LRU cache for query results.
+///
+/// A `capacity` of 0 disables caching entirely: every lookup misses and
+/// inserts are dropped, so the server code path stays uniform.
+///
+/// ```
+/// use wcsd_server::cache::ResultCache;
+///
+/// let cache = ResultCache::new(128, 4);
+/// assert_eq!(cache.get(&(0, 1, 2)), None);
+/// cache.insert((0, 1, 2), Some(7));
+/// assert_eq!(cache.get(&(0, 1, 2)), Some(Some(7)));
+/// assert_eq!(cache.hits(), 1);
+/// assert_eq!(cache.misses(), 1);
+/// ```
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl ResultCache {
+    /// Creates a cache holding at most `capacity` entries spread over
+    /// `shards` independent locks (shard count is clamped to at least 1 and
+    /// at most `capacity` so every shard holds at least one entry). The
+    /// per-shard capacities sum to exactly `capacity`.
+    pub fn new(capacity: usize, shards: usize) -> Self {
+        let shards = shards.max(1).min(capacity.max(1));
+        let (base, extra) = (capacity / shards, capacity % shards);
+        Self {
+            shards: (0..shards)
+                .map(|i| Mutex::new(Shard::new(base + usize::from(i < extra))))
+                .collect(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// A cache that never stores anything (capacity 0).
+    pub fn disabled() -> Self {
+        Self::new(0, 1)
+    }
+
+    fn shard_of(&self, key: &QueryKey) -> &Mutex<Shard> {
+        // Fibonacci-hash the key into a shard; the std HashMap hasher is not
+        // reachable for one-off hashes without allocation, and this mixer is
+        // plenty for distributing (s, t, w) triples.
+        let mut h = (key.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= (key.1 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        h ^= (key.2 as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+        h ^= h >> 29;
+        &self.shards[(h % self.shards.len() as u64) as usize]
+    }
+
+    /// Looks up a query, promoting it to most-recently-used on a hit and
+    /// bumping the hit/miss counters either way.
+    pub fn get(&self, key: &QueryKey) -> Option<CachedAnswer> {
+        let mut shard = self.shard_of(key).lock().expect("cache shard poisoned");
+        let found = if shard.capacity == 0 { None } else { shard.get(key) };
+        drop(shard);
+        match found {
+            Some(v) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(v)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores an answer, evicting the least recently used entry of the
+    /// target shard when full.
+    pub fn insert(&self, key: QueryKey, value: CachedAnswer) {
+        let mut shard = self.shard_of(&key).lock().expect("cache shard poisoned");
+        if shard.capacity > 0 {
+            shard.insert(key, value);
+        }
+    }
+
+    /// Number of cached entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard poisoned").map.len()).sum()
+    }
+
+    /// Returns `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups answered from the cache so far.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that fell through to the index so far.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of lookups answered from the cache (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let (h, m) = (self.hits() as f64, self.misses() as f64);
+        if h + m == 0.0 {
+            0.0
+        } else {
+            h / (h + m)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_miss_accounting() {
+        let c = ResultCache::new(16, 2);
+        assert_eq!(c.get(&(1, 2, 3)), None);
+        c.insert((1, 2, 3), Some(9));
+        c.insert((4, 5, 6), None);
+        assert_eq!(c.get(&(1, 2, 3)), Some(Some(9)));
+        assert_eq!(c.get(&(4, 5, 6)), Some(None)); // unreachable is cached too
+        assert_eq!(c.hits(), 2);
+        assert_eq!(c.misses(), 1);
+        assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        // Single shard so the eviction order is fully deterministic.
+        let c = ResultCache::new(2, 1);
+        c.insert((0, 0, 1), Some(0));
+        c.insert((1, 1, 1), Some(1));
+        assert_eq!(c.get(&(0, 0, 1)), Some(Some(0))); // touch key 0: key 1 is now LRU
+        c.insert((2, 2, 1), Some(2)); // evicts key 1
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&(1, 1, 1)), None);
+        assert_eq!(c.get(&(0, 0, 1)), Some(Some(0)));
+        assert_eq!(c.get(&(2, 2, 1)), Some(Some(2)));
+    }
+
+    #[test]
+    fn reinsert_updates_value_without_growth() {
+        let c = ResultCache::new(4, 1);
+        c.insert((1, 2, 3), Some(5));
+        c.insert((1, 2, 3), Some(6));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.get(&(1, 2, 3)), Some(Some(6)));
+    }
+
+    #[test]
+    fn zero_capacity_disables_caching() {
+        let c = ResultCache::disabled();
+        c.insert((1, 2, 3), Some(5));
+        assert_eq!(c.get(&(1, 2, 3)), None);
+        assert_eq!(c.len(), 0);
+        assert_eq!(c.hit_rate(), 0.0);
+        assert_eq!(c.misses(), 1);
+    }
+
+    #[test]
+    fn many_inserts_respect_capacity() {
+        let c = ResultCache::new(64, 8);
+        for i in 0..10_000u32 {
+            c.insert((i, i + 1, 1), Some(i));
+        }
+        assert!(c.len() <= 64, "len {} exceeds capacity", c.len());
+        // The most recent key of some shard must still be present.
+        assert_eq!(c.get(&(9999, 10_000, 1)), Some(Some(9999)));
+    }
+
+    #[test]
+    fn capacity_is_exact_across_shards() {
+        // 17 over 16 shards must not round up to 32.
+        let c = ResultCache::new(17, 16);
+        for i in 0..1000u32 {
+            c.insert((i, i, 1), Some(i));
+        }
+        assert!(c.len() <= 17, "len {} exceeds configured capacity", c.len());
+        // Fewer entries than shards: shard count is clamped, capacity holds.
+        let c = ResultCache::new(3, 16);
+        for i in 0..100u32 {
+            c.insert((i, i, 1), Some(i));
+        }
+        assert!(c.len() <= 3 && !c.is_empty());
+    }
+
+    #[test]
+    fn concurrent_access_is_consistent() {
+        let c = std::sync::Arc::new(ResultCache::new(1024, 8));
+        std::thread::scope(|s| {
+            for th in 0..4u32 {
+                let c = std::sync::Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..500u32 {
+                        let key = (i % 97, (i + th) % 89, 1 + i % 5);
+                        if let Some(v) = c.get(&key) {
+                            assert_eq!(v, Some(key.0 + key.1));
+                        } else {
+                            c.insert(key, Some(key.0 + key.1));
+                        }
+                    }
+                });
+            }
+        });
+        assert_eq!(c.hits() + c.misses(), 2000);
+    }
+}

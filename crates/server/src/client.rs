@@ -1,0 +1,145 @@
+//! A small blocking client for the wcsd wire protocol, used by the
+//! `wcsd-cli client` subcommand, the bench load-generator, and the
+//! integration tests.
+
+use crate::protocol::{self, Request};
+use crate::server::ServerSnapshot;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::{Duration, Instant};
+use wcsd_graph::{Distance, Quality, VertexId};
+
+/// A connected protocol client. One request/reply exchange at a time; open
+/// several clients for concurrency.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok(); // request/reply traffic hates Nagle
+        let writer = BufWriter::new(stream.try_clone()?);
+        Ok(Self { reader: BufReader::new(stream), writer })
+    }
+
+    /// Connects, retrying until `timeout` elapses. Useful when the server is
+    /// starting up in another process (CI smoke tests, the load generator).
+    pub fn connect_retry(
+        addr: impl ToSocketAddrs + Copy,
+        timeout: Duration,
+    ) -> std::io::Result<Self> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            match Self::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) if Instant::now() >= deadline => return Err(e),
+                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+            }
+        }
+    }
+
+    /// Sends one raw protocol line and returns the first reply line —
+    /// the `wcsd-cli client` passthrough. `BATCH` bodies are not supported
+    /// here; use [`Client::batch`].
+    pub fn roundtrip(&mut self, line: &str) -> Result<String, String> {
+        self.send(line)?;
+        self.recv()
+    }
+
+    /// Answers `Q(s, t, w)` over the wire.
+    pub fn query(
+        &mut self,
+        s: VertexId,
+        t: VertexId,
+        w: Quality,
+    ) -> Result<Option<Distance>, String> {
+        let reply = self.roundtrip(&Request::Query { s, t, w }.encode())?;
+        protocol::parse_distance_reply(&reply)
+    }
+
+    /// Answers a whole batch over the wire with one `BATCH` request.
+    pub fn batch(
+        &mut self,
+        queries: &[(VertexId, VertexId, Quality)],
+    ) -> Result<Vec<Option<Distance>>, String> {
+        // Reject oversized batches before sending anything: the server would
+        // refuse the header without consuming the body lines, permanently
+        // desynchronising the connection.
+        if queries.len() > protocol::MAX_BATCH {
+            return Err(format!(
+                "batch of {} queries exceeds the protocol maximum {}; split it",
+                queries.len(),
+                protocol::MAX_BATCH
+            ));
+        }
+        let mut request = Request::Batch { n: queries.len() }.encode();
+        request.push('\n');
+        for &(s, t, w) in queries {
+            request.push_str(&format!("{s} {t} {w}\n"));
+        }
+        self.writer.write_all(request.as_bytes()).map_err(|e| format!("send failed: {e}"))?;
+        self.writer.flush().map_err(|e| format!("send failed: {e}"))?;
+        let header = self.recv()?;
+        let n: usize = header
+            .strip_prefix("OK ")
+            .and_then(|rest| rest.trim().parse().ok())
+            .ok_or_else(|| protocol::server_error(&header))?;
+        if n != queries.len() {
+            return Err(format!("batch header announced {n} answers, expected {}", queries.len()));
+        }
+        let mut answers = Vec::with_capacity(n);
+        for _ in 0..n {
+            let line = self.recv()?;
+            answers.push(protocol::parse_distance_reply(&line)?);
+        }
+        Ok(answers)
+    }
+
+    /// Evaluates the `WITHIN` predicate over the wire.
+    pub fn within(
+        &mut self,
+        s: VertexId,
+        t: VertexId,
+        w: Quality,
+        d: Distance,
+    ) -> Result<bool, String> {
+        let reply = self.roundtrip(&Request::Within { s, t, w, d }.encode())?;
+        protocol::parse_bool_reply(&reply)
+    }
+
+    /// Fetches the server counters.
+    pub fn stats(&mut self) -> Result<ServerSnapshot, String> {
+        let reply = self.roundtrip(&Request::Stats.encode())?;
+        ServerSnapshot::decode(&reply)
+    }
+
+    /// Asks the server to shut down; returns once the server acknowledged.
+    pub fn shutdown(&mut self) -> Result<(), String> {
+        let reply = self.roundtrip(&Request::Shutdown.encode())?;
+        if reply.trim() == "BYE" {
+            Ok(())
+        } else {
+            Err(protocol::server_error(&reply))
+        }
+    }
+
+    fn send(&mut self, line: &str) -> Result<(), String> {
+        self.writer
+            .write_all(line.as_bytes())
+            .and_then(|()| self.writer.write_all(b"\n"))
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))
+    }
+
+    fn recv(&mut self) -> Result<String, String> {
+        let mut line = String::new();
+        match self.reader.read_line(&mut line) {
+            Ok(0) => Err("server closed the connection".to_string()),
+            Ok(_) => Ok(line.trim_end_matches(['\r', '\n']).to_string()),
+            Err(e) => Err(format!("receive failed: {e}")),
+        }
+    }
+}

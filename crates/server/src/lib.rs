@@ -1,0 +1,51 @@
+//! # wcsd-server — a long-lived concurrent query service over a WC-INDEX
+//!
+//! The paper's value proposition is microsecond `Query⁺` answers from an
+//! immutable in-memory index; this crate puts that index behind a daemon so
+//! the graph and index are loaded **once** and then serve arbitrarily many
+//! queries, instead of the one-shot `wcsd-cli query` flow that reloads both
+//! from disk per invocation.
+//!
+//! * [`server::Server`] — `std::net::TcpListener` accept loop with one scoped
+//!   handler thread per connection (the [`wcsd_core::parallel`] pattern),
+//!   cooperative `SHUTDOWN`, and server-side `BATCH` scheduling through
+//!   [`wcsd_core::parallel::par_distances`].
+//! * [`protocol`] — the newline-delimited text protocol (`QUERY`, `BATCH`,
+//!   `WITHIN`, `STATS`, `SHUTDOWN`) shared by server and client.
+//! * [`cache::ResultCache`] — a sharded LRU result cache keyed on
+//!   `(s, t, w)` with lock-free hit/miss accounting.
+//! * [`client::Client`] — a small blocking client used by the CLI, the bench
+//!   load generator, and the integration tests.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use wcsd_core::IndexBuilder;
+//! use wcsd_graph::generators::paper_figure3;
+//! use wcsd_server::{Client, Server, ServerConfig};
+//!
+//! let index = IndexBuilder::wc_index_plus().build(&paper_figure3());
+//! let server = Server::bind(index, ServerConfig::default()).unwrap();
+//! let addr = server.local_addr();
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! assert_eq!(client.query(2, 5, 2), Ok(Some(2)));   // Example 3 of the paper
+//! assert_eq!(client.query(2, 5, 99), Ok(None));     // unsatisfiable constraint
+//! client.shutdown().unwrap();
+//! let summary = handle.join().unwrap();
+//! assert_eq!(summary.queries, 2);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cache;
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use cache::ResultCache;
+pub use client::Client;
+pub use protocol::Request;
+pub use server::{Server, ServerConfig, ServerSnapshot};

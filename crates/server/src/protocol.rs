@@ -1,0 +1,241 @@
+//! The wire protocol: newline-delimited ASCII text, symmetric enough that the
+//! same module serves both the server (parse requests, encode replies) and the
+//! client (encode requests, parse replies).
+//!
+//! ## Requests
+//!
+//! ```text
+//! QUERY <s> <t> <w>            one point lookup
+//! BATCH <n>                    followed by n lines "<s> <t> <w>"
+//! WITHIN <s> <t> <w> <d>       bounded reachability predicate
+//! STATS                        server + cache counters
+//! SHUTDOWN                     stop accepting and drain
+//! ```
+//!
+//! Command verbs are case-insensitive; arguments are unsigned decimal
+//! integers separated by whitespace.
+//!
+//! ## Replies
+//!
+//! ```text
+//! DIST <d>                     finite answer to QUERY (or one BATCH line)
+//! INF                          unreachable under the constraint
+//! OK <n>                       BATCH header, followed by n DIST/INF lines
+//! TRUE | FALSE                 answer to WITHIN
+//! STATS k=v k=v ...            answer to STATS (single line)
+//! BYE                          answer to SHUTDOWN
+//! ERR <reason>                 any malformed or out-of-range request
+//! ```
+
+use wcsd_graph::{Distance, Quality, VertexId};
+
+/// Largest `BATCH` size the server accepts in one request; protects the
+/// server from a single client queuing an unbounded amount of work.
+pub const MAX_BATCH: usize = 1_000_000;
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `QUERY s t w` — one `w`-constrained distance lookup.
+    Query {
+        /// Source vertex.
+        s: VertexId,
+        /// Target vertex.
+        t: VertexId,
+        /// Quality constraint.
+        w: Quality,
+    },
+    /// `BATCH n` — header announcing `n` follow-up `s t w` lines.
+    Batch {
+        /// Number of queries that follow.
+        n: usize,
+    },
+    /// `WITHIN s t w d` — is there a `w`-path of length at most `d`?
+    Within {
+        /// Source vertex.
+        s: VertexId,
+        /// Target vertex.
+        t: VertexId,
+        /// Quality constraint.
+        w: Quality,
+        /// Distance bound.
+        d: Distance,
+    },
+    /// `STATS` — report server counters.
+    Stats,
+    /// `SHUTDOWN` — stop the server gracefully.
+    Shutdown,
+}
+
+impl Request {
+    /// Renders the request as its wire line (without the trailing newline).
+    pub fn encode(&self) -> String {
+        match self {
+            Self::Query { s, t, w } => format!("QUERY {s} {t} {w}"),
+            Self::Batch { n } => format!("BATCH {n}"),
+            Self::Within { s, t, w, d } => format!("WITHIN {s} {t} {w} {d}"),
+            Self::Stats => "STATS".to_string(),
+            Self::Shutdown => "SHUTDOWN".to_string(),
+        }
+    }
+}
+
+/// Parses one request line. Returns a human-readable reason on failure, which
+/// the server relays verbatim as `ERR <reason>`.
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut it = line.split_whitespace();
+    let verb = it.next().ok_or_else(|| "empty command".to_string())?;
+    let req = match verb.to_ascii_uppercase().as_str() {
+        "QUERY" => {
+            let (s, t, w) = (num(&mut it, "s")?, num(&mut it, "t")?, num(&mut it, "w")?);
+            Request::Query { s, t, w }
+        }
+        "BATCH" => {
+            let n = num::<usize>(&mut it, "n")?;
+            if n > MAX_BATCH {
+                return Err(format!("batch size {n} exceeds maximum {MAX_BATCH}"));
+            }
+            Request::Batch { n }
+        }
+        "WITHIN" => {
+            let s = num(&mut it, "s")?;
+            let t = num(&mut it, "t")?;
+            let w = num(&mut it, "w")?;
+            let d = num(&mut it, "d")?;
+            Request::Within { s, t, w, d }
+        }
+        "STATS" => Request::Stats,
+        "SHUTDOWN" => Request::Shutdown,
+        other => return Err(format!("unknown command {other:?}")),
+    };
+    if let Some(extra) = it.next() {
+        return Err(format!("trailing argument {extra:?}"));
+    }
+    Ok(req)
+}
+
+/// Parses one `s t w` body line of a `BATCH` request.
+pub fn parse_batch_line(line: &str) -> Result<(VertexId, VertexId, Quality), String> {
+    let mut it = line.split_whitespace();
+    let s = num(&mut it, "s")?;
+    let t = num(&mut it, "t")?;
+    let w = num(&mut it, "w")?;
+    if let Some(extra) = it.next() {
+        return Err(format!("trailing argument {extra:?}"));
+    }
+    Ok((s, t, w))
+}
+
+fn num<T: std::str::FromStr>(
+    it: &mut std::str::SplitWhitespace<'_>,
+    what: &str,
+) -> Result<T, String> {
+    let tok = it.next().ok_or_else(|| format!("missing argument <{what}>"))?;
+    tok.parse().map_err(|_| format!("invalid argument <{what}>: {tok:?}"))
+}
+
+/// Renders a distance answer as its wire line: `DIST <d>` or `INF`.
+pub fn encode_distance(d: Option<Distance>) -> String {
+    match d {
+        Some(d) => format!("DIST {d}"),
+        None => "INF".to_string(),
+    }
+}
+
+/// Parses a `DIST <d>` / `INF` reply line (client side). An `ERR` line
+/// surfaces as `Err` with the server's reason.
+pub fn parse_distance_reply(line: &str) -> Result<Option<Distance>, String> {
+    let line = line.trim();
+    if line == "INF" {
+        return Ok(None);
+    }
+    if let Some(rest) = line.strip_prefix("DIST ") {
+        return rest.trim().parse().map(Some).map_err(|_| format!("malformed DIST reply {line:?}"));
+    }
+    Err(server_error(line))
+}
+
+/// Parses a `TRUE`/`FALSE` reply line (client side).
+pub fn parse_bool_reply(line: &str) -> Result<bool, String> {
+    match line.trim() {
+        "TRUE" => Ok(true),
+        "FALSE" => Ok(false),
+        other => Err(server_error(other)),
+    }
+}
+
+/// Extracts the reason from an `ERR <reason>` line, or describes the
+/// unexpected line.
+pub fn server_error(line: &str) -> String {
+    match line.trim().strip_prefix("ERR ") {
+        Some(reason) => format!("server error: {reason}"),
+        None => format!("unexpected reply {:?}", line.trim()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(parse_request("QUERY 1 2 3"), Ok(Request::Query { s: 1, t: 2, w: 3 }));
+        assert_eq!(parse_request("query 1 2 3"), Ok(Request::Query { s: 1, t: 2, w: 3 }));
+        assert_eq!(parse_request("BATCH 10"), Ok(Request::Batch { n: 10 }));
+        assert_eq!(parse_request("BATCH 0"), Ok(Request::Batch { n: 0 }));
+        assert_eq!(parse_request("WITHIN 1 2 3 4"), Ok(Request::Within { s: 1, t: 2, w: 3, d: 4 }));
+        assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("  shutdown  "), Ok(Request::Shutdown));
+    }
+
+    #[test]
+    fn encode_parse_roundtrip() {
+        for req in [
+            Request::Query { s: 7, t: 9, w: 2 },
+            Request::Batch { n: 128 },
+            Request::Within { s: 0, t: 1, w: 1, d: 5 },
+            Request::Stats,
+            Request::Shutdown,
+        ] {
+            assert_eq!(parse_request(&req.encode()), Ok(req));
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("NOPE 1 2").is_err());
+        assert!(parse_request("QUERY 1 2").is_err());
+        assert!(parse_request("QUERY 1 2 x").is_err());
+        assert!(parse_request("QUERY 1 2 3 4").is_err());
+        assert!(parse_request("QUERY -1 2 3").is_err());
+        assert!(parse_request("BATCH").is_err());
+        assert!(parse_request(&format!("BATCH {}", MAX_BATCH + 1)).is_err());
+        assert!(parse_request("STATS now").is_err());
+    }
+
+    #[test]
+    fn batch_lines() {
+        assert_eq!(parse_batch_line("3 4 5"), Ok((3, 4, 5)));
+        assert!(parse_batch_line("3 4").is_err());
+        assert!(parse_batch_line("3 4 5 6").is_err());
+        assert!(parse_batch_line("a b c").is_err());
+    }
+
+    #[test]
+    fn distance_replies() {
+        assert_eq!(encode_distance(Some(4)), "DIST 4");
+        assert_eq!(encode_distance(None), "INF");
+        assert_eq!(parse_distance_reply("DIST 4\n"), Ok(Some(4)));
+        assert_eq!(parse_distance_reply("INF"), Ok(None));
+        assert!(parse_distance_reply("ERR nope").unwrap_err().contains("nope"));
+        assert!(parse_distance_reply("GARBAGE").is_err());
+    }
+
+    #[test]
+    fn bool_replies() {
+        assert_eq!(parse_bool_reply("TRUE\n"), Ok(true));
+        assert_eq!(parse_bool_reply("FALSE"), Ok(false));
+        assert!(parse_bool_reply("ERR out of range").is_err());
+    }
+}

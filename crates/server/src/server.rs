@@ -1,0 +1,527 @@
+//! The query server: a long-lived service answering WCSD queries over TCP
+//! from one loaded, immutable [`WcIndex`].
+//!
+//! Connection handling follows the scoped-thread pattern of
+//! [`wcsd_core::parallel`]: the accept loop runs inside a
+//! [`std::thread::scope`] and spawns one handler thread per connection, so
+//! every handler borrows the shared index directly — no `Arc` plumbing, no
+//! locks on the hot query path (the index is immutable; only the result cache
+//! shards and the statistics counters are shared mutable state).
+//!
+//! `BATCH` requests are scheduled server-side: cache hits are answered
+//! immediately and only the misses are fanned out across
+//! [`wcsd_core::parallel::par_distances`] worker threads, then inserted back
+//! into the cache.
+//!
+//! Shutdown is cooperative: `SHUTDOWN` flips an atomic flag; the nonblocking
+//! accept loop and the handler threads (via a short read timeout) poll the
+//! flag, so `run` returns once every connection has drained.
+
+use crate::cache::ResultCache;
+use crate::protocol::{self, Request};
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+use wcsd_core::{parallel, WcIndex};
+use wcsd_graph::{Quality, VertexId};
+
+/// How often parked connection handlers wake up to poll the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(100);
+
+/// How often the nonblocking accept loop polls for new connections (and the
+/// shutdown flag). Shorter than [`POLL_INTERVAL`] because this bounds the
+/// latency a freshly connected client sees on its first request; the idle
+/// cost is ~100 no-op accepts per second.
+const ACCEPT_POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Upper bound on one socket write. A client that stops reading its replies
+/// (so the kernel send buffer fills) gets its connection dropped after this
+/// long instead of pinning a handler thread forever — which would also block
+/// the scope join in [`Server::run`] past a `SHUTDOWN`.
+const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+
+/// Server tuning knobs. `Default` picks a kernel-assigned port, one batch
+/// worker per core, and a 64Ki-entry cache over 16 shards.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// TCP port to listen on (0 = kernel-assigned; see
+    /// [`Server::local_addr`]). The server always binds loopback.
+    pub port: u16,
+    /// Worker threads for server-side `BATCH` evaluation.
+    pub batch_threads: usize,
+    /// Total result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Number of independent cache shards.
+    pub cache_shards: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            batch_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            cache_capacity: 64 * 1024,
+            cache_shards: 16,
+        }
+    }
+}
+
+/// A point-in-time snapshot of the server counters, backing the `STATS`
+/// command and the summary returned by [`Server::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerSnapshot {
+    /// Vertices covered by the served index.
+    pub vertices: usize,
+    /// Label entries in the served index.
+    pub entries: usize,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Connections accepted so far.
+    pub connections: u64,
+    /// Point requests answered (`QUERY` and `WITHIN`; `WITHIN` bypasses the
+    /// result cache, so this can exceed `cache_hits + cache_misses`).
+    pub queries: u64,
+    /// `BATCH` requests answered.
+    pub batches: u64,
+    /// Individual queries answered inside batches.
+    pub batch_queries: u64,
+    /// Result-cache hits.
+    pub cache_hits: u64,
+    /// Result-cache misses.
+    pub cache_misses: u64,
+}
+
+impl ServerSnapshot {
+    /// Fraction of cache lookups that hit (0 when idle).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
+
+    /// Renders the single-line `STATS` reply.
+    pub fn encode(&self) -> String {
+        format!(
+            "STATS vertices={} entries={} uptime_ms={} connections={} queries={} batches={} \
+             batch_queries={} cache_hits={} cache_misses={} hit_rate={:.4}",
+            self.vertices,
+            self.entries,
+            self.uptime_ms,
+            self.connections,
+            self.queries,
+            self.batches,
+            self.batch_queries,
+            self.cache_hits,
+            self.cache_misses,
+            self.hit_rate()
+        )
+    }
+
+    /// Parses a `STATS ...` reply line (client side).
+    pub fn decode(line: &str) -> Result<Self, String> {
+        let body =
+            line.trim().strip_prefix("STATS ").ok_or_else(|| protocol::server_error(line))?;
+        let mut snap = Self {
+            vertices: 0,
+            entries: 0,
+            uptime_ms: 0,
+            connections: 0,
+            queries: 0,
+            batches: 0,
+            batch_queries: 0,
+            cache_hits: 0,
+            cache_misses: 0,
+        };
+        for pair in body.split_whitespace() {
+            let (key, value) =
+                pair.split_once('=').ok_or_else(|| format!("malformed stats field {pair:?}"))?;
+            let parse =
+                |v: &str| v.parse::<u64>().map_err(|_| format!("malformed stats value {pair:?}"));
+            match key {
+                "vertices" => snap.vertices = parse(value)? as usize,
+                "entries" => snap.entries = parse(value)? as usize,
+                "uptime_ms" => snap.uptime_ms = parse(value)?,
+                "connections" => snap.connections = parse(value)?,
+                "queries" => snap.queries = parse(value)?,
+                "batches" => snap.batches = parse(value)?,
+                "batch_queries" => snap.batch_queries = parse(value)?,
+                "cache_hits" => snap.cache_hits = parse(value)?,
+                "cache_misses" => snap.cache_misses = parse(value)?,
+                "hit_rate" => {} // derived; recomputed from hits/misses
+                other => return Err(format!("unknown stats field {other:?}")),
+            }
+        }
+        Ok(snap)
+    }
+}
+
+/// Shared state every connection handler borrows.
+struct Shared {
+    index: WcIndex,
+    cache: ResultCache,
+    batch_threads: usize,
+    started: Instant,
+    shutdown: AtomicBool,
+    connections: AtomicU64,
+    queries: AtomicU64,
+    batches: AtomicU64,
+    batch_queries: AtomicU64,
+}
+
+impl Shared {
+    fn snapshot(&self) -> ServerSnapshot {
+        let stats = self.index.stats();
+        ServerSnapshot {
+            vertices: stats.num_vertices,
+            entries: stats.total_entries,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            connections: self.connections.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            batch_queries: self.batch_queries.load(Ordering::Relaxed),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+        }
+    }
+
+    /// Answers one query through the cache.
+    fn cached_distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<u32> {
+        let key = (s, t, w);
+        if let Some(answer) = self.cache.get(&key) {
+            return answer;
+        }
+        let answer = self.index.distance(s, t, w);
+        self.cache.insert(key, answer);
+        answer
+    }
+
+    fn check_range(&self, s: VertexId, t: VertexId) -> Result<(), String> {
+        let n = self.index.num_vertices();
+        for v in [s, t] {
+            if v as usize >= n {
+                return Err(format!("vertex {v} out of range (index covers 0..{n})"));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// A bound but not yet running query server. Created with [`Server::bind`],
+/// driven to completion with [`Server::run`].
+pub struct Server {
+    listener: TcpListener,
+    local_addr: SocketAddr,
+    shared: Shared,
+}
+
+impl Server {
+    /// Binds a loopback listener and takes ownership of the index to serve.
+    pub fn bind(index: WcIndex, config: ServerConfig) -> std::io::Result<Self> {
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
+        let local_addr = listener.local_addr()?;
+        Ok(Self {
+            listener,
+            local_addr,
+            shared: Shared {
+                index,
+                cache: ResultCache::new(config.cache_capacity, config.cache_shards),
+                batch_threads: config.batch_threads.max(1),
+                started: Instant::now(),
+                shutdown: AtomicBool::new(false),
+                connections: AtomicU64::new(0),
+                queries: AtomicU64::new(0),
+                batches: AtomicU64::new(0),
+                batch_queries: AtomicU64::new(0),
+            },
+        })
+    }
+
+    /// The address the server listens on (useful with `port = 0`).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Accepts and serves connections until a client sends `SHUTDOWN`.
+    /// Returns the final counter snapshot once every connection has drained.
+    pub fn run(self) -> ServerSnapshot {
+        let shared = &self.shared;
+        // A nonblocking accept loop polled on the same cadence as the
+        // handlers: shutdown is observed within one POLL_INTERVAL no matter
+        // what, without relying on a wake-up connection getting through.
+        let nonblocking = self.listener.set_nonblocking(true).is_ok();
+        std::thread::scope(|scope| loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    shared.connections.fetch_add(1, Ordering::Relaxed);
+                    scope.spawn(move || {
+                        // A failed handler only drops its own connection.
+                        let _ = handle_connection(stream, shared);
+                    });
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(ACCEPT_POLL_INTERVAL);
+                }
+                // Transient accept errors (e.g. a connection reset while
+                // queued) must not kill the server. If the listener could not
+                // be made nonblocking the error may repeat immediately, so
+                // pace the retries either way.
+                Err(_) => std::thread::sleep(if nonblocking {
+                    Duration::from_millis(1)
+                } else {
+                    ACCEPT_POLL_INTERVAL
+                }),
+            }
+        });
+        shared.snapshot()
+    }
+}
+
+/// Outcome of one buffered line read under the shutdown-polling regime.
+enum LineRead {
+    /// A complete newline-terminated request line.
+    Line,
+    /// The peer closed the connection (possibly mid-line).
+    Closed,
+    /// The server is shutting down.
+    Shutdown,
+    /// The peer streamed more than [`MAX_LINE`] bytes without a newline.
+    TooLong,
+}
+
+/// Longest request line the server accepts. Every legal request fits in a few
+/// dozen bytes; this bounds the memory a client streaming newline-free bytes
+/// can pin in a handler (the line-size analogue of [`protocol::MAX_BATCH`]).
+const MAX_LINE: usize = 64 * 1024;
+
+/// Reads one line, waking every [`POLL_INTERVAL`] to poll the shutdown flag.
+/// A partial line followed by a disconnect is reported as [`LineRead::Closed`]
+/// and never processed.
+///
+/// Reading happens at the byte level (`read_until` into `buf`) rather than
+/// through `read_line`, because `read_line` discards everything it appended
+/// in a call that errors with partially-invalid UTF-8 — a read timeout
+/// landing mid-way through a multi-byte sequence would silently drop bytes
+/// already consumed from the socket and corrupt the framing. The completed
+/// line is converted lossily into `line` instead.
+fn read_request_line(
+    reader: &mut BufReader<TcpStream>,
+    buf: &mut Vec<u8>,
+    line: &mut String,
+    shared: &Shared,
+) -> LineRead {
+    use std::io::Read;
+    buf.clear();
+    loop {
+        // Cap each attempt at the remaining line budget; `Take` wraps the
+        // BufReader itself, so already-buffered bytes are not lost.
+        let budget = (MAX_LINE + 1).saturating_sub(buf.len());
+        match (&mut *reader).take(budget as u64).read_until(b'\n', buf) {
+            Ok(0) => return LineRead::Closed,
+            Ok(_) if buf.ends_with(b"\n") => {
+                line.clear();
+                line.push_str(&String::from_utf8_lossy(buf));
+                return LineRead::Line;
+            }
+            // read_until stops without a newline either because the budget
+            // ran out or at EOF (the peer disconnected mid-line).
+            Ok(_) if buf.len() > MAX_LINE => return LineRead::TooLong,
+            Ok(_) => return LineRead::Closed,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                // Bytes read before the timeout stay appended to `buf`;
+                // retrying resumes exactly where the read stopped.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return LineRead::Shutdown;
+                }
+            }
+            Err(_) => return LineRead::Closed,
+        }
+    }
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
+    // Accepted sockets can inherit the listener's nonblocking mode on some
+    // platforms; force blocking so the timeout-based polling below applies.
+    stream.set_nonblocking(false)?;
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
+    let mut writer = BufWriter::new(stream.try_clone()?);
+    let mut reader = BufReader::new(stream);
+    let mut buf = Vec::new();
+    let mut line = String::new();
+    loop {
+        match read_request_line(&mut reader, &mut buf, &mut line, shared) {
+            LineRead::Line => {}
+            LineRead::TooLong => {
+                // The rest of the oversized line is unread, so framing is
+                // lost: report and drop the connection.
+                writeln!(writer, "ERR request line exceeds {MAX_LINE} bytes")?;
+                writer.flush()?;
+                return Ok(());
+            }
+            LineRead::Closed | LineRead::Shutdown => return Ok(()),
+        }
+        if line.trim().is_empty() {
+            continue; // blank keep-alive lines are not an error
+        }
+        match protocol::parse_request(&line) {
+            Err(reason) => writeln!(writer, "ERR {reason}")?,
+            Ok(Request::Query { s, t, w }) => match shared.check_range(s, t) {
+                Err(reason) => writeln!(writer, "ERR {reason}")?,
+                Ok(()) => {
+                    shared.queries.fetch_add(1, Ordering::Relaxed);
+                    let answer = shared.cached_distance(s, t, w);
+                    writeln!(writer, "{}", protocol::encode_distance(answer))?;
+                }
+            },
+            Ok(Request::Within { s, t, w, d }) => match shared.check_range(s, t) {
+                Err(reason) => writeln!(writer, "ERR {reason}")?,
+                Ok(()) => {
+                    shared.queries.fetch_add(1, Ordering::Relaxed);
+                    let yes = shared.index.within(s, t, w, d);
+                    writeln!(writer, "{}", if yes { "TRUE" } else { "FALSE" })?;
+                }
+            },
+            Ok(Request::Batch { n }) => {
+                match read_batch_body(&mut reader, shared, n, &mut buf, &mut line) {
+                    BatchBody::Closed => return Ok(()),
+                    BatchBody::Invalid(reason) => writeln!(writer, "ERR {reason}")?,
+                    BatchBody::Queries(queries) => {
+                        shared.batches.fetch_add(1, Ordering::Relaxed);
+                        shared.batch_queries.fetch_add(queries.len() as u64, Ordering::Relaxed);
+                        let answers = answer_batch(shared, &queries);
+                        writeln!(writer, "OK {n}")?;
+                        for answer in answers {
+                            writeln!(writer, "{}", protocol::encode_distance(answer))?;
+                        }
+                    }
+                }
+            }
+            Ok(Request::Stats) => writeln!(writer, "{}", shared.snapshot().encode())?,
+            Ok(Request::Shutdown) => {
+                writeln!(writer, "BYE")?;
+                writer.flush()?;
+                // The nonblocking accept loop and every handler observe the
+                // flag within one POLL_INTERVAL.
+                shared.shutdown.store(true, Ordering::SeqCst);
+                return Ok(());
+            }
+        }
+        writer.flush()?;
+    }
+}
+
+/// Body of a `BATCH n` request after reading the follow-up lines.
+enum BatchBody {
+    Queries(Vec<(VertexId, VertexId, Quality)>),
+    Invalid(String),
+    Closed,
+}
+
+/// Reads the `n` body lines of a batch. All lines are consumed even when an
+/// early one is malformed, so one bad query poisons only this batch, not the
+/// framing of subsequent requests on the connection.
+fn read_batch_body(
+    reader: &mut BufReader<TcpStream>,
+    shared: &Shared,
+    n: usize,
+    buf: &mut Vec<u8>,
+    line: &mut String,
+) -> BatchBody {
+    let mut queries = Vec::with_capacity(n.min(4096));
+    let mut invalid: Option<String> = None;
+    for i in 0..n {
+        match read_request_line(reader, buf, line, shared) {
+            LineRead::Line => {}
+            // An over-long body line loses framing just like a disconnect:
+            // the whole batch (and connection) is abandoned.
+            LineRead::Closed | LineRead::Shutdown | LineRead::TooLong => return BatchBody::Closed,
+        }
+        if invalid.is_some() {
+            continue; // drain the remaining body lines
+        }
+        match protocol::parse_batch_line(line) {
+            Err(reason) => invalid = Some(format!("batch line {}: {reason}", i + 1)),
+            Ok((s, t, w)) => match shared.check_range(s, t) {
+                Err(reason) => invalid = Some(format!("batch line {}: {reason}", i + 1)),
+                Ok(()) => queries.push((s, t, w)),
+            },
+        }
+    }
+    match invalid {
+        Some(reason) => BatchBody::Invalid(reason),
+        None => BatchBody::Queries(queries),
+    }
+}
+
+/// Answers a batch: cache hits inline, misses fanned out across the batch
+/// worker threads, results re-inserted into the cache.
+fn answer_batch(shared: &Shared, queries: &[(VertexId, VertexId, Quality)]) -> Vec<Option<u32>> {
+    let mut answers: Vec<Option<Option<u32>>> = Vec::with_capacity(queries.len());
+    let mut misses: Vec<(VertexId, VertexId, Quality)> = Vec::new();
+    let mut miss_slots: Vec<usize> = Vec::new();
+    for (i, q) in queries.iter().enumerate() {
+        match shared.cache.get(q) {
+            Some(answer) => answers.push(Some(answer)),
+            None => {
+                answers.push(None);
+                misses.push(*q);
+                miss_slots.push(i);
+            }
+        }
+    }
+    let computed = parallel::par_distances(&shared.index, &misses, shared.batch_threads);
+    for (slot, (query, answer)) in miss_slots.into_iter().zip(misses.iter().zip(computed)) {
+        shared.cache.insert(*query, answer);
+        answers[slot] = Some(answer);
+    }
+    answers.into_iter().map(|a| a.expect("every slot answered")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_encode_decode_roundtrip() {
+        let snap = ServerSnapshot {
+            vertices: 144,
+            entries: 2048,
+            uptime_ms: 1234,
+            connections: 3,
+            queries: 17,
+            batches: 2,
+            batch_queries: 40,
+            cache_hits: 30,
+            cache_misses: 27,
+        };
+        let decoded = ServerSnapshot::decode(&snap.encode()).unwrap();
+        assert_eq!(decoded, snap);
+        assert!((decoded.hit_rate() - 30.0 / 57.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn snapshot_decode_rejects_garbage() {
+        assert!(ServerSnapshot::decode("ERR nope").is_err());
+        assert!(ServerSnapshot::decode("STATS vertices=abc").is_err());
+        assert!(ServerSnapshot::decode("STATS what=1").is_err());
+    }
+
+    #[test]
+    fn default_config_is_sane() {
+        let c = ServerConfig::default();
+        assert_eq!(c.port, 0);
+        assert!(c.batch_threads >= 1);
+        assert!(c.cache_capacity > 0);
+        assert!(c.cache_shards > 0);
+    }
+}

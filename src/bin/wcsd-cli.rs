@@ -1,17 +1,45 @@
-//! Command-line front end for building, inspecting and querying WC-INDEX
-//! snapshots from edge-list or DIMACS graph files.
+//! Command-line front end for building, inspecting, querying and **serving**
+//! WC-INDEX snapshots from edge-list or DIMACS graph files.
 //!
 //! ```text
 //! wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--dimacs]
 //! wcsd-cli stats <graph-file> [--dimacs]
 //! wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]
+//! wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--dimacs]
+//! wcsd-cli client <host:port> <command> [args...]
+//! ```
+//!
+//! `serve` loads the graph and index once, then answers queries over a
+//! loopback TCP socket until a client sends `SHUTDOWN`; `client` sends one
+//! protocol command and prints the reply. The wire protocol is
+//! newline-delimited text (see `wcsd_server::protocol`):
+//!
+//! ```text
+//! -> QUERY <s> <t> <w>        <- DIST <d> | INF
+//! -> BATCH <n>                <- OK <n>, then n DIST/INF lines
+//!    (then n "<s> <t> <w>" lines)
+//! -> WITHIN <s> <t> <w> <d>   <- TRUE | FALSE
+//! -> STATS                    <- STATS k=v k=v ...
+//! -> SHUTDOWN                 <- BYE
+//! any malformed request       <- ERR <reason>
+//! ```
+//!
+//! Examples:
+//!
+//! ```text
+//! wcsd-cli serve road.edges road.idx --port 7979 --cache-size 65536
+//! wcsd-cli client 127.0.0.1:7979 query 17 93 3
+//! wcsd-cli client 127.0.0.1:7979 stats
+//! wcsd-cli client 127.0.0.1:7979 shutdown
 //! ```
 //!
 //! Run with: `cargo run --release --bin wcsd-cli -- <subcommand> ...`
 
 use std::process::ExitCode;
+use std::time::Duration;
 use wcsd::prelude::*;
-use wcsd_graph::io::{dimacs, edge_list};
+use wcsd_cliutil::{flag_value, positional_args};
+use wcsd_graph::io::read_graph_file;
 use wcsd_graph::{analysis, Graph};
 
 fn main() -> ExitCode {
@@ -25,39 +53,27 @@ fn main() -> ExitCode {
             eprintln!("  wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--dimacs]");
             eprintln!("  wcsd-cli stats <graph-file> [--dimacs]");
             eprintln!("  wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]");
+            eprintln!("  wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--dimacs]");
+            eprintln!("  wcsd-cli client <host:port> <command> [args...]");
             ExitCode::FAILURE
         }
     }
 }
 
+/// Flags that consume the following argument as their value.
+const VALUE_FLAGS: [&str; 4] = ["--ordering", "--port", "--threads", "--cache-size"];
+
 fn run(args: &[String]) -> Result<(), String> {
     let use_dimacs = args.iter().any(|a| a == "--dimacs");
     let ordering = parse_ordering(args)?;
-    // Positional arguments: everything that is neither a flag nor the value
-    // consumed by `--ordering`.
-    let mut positional: Vec<&String> = Vec::new();
-    let mut skip_next = false;
-    for a in args {
-        if skip_next {
-            skip_next = false;
-            continue;
-        }
-        if a == "--ordering" {
-            skip_next = true;
-            continue;
-        }
-        if a.starts_with("--") {
-            continue;
-        }
-        positional.push(a);
-    }
+    let positional = positional_args(args, &VALUE_FLAGS);
 
     match positional.first().map(|s| s.as_str()) {
         Some("build") => {
             let [_, graph_path, index_path] = positional[..] else {
                 return Err("build requires <graph-file> <index-file>".to_string());
             };
-            let graph = load_graph(graph_path, use_dimacs)?;
+            let graph = read_graph_file(graph_path, use_dimacs)?;
             let start = std::time::Instant::now();
             let index = IndexBuilder::new().ordering(ordering).build(&graph);
             let stats = index.stats();
@@ -78,7 +94,7 @@ fn run(args: &[String]) -> Result<(), String> {
             let [_, graph_path] = positional[..] else {
                 return Err("stats requires <graph-file>".to_string());
             };
-            let graph = load_graph(graph_path, use_dimacs)?;
+            let graph = read_graph_file(graph_path, use_dimacs)?;
             let deg = analysis::degree_stats(&graph);
             let comps = analysis::connected_components(&graph);
             println!("vertices:            {}", graph.num_vertices());
@@ -94,17 +110,8 @@ fn run(args: &[String]) -> Result<(), String> {
             let [_, graph_path, index_path, s, t, w] = positional[..] else {
                 return Err("query requires <graph-file> <index-file> <s> <t> <w>".to_string());
             };
-            let graph = load_graph(graph_path, use_dimacs)?;
-            let data =
-                std::fs::read(index_path).map_err(|e| format!("cannot read {index_path}: {e}"))?;
-            let index = WcIndex::decode(&data).map_err(|e| format!("corrupt index: {e}"))?;
-            if index.num_vertices() != graph.num_vertices() {
-                return Err(format!(
-                    "index covers {} vertices but the graph has {}",
-                    index.num_vertices(),
-                    graph.num_vertices()
-                ));
-            }
+            let graph = read_graph_file(graph_path, use_dimacs)?;
+            let index = load_index(index_path, &graph)?;
             let s: VertexId = s.parse().map_err(|_| format!("invalid vertex {s:?}"))?;
             let t: VertexId = t.parse().map_err(|_| format!("invalid vertex {t:?}"))?;
             let w: Quality = w.parse().map_err(|_| format!("invalid constraint {w:?}"))?;
@@ -114,15 +121,82 @@ fn run(args: &[String]) -> Result<(), String> {
                     return Err(format!("vertex {v} out of range (graph has vertices 0..{n})"));
                 }
             }
-            match index.distance(s, t, w) {
+            let answer = index.distance(s, t, w);
+            match answer {
                 Some(d) => println!("dist_{w}({s}, {t}) = {d}"),
                 None => println!("dist_{w}({s}, {t}) = INF (no {w}-constrained path)"),
             }
             // Cross-check against the online oracle so the CLI doubles as a
             // verification tool.
             let oracle = wcsd::baselines::online::constrained_bfs(&graph, s, t, w);
-            if oracle != index.distance(s, t, w) {
+            if oracle != answer {
                 return Err("index answer disagrees with the online BFS oracle".to_string());
+            }
+            Ok(())
+        }
+        Some("serve") => {
+            let [_, graph_path, index_path] = positional[..] else {
+                return Err("serve requires <graph-file> <index-file>".to_string());
+            };
+            let graph = read_graph_file(graph_path, use_dimacs)?;
+            let index = load_index(index_path, &graph)?;
+            let mut config = ServerConfig::default();
+            if let Some(port) = flag_value(args, "--port")? {
+                config.port = port;
+            }
+            if let Some(threads) = flag_value(args, "--threads")? {
+                config.batch_threads = threads;
+            }
+            if let Some(cache) = flag_value(args, "--cache-size")? {
+                config.cache_capacity = cache;
+            }
+            let stats = index.stats();
+            let server =
+                Server::bind(index, config.clone()).map_err(|e| format!("cannot bind: {e}"))?;
+            println!(
+                "wcsd-server listening on {} ({} vertices, {} entries, {} batch threads, cache {})",
+                server.local_addr(),
+                stats.num_vertices,
+                stats.total_entries,
+                config.batch_threads,
+                config.cache_capacity
+            );
+            let summary = server.run();
+            println!(
+                "shut down after {} connections, {} queries, {} batches ({} batched queries), cache hit rate {:.1}%",
+                summary.connections,
+                summary.queries,
+                summary.batches,
+                summary.batch_queries,
+                100.0 * summary.hit_rate()
+            );
+            Ok(())
+        }
+        Some("client") => {
+            let [_, addr, command @ ..] = &positional[..] else {
+                return Err("client requires <host:port> <command> [args...]".to_string());
+            };
+            if command.is_empty() {
+                return Err("client requires a command (query/within/stats/shutdown)".to_string());
+            }
+            // Only single-line request/reply commands are forwarded: BATCH
+            // needs a body the one-shot roundtrip cannot send, and forwarding
+            // a bare header would leave the server waiting forever.
+            let verb = command[0].to_ascii_uppercase();
+            if !["QUERY", "WITHIN", "STATS", "SHUTDOWN"].contains(&verb.as_str()) {
+                return Err(format!(
+                    "unsupported client command {:?} (use query/within/stats/shutdown; \
+                     for batch traffic use the loadgen binary)",
+                    command[0]
+                ));
+            }
+            let line = command.iter().map(|s| s.as_str()).collect::<Vec<_>>().join(" ");
+            let mut client = Client::connect_retry(addr.as_str(), Duration::from_secs(5))
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let reply = client.roundtrip(&line)?;
+            println!("{reply}");
+            if reply.starts_with("ERR ") {
+                return Err(wcsd::server::protocol::server_error(&reply));
             }
             Ok(())
         }
@@ -142,12 +216,16 @@ fn parse_ordering(args: &[String]) -> Result<OrderingStrategy, String> {
     }
 }
 
-fn load_graph(path: &str, use_dimacs: bool) -> Result<Graph, String> {
-    let file = std::fs::File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
-    let reader = std::io::BufReader::new(file);
-    if use_dimacs {
-        dimacs::read_dimacs(reader).map_err(|e| format!("{path}: {e}"))
-    } else {
-        edge_list::read_edge_list(reader).map_err(|e| format!("{path}: {e}"))
+/// Loads an index snapshot and checks it matches the loaded graph.
+fn load_index(path: &str, graph: &Graph) -> Result<WcIndex, String> {
+    let data = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let index = WcIndex::decode(&data).map_err(|e| format!("corrupt index: {e}"))?;
+    if index.num_vertices() != graph.num_vertices() {
+        return Err(format!(
+            "index covers {} vertices but the graph has {}",
+            index.num_vertices(),
+            graph.num_vertices()
+        ));
     }
+    Ok(index)
 }

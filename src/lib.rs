@@ -2,7 +2,8 @@
 //!
 //! Umbrella crate re-exporting the whole workspace behind one dependency:
 //! the graph substrate ([`graph`]), vertex orderings ([`order`]), the
-//! WC-INDEX core ([`core`]) and the baselines ([`baselines`]).
+//! WC-INDEX core ([`core`]), the baselines ([`baselines`]) and the
+//! concurrent query service ([`server`]).
 //!
 //! See the individual crates for detailed documentation, `README.md` for a
 //! guided tour, and the `examples/` directory for runnable scenarios.
@@ -22,6 +23,7 @@ pub use wcsd_baselines as baselines;
 pub use wcsd_core as core;
 pub use wcsd_graph as graph;
 pub use wcsd_order as order;
+pub use wcsd_server as server;
 
 /// Commonly used types, importable with a single `use wcsd::prelude::*`.
 pub mod prelude {
@@ -29,4 +31,5 @@ pub mod prelude {
     pub use wcsd_core::{ConstructionMode, IndexBuilder, QueryImpl, WcIndex};
     pub use wcsd_graph::{Graph, GraphBuilder, Quality, QualityDomain, VertexId};
     pub use wcsd_order::OrderingStrategy;
+    pub use wcsd_server::{Client, Server, ServerConfig};
 }

@@ -1,0 +1,253 @@
+//! End-to-end integration suite for the `wcsd-server` query service: a real
+//! TCP server over a real index, driven by the protocol client, the bench
+//! load generator, and raw sockets for the malformed-input cases.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+use wcsd::prelude::*;
+use wcsd_bench::loadgen::{self, LoadgenConfig};
+use wcsd_bench::QueryWorkload;
+use wcsd_graph::generators::{barabasi_albert, QualityAssigner};
+use wcsd_graph::Graph;
+use wcsd_server::ServerSnapshot;
+
+/// A small scale-free test graph with 4 quality levels.
+fn test_graph() -> Graph {
+    barabasi_albert(90, 3, &QualityAssigner::uniform(4), 23)
+}
+
+/// Starts a server over a fresh index of `g` on an ephemeral port. Returns
+/// the address, a reference copy of the index for cross-checking, and the
+/// join handle that yields the final counter snapshot.
+fn start_server(g: &Graph) -> (String, WcIndex, std::thread::JoinHandle<ServerSnapshot>) {
+    let index = IndexBuilder::wc_index_plus().build(g);
+    let reference = index.clone();
+    let server = Server::bind(index, ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, reference, handle)
+}
+
+/// Opens a raw socket speaking the protocol by hand (for malformed input).
+fn raw_connect(addr: &str) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).expect("connect");
+    stream.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+    (BufReader::new(stream.try_clone().unwrap()), stream)
+}
+
+fn read_line(reader: &mut BufReader<TcpStream>) -> String {
+    let mut line = String::new();
+    reader.read_line(&mut line).expect("server reply");
+    line.trim_end().to_string()
+}
+
+/// The acceptance-criteria round trip: `loadgen` traffic over several
+/// connections agrees with direct `WcIndex::distance`, the cache hit rate is
+/// reported, and `SHUTDOWN` terminates the server cleanly.
+#[test]
+fn serve_loadgen_round_trip() {
+    let g = test_graph();
+    let (addr, reference, handle) = start_server(&g);
+    let workload = QueryWorkload::uniform(&g, 400, 7);
+
+    // First pass: individual QUERY requests; second pass: BATCH requests
+    // replaying the same workload, so the cache must hit.
+    for (pass, batch_size) in [(0usize, 0usize), (1, 13)] {
+        let config =
+            LoadgenConfig { connections: 3, batch_size, connect_timeout: Duration::from_secs(10) };
+        let (result, answers) =
+            loadgen::run_against(&addr, "ba-90", &workload, &config).expect("loadgen run");
+        assert_eq!(result.errors, 0, "pass {pass} had errors");
+        assert_eq!(result.queries, workload.len());
+        assert!(result.throughput_qps > 0.0);
+        for (&(s, t, w), answer) in workload.queries().iter().zip(&answers) {
+            assert_eq!(*answer, reference.distance(s, t, w), "pass {pass}: Q({s},{t},{w})");
+        }
+        if pass == 1 {
+            // Pass 0 cached (at most) 400 distinct keys, pass 1 replays all
+            // 400 of them: cumulatively at least half of all lookups hit.
+            assert!(
+                result.cache_hit_rate >= 0.49,
+                "replayed workload should mostly hit the cache, got {}",
+                result.cache_hit_rate
+            );
+        }
+    }
+
+    let mut client = Client::connect(&*addr).unwrap();
+    client.shutdown().expect("clean shutdown");
+    let summary = handle.join().expect("server thread joins after SHUTDOWN");
+    assert_eq!(summary.queries as usize, workload.len(), "single-query pass counted");
+    assert_eq!(summary.batch_queries as usize, workload.len(), "batched pass counted");
+    assert!(summary.cache_hits > 0);
+}
+
+/// Malformed requests get `ERR` replies and never poison the connection.
+#[test]
+fn malformed_commands_are_rejected_not_fatal() {
+    let g = test_graph();
+    let (addr, reference, handle) = start_server(&g);
+    let (mut reader, mut stream) = raw_connect(&addr);
+
+    for bad in
+        ["FOO 1 2 3", "QUERY 1", "QUERY a b c", "QUERY 1 2 3 4", "BATCH", "BATCH -5", "STATS x"]
+    {
+        writeln!(stream, "{bad}").unwrap();
+        let reply = read_line(&mut reader);
+        assert!(reply.starts_with("ERR "), "{bad:?} -> {reply:?}");
+    }
+
+    // The connection is still fully usable afterwards.
+    writeln!(stream, "QUERY 0 1 1").unwrap();
+    let reply = read_line(&mut reader);
+    assert_eq!(
+        wcsd_server::protocol::parse_distance_reply(&reply).unwrap(),
+        reference.distance(0, 1, 1)
+    );
+
+    Client::connect(&*addr).unwrap().shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Out-of-range vertex ids are rejected for QUERY, WITHIN, and inside BATCH.
+#[test]
+fn out_of_range_vertices_are_rejected() {
+    let g = test_graph();
+    let n = g.num_vertices() as u32;
+    let (addr, _reference, handle) = start_server(&g);
+    let mut client = Client::connect(&*addr).unwrap();
+
+    assert!(client.query(n, 0, 1).unwrap_err().contains("out of range"));
+    assert!(client.query(0, n + 7, 1).unwrap_err().contains("out of range"));
+    assert!(client.within(n, 0, 1, 5).unwrap_err().contains("out of range"));
+    let err = client.batch(&[(0, 1, 1), (n, 2, 1), (3, 4, 1)]).unwrap_err();
+    assert!(err.contains("batch line 2"), "{err}");
+    assert!(err.contains("out of range"), "{err}");
+
+    // Oversized batches are rejected client-side before any bytes are sent,
+    // so the connection cannot desynchronise.
+    let oversized = vec![(0u32, 1u32, 1u32); wcsd_server::protocol::MAX_BATCH + 1];
+    assert!(client.batch(&oversized).unwrap_err().contains("exceeds"));
+
+    // In-range traffic still works on the same connection.
+    assert!(client.query(0, 1, 1).is_ok());
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// `BATCH 0` is a valid empty batch, answered with a bare `OK 0` header.
+#[test]
+fn batch_zero_is_valid_and_empty() {
+    let g = test_graph();
+    let (addr, reference, handle) = start_server(&g);
+    let mut client = Client::connect(&*addr).unwrap();
+
+    assert_eq!(client.batch(&[]).unwrap(), Vec::<Option<u32>>::new());
+    // Framing is intact: the next request on the same connection works.
+    assert_eq!(client.query(2, 3, 1).unwrap(), reference.distance(2, 3, 1));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Clients that disconnect mid-line (or mid-batch) must not take the server
+/// down or corrupt other connections.
+#[test]
+fn mid_line_disconnect_is_harmless() {
+    let g = test_graph();
+    let (addr, reference, handle) = start_server(&g);
+
+    {
+        // Partial request line, no newline, then hard disconnect.
+        let (_reader, mut stream) = raw_connect(&addr);
+        stream.write_all(b"QUERY 1 2").unwrap();
+        stream.flush().unwrap();
+    }
+    {
+        // BATCH header promising more lines than the client ever sends.
+        let (_reader, mut stream) = raw_connect(&addr);
+        writeln!(stream, "BATCH 5").unwrap();
+        writeln!(stream, "0 1 1").unwrap();
+        stream.flush().unwrap();
+    }
+
+    {
+        // A request line streamed without a newline is cut off at the
+        // server's line cap with an ERR, instead of growing memory forever.
+        let (mut reader, mut stream) = raw_connect(&addr);
+        stream.write_all(&vec![b'Q'; 80 * 1024]).unwrap();
+        stream.flush().unwrap();
+        let reply = read_line(&mut reader);
+        assert!(reply.starts_with("ERR request line exceeds"), "{reply:?}");
+    }
+
+    // The server is still healthy for a well-behaved client.
+    let mut client = Client::connect(&*addr).unwrap();
+    assert_eq!(client.query(0, 5, 2).unwrap(), reference.distance(0, 5, 2));
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// Many concurrent clients replaying overlapping workloads: every answer is
+/// correct and the shared cache serves a substantial share of the lookups.
+#[test]
+fn concurrent_clients_share_the_cache() {
+    let g = test_graph();
+    let (addr, reference, handle) = start_server(&g);
+    let workload = QueryWorkload::uniform(&g, 120, 99);
+    let queries = workload.queries();
+
+    // Warm the cache with one sequential pass so the concurrent phase below
+    // has deterministic hit behaviour (no lockstep-miss races).
+    let mut warm = Client::connect(&*addr).unwrap();
+    for &(s, t, w) in queries {
+        assert_eq!(warm.query(s, t, w).unwrap(), reference.distance(s, t, w));
+    }
+
+    std::thread::scope(|scope| {
+        for _ in 0..6 {
+            let addr = addr.clone();
+            let reference = &reference;
+            scope.spawn(move || {
+                let mut client = Client::connect(&*addr).expect("connect");
+                for &(s, t, w) in queries {
+                    assert_eq!(client.query(s, t, w).unwrap(), reference.distance(s, t, w));
+                }
+            });
+        }
+    });
+
+    let mut client = Client::connect(&*addr).unwrap();
+    let stats = client.stats().unwrap();
+    let lookups = stats.cache_hits + stats.cache_misses;
+    assert_eq!(lookups as usize, 7 * queries.len(), "every query hit the cache layer");
+    // After the warm pass every key is resident, so all 6 concurrent passes
+    // hit: at most the warm pass' distinct keys ever miss.
+    assert!(stats.hit_rate() > 0.5, "hit rate {}", stats.hit_rate());
+    assert!(stats.cache_hits as usize >= 6 * queries.len());
+    assert_eq!(stats.connections, 8); // warm + 6 workers + this stats client
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// `WITHIN` and `STATS` agree with the index served.
+#[test]
+fn within_and_stats_agree_with_index() {
+    let g = test_graph();
+    let (addr, reference, handle) = start_server(&g);
+    let mut client = Client::connect(&*addr).unwrap();
+
+    for &(s, t, w) in QueryWorkload::uniform(&g, 50, 3).queries() {
+        for d in [0u32, 1, 3, u32::MAX] {
+            assert_eq!(client.within(s, t, w, d).unwrap(), reference.within(s, t, w, d));
+        }
+    }
+
+    let stats = client.stats().unwrap();
+    assert_eq!(stats.vertices, reference.num_vertices());
+    assert_eq!(stats.entries, reference.total_entries());
+    assert_eq!(stats.queries, 200); // 50 workload queries x 4 bounds
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
