@@ -1,21 +1,24 @@
 //! Exp 2 (Figure 6): index size on road networks for Naive, WC-INDEX and
-//! WC-INDEX+. The key expected shape: WC-INDEX and WC-INDEX+ have identical
-//! sizes (same index contents), Naive is the largest everywhere.
+//! WC-INDEX+. The key expected shape: Naive is the largest labeling index,
+//! and WC-INDEX+ is smaller than WC-INDEX — not because the construction
+//! mode changes the contents (it does not; both modes produce identical
+//! labels under the same ordering) but because WC-INDEX+ uses the hybrid
+//! vertex ordering, which yields fewer entries than plain degree ordering.
 //!
-//! Usage: `cargo run -p wcsd-bench --release --bin exp2_index_size_road [scale]`
+//! Usage: `cargo run -p wcsd-bench --release --bin exp2_index_size_road [scale] [--threads N]`
 
-use wcsd_bench::measure::{build_method, MethodKind};
+use wcsd_bench::measure::{build_method_threads, MethodKind};
 use wcsd_bench::report::index_size_table;
-use wcsd_bench::{Dataset, Scale};
+use wcsd_bench::{parse_exp_args, Dataset};
 
 fn main() {
-    let scale = Scale::parse(&std::env::args().nth(1).unwrap_or_default());
+    let args = parse_exp_args();
     let mut results = Vec::new();
-    for d in Dataset::road_suite(scale) {
+    for d in Dataset::road_suite(args.scale) {
         let g = d.generate();
         eprintln!("[exp2] {} : |V|={} |E|={}", d.name, g.num_vertices(), g.num_edges());
         for m in MethodKind::indexing_methods() {
-            let (_, r) = build_method(&d.name, m, &g);
+            let (_, r) = build_method_threads(&d.name, m, &g, args.threads);
             eprintln!(
                 "[exp2]   {:<10} {:.3} MiB ({} entries)",
                 r.method,

@@ -3,17 +3,17 @@
 //! Expected shape: index-based methods are orders of magnitude faster than
 //! the online searches; Dijkstra is the slowest online method.
 //!
-//! Usage: `cargo run -p wcsd-bench --release --bin exp3_query_road [scale] [num_queries]`
+//! Usage: `cargo run -p wcsd-bench --release --bin exp3_query_road [scale] [num_queries] [--threads N]`
 
-use wcsd_bench::measure::{build_method, run_queries, MethodKind};
+use wcsd_bench::measure::{build_method_threads, run_queries, MethodKind};
 use wcsd_bench::report::query_time_table;
-use wcsd_bench::{Dataset, QueryWorkload, Scale};
+use wcsd_bench::{parse_exp_args, Dataset, QueryWorkload};
 
 fn main() {
-    let scale = Scale::parse(&std::env::args().nth(1).unwrap_or_default());
-    let num_queries: usize = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(10_000);
+    let args = parse_exp_args();
+    let num_queries: usize = args.rest.first().and_then(|s| s.parse().ok()).unwrap_or(10_000);
     let mut results = Vec::new();
-    for d in Dataset::road_suite(scale) {
+    for d in Dataset::road_suite(args.scale) {
         let g = d.generate();
         // Online methods dominate the runtime; cap their share of the workload
         // so the experiment stays laptop-friendly while the per-query average
@@ -22,7 +22,7 @@ fn main() {
         let workload_online = QueryWorkload::uniform(&g, num_queries.min(200), 42);
         eprintln!("[exp3] {} : |V|={} |E|={}", d.name, g.num_vertices(), g.num_edges());
         for m in MethodKind::query_methods() {
-            let (built, _) = build_method(&d.name, m, &g);
+            let (built, _) = build_method_threads(&d.name, m, &g, args.threads);
             let workload = match m {
                 MethodKind::CBfs | MethodKind::Dijkstra | MethodKind::WBfs => &workload_online,
                 _ => &workload_full,

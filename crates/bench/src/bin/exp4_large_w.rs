@@ -2,18 +2,18 @@
 //! quality values grows to |w| = 20. Expected shape: the Naive method's cost
 //! scales with |w| while WC-INDEX/WC-INDEX+ stay a single index.
 //!
-//! Usage: `cargo run -p wcsd-bench --release --bin exp4_large_w [scale] [levels]`
+//! Usage: `cargo run -p wcsd-bench --release --bin exp4_large_w [scale] [levels] [--threads N]`
 
-use wcsd_bench::measure::{build_method, MethodKind};
+use wcsd_bench::measure::{build_method_threads, MethodKind};
 use wcsd_bench::report::{index_size_table, indexing_time_table};
-use wcsd_bench::{Dataset, Scale};
+use wcsd_bench::{parse_exp_args, Dataset};
 
 fn main() {
-    let scale = Scale::parse(&std::env::args().nth(1).unwrap_or_default());
-    let levels: u32 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(20);
+    let args = parse_exp_args();
+    let levels: u32 = args.rest.first().and_then(|s| s.parse().ok()).unwrap_or(20);
     let mut results = Vec::new();
     // The paper's Exp 4 uses the six smaller road networks.
-    for d in Dataset::road_suite(scale).into_iter().take(6) {
+    for d in Dataset::road_suite(args.scale).into_iter().take(6) {
         let d = d.with_quality_levels(levels);
         let g = d.generate();
         eprintln!(
@@ -24,7 +24,7 @@ fn main() {
             g.num_distinct_qualities()
         );
         for m in MethodKind::indexing_methods() {
-            let (_, r) = build_method(&d.name, m, &g);
+            let (_, r) = build_method_threads(&d.name, m, &g, args.threads);
             eprintln!(
                 "[exp4]   {:<10} {:.3}s / {:.3} MiB",
                 r.method,

@@ -1,0 +1,56 @@
+//! Exp 6 (ours): parallel WC-INDEX+ construction speedup. Builds the same
+//! index with 1/2/4/8 worker threads on a representative subset of the road
+//! and social suites and reports the wall-clock speedup relative to the
+//! sequential build. The label sets are verified to be identical across
+//! thread counts (see `wcsd_core::parallel_build` for why that holds).
+//!
+//! Note: speedups are bounded by the physical core count of the host — on a
+//! single-core machine every column is ≈1× (minus batching overhead). The
+//! environment is part of the report.
+//!
+//! Usage: `cargo run -p wcsd-bench --release --bin exp6_parallel_build [scale] [thread-list]`
+//!
+//! `thread-list` is a comma-separated set of thread counts (default `1,2,4,8`).
+
+use wcsd_bench::measure::build_speedup;
+use wcsd_bench::report::{build_speedup_table, to_json};
+use wcsd_bench::{parse_exp_args, Dataset};
+
+fn main() {
+    let args = parse_exp_args();
+    let thread_counts: Vec<usize> = args
+        .rest
+        .first()
+        .map(|s| s.split(',').filter_map(|t| t.trim().parse().ok()).collect())
+        .filter(|v: &Vec<usize>| !v.is_empty())
+        .unwrap_or_else(|| vec![1, 2, 4, 8]);
+
+    let road = Dataset::road_suite(args.scale);
+    let social = Dataset::social_suite(args.scale);
+    // A representative subset keeps the 4×-builds-per-dataset cost bounded.
+    let subset: Vec<Dataset> =
+        [&road[0], &road[2], &road[4], &social[0], &social[2]].into_iter().cloned().collect();
+
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    eprintln!("[exp6] host parallelism: {cores} core(s); thread counts: {thread_counts:?}");
+
+    let mut results = Vec::new();
+    for d in &subset {
+        let g = d.generate();
+        eprintln!("[exp6] {} : |V|={} |E|={}", d.name, g.num_vertices(), g.num_edges());
+        let rows = build_speedup(&d.name, &g, &thread_counts);
+        for r in &rows {
+            eprintln!(
+                "[exp6]   {:>2} thread(s): {:.3}s ({:.2}x, {} entries)",
+                r.threads, r.build_seconds, r.speedup, r.entries
+            );
+        }
+        results.extend(rows);
+    }
+
+    println!(
+        "{}",
+        build_speedup_table("Exp 6 — WC-INDEX+ parallel construction speedup", &results)
+    );
+    println!("{}", to_json(&results));
+}

@@ -2,16 +2,17 @@
 //! ordering strategy affects indexing time and index size on a road-like and a
 //! social-like graph.
 //!
-//! Usage: `cargo run -p wcsd-bench --release --bin exp_ablation_ordering [scale]`
+//! Usage: `cargo run -p wcsd-bench --release --bin exp_ablation_ordering [scale] [--threads N]`
 
 use std::time::Instant;
 use wcsd_bench::report::{index_size_table, indexing_time_table};
-use wcsd_bench::{Dataset, IndexingResult, Scale};
+use wcsd_bench::{parse_exp_args, Dataset, IndexingResult};
 use wcsd_core::IndexBuilder;
 use wcsd_order::OrderingStrategy;
 
 fn main() {
-    let scale = Scale::parse(&std::env::args().nth(1).unwrap_or_default());
+    let args = parse_exp_args();
+    let scale = args.scale;
     let strategies = [
         OrderingStrategy::Degree,
         OrderingStrategy::TreeDecomposition,
@@ -27,7 +28,7 @@ fn main() {
         eprintln!("[ablation] {} : |V|={} |E|={}", d.name, g.num_vertices(), g.num_edges());
         for strat in strategies {
             let start = Instant::now();
-            let idx = IndexBuilder::new().ordering(strat).build(&g);
+            let idx = IndexBuilder::new().ordering(strat).threads(args.threads).build(&g);
             let stats = idx.stats();
             results.push(IndexingResult {
                 dataset: d.name.clone(),

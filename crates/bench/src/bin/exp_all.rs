@@ -1,13 +1,22 @@
 //! Runs every experiment in sequence at the given scale (default `tiny`, so a
 //! complete sweep finishes quickly). Individual experiments can be run at
-//! larger scales via their dedicated binaries.
+//! larger scales via their dedicated binaries. A `--threads N` flag is
+//! forwarded to every experiment that builds WC-INDEX structures.
 //!
-//! Usage: `cargo run -p wcsd-bench --release --bin exp_all [scale]`
+//! Usage: `cargo run -p wcsd-bench --release --bin exp_all [scale] [--threads N]`
 
 use std::process::Command;
+use wcsd_cliutil::{flag_value, positional_args};
 
 fn main() {
-    let scale = std::env::args().nth(1).unwrap_or_else(|| "tiny".to_string());
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let threads: Option<usize> = flag_value(&argv, "--threads").unwrap_or_else(|msg| {
+        eprintln!("error: {msg}");
+        std::process::exit(2);
+    });
+    let positional = positional_args(&argv, &["--threads"]);
+    let scale = positional.first().map(|s| s.to_string()).unwrap_or_else(|| "tiny".to_string());
+
     let exe_dir = std::env::current_exe()
         .expect("current executable path")
         .parent()
@@ -21,13 +30,19 @@ fn main() {
         "exp4_large_w",
         "exp5_social",
         "exp_ablation_ordering",
+        "exp6_parallel_build",
     ];
     for exp in experiments {
         println!("\n================ {exp} (scale: {scale}) ================\n");
-        let status = Command::new(exe_dir.join(exp))
-            .arg(&scale)
-            .status()
-            .unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
+        let mut cmd = Command::new(exe_dir.join(exp));
+        cmd.arg(&scale);
+        if let Some(threads) = threads {
+            // exp_datasets builds no index and takes no --threads flag.
+            if exp != "exp_datasets" {
+                cmd.arg("--threads").arg(threads.to_string());
+            }
+        }
+        let status = cmd.status().unwrap_or_else(|e| panic!("failed to launch {exp}: {e}"));
         assert!(status.success(), "{exp} exited with {status}");
     }
 }

@@ -1,0 +1,50 @@
+//! Shared argv parsing for the `exp*` experiment binaries.
+//!
+//! Every experiment accepts a positional scale (`tiny`/`small`/`medium`/
+//! `large`) plus the `--threads N` flag selecting the number of index
+//! construction workers (`0` = all cores, default `1`); some take extra
+//! positionals (query counts, quality levels) that are returned verbatim.
+
+use crate::datasets::Scale;
+use wcsd_cliutil::{flag_value, positional_args};
+
+/// Parsed common arguments of one experiment binary.
+#[derive(Debug, Clone)]
+pub struct ExpArgs {
+    /// Experiment scale (first positional, defaults to [`Scale::Small`] via
+    /// [`Scale::parse`]; the binaries usually document `tiny` as default by
+    /// passing no argument — `Scale::parse("")` yields `Small`, so callers
+    /// that want `tiny` defaults pass their own fallback).
+    pub scale: Scale,
+    /// Construction worker threads (`--threads`, default 1, `0` = all cores).
+    pub threads: usize,
+    /// Remaining positionals after the scale.
+    pub rest: Vec<String>,
+}
+
+/// Parses `std::env::args()` into an [`ExpArgs`], exiting with a usage
+/// message on malformed flag values.
+pub fn parse_exp_args() -> ExpArgs {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let threads = match flag_value::<usize>(&argv, "--threads") {
+        Ok(t) => t.unwrap_or(1),
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            std::process::exit(2);
+        }
+    };
+    let positional = positional_args(&argv, &["--threads"]);
+    let scale = Scale::parse(positional.first().map(|s| s.as_str()).unwrap_or_default());
+    let rest = positional.iter().skip(1).map(|s| s.to_string()).collect();
+    ExpArgs { scale, threads, rest }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_default_is_small() {
+        assert_eq!(Scale::parse(""), Scale::Small);
+    }
+}

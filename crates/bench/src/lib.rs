@@ -14,24 +14,29 @@
 //! | Fig. 10/11/12 — social networks | `exp5_social` | `indexing_social`, `query_social` |
 //! | (ours) ordering ablation | `exp_ablation_ordering` | `ordering_ablation` |
 //! | (ours) query implementation ablation | — | `query_impl_ablation` |
+//! | (ours) parallel construction speedup | `exp6_parallel_build` | — |
 //! | (ours) server throughput/latency | `loadgen` | — |
 //! | everything above in one run | `exp_all` | — |
 //!
 //! Binaries accept a scale argument (`tiny`, `small`, `medium`, `large`) so
-//! the full suite stays runnable on a laptop; the *shape* of the results
+//! the full suite stays runnable on a laptop, plus `--threads N` to run the
+//! WC-INDEX builders on N construction workers (`0` = all cores; the index
+//! is identical for every thread count). The *shape* of the results
 //! (who wins, by how many orders of magnitude, where the Naïve method becomes
 //! infeasible) is what reproduces the paper, not the absolute numbers.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod cliargs;
 pub mod datasets;
 pub mod loadgen;
 pub mod measure;
 pub mod report;
 pub mod workload;
 
+pub use cliargs::{parse_exp_args, ExpArgs};
 pub use datasets::{Dataset, DatasetKind, Scale};
 pub use loadgen::{LoadgenConfig, LoadgenResult};
-pub use measure::{IndexingResult, MethodKind, QueryResult};
+pub use measure::{BuildSpeedupResult, IndexingResult, MethodKind, QueryResult};
 pub use workload::QueryWorkload;

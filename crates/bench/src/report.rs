@@ -1,7 +1,7 @@
 //! Table/JSON rendering of experiment results, mimicking the rows and series
 //! the paper's figures plot.
 
-use crate::measure::{IndexingResult, QueryResult};
+use crate::measure::{BuildSpeedupResult, IndexingResult, QueryResult};
 
 /// Renders a plain-text table with one row per dataset and one column per
 /// method, from `(dataset, method, value)` cells.
@@ -54,6 +54,16 @@ pub fn index_size_table(title: &str, results: &[IndexingResult]) -> String {
     })
 }
 
+/// Renders parallel-construction speedup results: one row per dataset, one
+/// column per thread count, cells are speedups relative to one thread.
+pub fn build_speedup_table(title: &str, results: &[BuildSpeedupResult]) -> String {
+    let (datasets, threads) =
+        axes(results.iter().map(|r| (r.dataset.clone(), format!("{}T", r.threads))));
+    render_matrix(title, "speedup ×", &datasets, &threads, |d, t| {
+        results.iter().find(|r| r.dataset == d && format!("{}T", r.threads) == t).map(|r| r.speedup)
+    })
+}
+
 /// Renders query-time results (Figures 7, 12 of the paper).
 pub fn query_time_table(title: &str, results: &[QueryResult]) -> String {
     let (datasets, methods) = axes(results.iter().map(|r| (r.dataset.clone(), r.method.clone())));
@@ -79,6 +89,18 @@ impl JsonRecord for IndexingResult {
             ("method", json_string(&self.method)),
             ("build_seconds", json_f64(self.build_seconds)),
             ("index_bytes", self.index_bytes.to_string()),
+            ("entries", self.entries.to_string()),
+        ]
+    }
+}
+
+impl JsonRecord for BuildSpeedupResult {
+    fn json_fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("dataset", json_string(&self.dataset)),
+            ("threads", self.threads.to_string()),
+            ("build_seconds", json_f64(self.build_seconds)),
+            ("speedup", json_f64(self.speedup)),
             ("entries", self.entries.to_string()),
         ]
     }

@@ -27,9 +27,26 @@
 //!   ("further pruning") short-circuits repeated queries. Index contents are
 //!   identical; only construction time changes — which is exactly what the
 //!   paper reports (Exp 1 vs Exp 2).
+//!
+//! # Sweeps run against a snapshot
+//!
+//! The per-root BFS is implemented by the crate-internal `SweepEngine`, which *reads*
+//! the label sets committed by previously processed roots but *writes* its own
+//! candidate labels to a side buffer that is committed after the sweep
+//! finishes. This is observably identical to mutating `L(u)` in place during
+//! the sweep, because a root's own fresh labels can never satisfy one of its
+//! own cover queries: a vertex re-enters the frontier only when its bottleneck
+//! quality *strictly improves* (the R-array rule), so every earlier own-label
+//! at `u` has strictly smaller quality than the entry currently being tested,
+//! while a cover needs quality at least as large. Decoupling "read committed
+//! labels" from "publish new labels" is what allows
+//! [`crate::parallel_build`] to run many root sweeps concurrently against one
+//! immutable snapshot and still commit a byte-identical index.
 
 use crate::index::WcIndex;
 use crate::label::{LabelEntry, LabelSet};
+use crate::parallel_build::{self, BatchJob};
+use std::sync::Mutex;
 use wcsd_graph::{Distance, Graph, Quality, VertexId, INF_QUALITY};
 use wcsd_order::{OrderingStrategy, VertexOrder};
 
@@ -50,11 +67,20 @@ pub struct BuildConfig {
     pub ordering: OrderingStrategy,
     /// Cover-query implementation used while building.
     pub mode: ConstructionMode,
+    /// Number of worker threads for the construction sweeps. `1` builds
+    /// strictly sequentially; `0` means "use all available parallelism".
+    /// Any thread count produces a byte-identical index (see
+    /// [`crate::parallel_build`]).
+    pub threads: usize,
 }
 
 impl Default for BuildConfig {
     fn default() -> Self {
-        Self { ordering: OrderingStrategy::Degree, mode: ConstructionMode::QueryEfficient }
+        Self {
+            ordering: OrderingStrategy::Degree,
+            mode: ConstructionMode::QueryEfficient,
+            threads: 1,
+        }
     }
 }
 
@@ -66,7 +92,7 @@ pub struct IndexBuilder {
 
 impl IndexBuilder {
     /// Builder with the default configuration (degree ordering,
-    /// query-efficient construction).
+    /// query-efficient construction, sequential).
     pub fn new() -> Self {
         Self::default()
     }
@@ -83,12 +109,23 @@ impl IndexBuilder {
         self
     }
 
+    /// Sets the number of construction threads (`0` = all available cores).
+    ///
+    /// The produced index is byte-identical for every thread count; see
+    /// [`crate::parallel_build`] for the batching scheme and why determinism
+    /// holds.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.config.threads = threads;
+        self
+    }
+
     /// The paper's basic WC-INDEX configuration with degree ordering.
     pub fn wc_index() -> Self {
         Self {
             config: BuildConfig {
                 ordering: OrderingStrategy::Degree,
                 mode: ConstructionMode::Basic,
+                threads: 1,
             },
         }
     }
@@ -100,6 +137,7 @@ impl IndexBuilder {
             config: BuildConfig {
                 ordering: OrderingStrategy::Hybrid,
                 mode: ConstructionMode::QueryEfficient,
+                threads: 1,
             },
         }
     }
@@ -122,12 +160,10 @@ impl IndexBuilder {
             g.num_vertices(),
             "vertex order must cover every vertex of the graph"
         );
-        let mut state = BuildState::new(g, &order);
-        for k in 0..order.len() {
-            let root = order.vertex_at(k);
-            state.run_root_bfs(root, self.config.mode);
-        }
-        let mut labels = state.into_labels();
+        let threads = parallel_build::effective_threads(self.config.threads);
+        let mut job = UndirectedJob::new(g, &order, self.config.mode, threads);
+        parallel_build::run_batched(&mut job, threads);
+        let mut labels = job.labels;
         for set in &mut labels {
             set.finalize();
         }
@@ -135,13 +171,68 @@ impl IndexBuilder {
     }
 }
 
-/// Mutable state shared by every root BFS. The `R`, cover-memo and `T`-view
-/// arrays are allocated once and reset sparsely via touched lists (the
-/// "Efficient Initialization" paragraph of Section IV.C).
-struct BuildState<'g> {
+/// The [`BatchJob`] instance behind [`IndexBuilder`]: unweighted undirected
+/// WC-INDEX construction.
+struct UndirectedJob<'g, 'o> {
     graph: &'g Graph,
-    rank: Vec<u32>,
+    order: &'o VertexOrder,
+    mode: ConstructionMode,
     labels: Vec<LabelSet>,
+    engines: Vec<Mutex<SweepEngine>>,
+}
+
+impl<'g, 'o> UndirectedJob<'g, 'o> {
+    fn new(
+        graph: &'g Graph,
+        order: &'o VertexOrder,
+        mode: ConstructionMode,
+        threads: usize,
+    ) -> Self {
+        let n = graph.num_vertices();
+        Self {
+            graph,
+            order,
+            mode,
+            labels: (0..n as VertexId).map(LabelSet::self_label).collect(),
+            engines: (0..threads.max(1)).map(|_| Mutex::new(SweepEngine::new(n))).collect(),
+        }
+    }
+}
+
+impl BatchJob for UndirectedJob<'_, '_> {
+    type Candidates = Vec<(VertexId, Distance, Quality)>;
+
+    fn num_roots(&self) -> usize {
+        self.order.len()
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn root_vertex(&self, pos: usize) -> VertexId {
+        self.order.vertex_at(pos)
+    }
+
+    fn sweep(&self, pos: usize, slot: usize, out: &mut Self::Candidates) {
+        let root = self.order.vertex_at(pos);
+        let mut engine = self.engines[slot].lock().expect("sweep engines never panic");
+        engine.run_root(self.graph, self.order.ranks(), &self.labels, root, self.mode, out);
+    }
+
+    fn commit(&mut self, pos: usize, out: &mut Self::Candidates, labeled: &mut Vec<VertexId>) {
+        let root = self.order.vertex_at(pos);
+        for &(v, d, w) in out.iter() {
+            self.labels[v as usize].push_unordered(LabelEntry::new(root, d, w));
+            labeled.push(v);
+        }
+    }
+}
+
+/// Reusable scratch state for one worker running root sweeps. The `R`,
+/// cover-memo and `T`-view arrays are allocated once and reset sparsely via
+/// touched lists (the "Efficient Initialization" paragraph of Section IV.C).
+pub(crate) struct SweepEngine {
     /// `R(v)`: best bottleneck quality of any path from the current root to v.
     best_quality: Vec<Quality>,
     touched_quality: Vec<VertexId>,
@@ -151,7 +242,7 @@ struct BuildState<'g> {
     covered_quality: Vec<Quality>,
     touched_covered: Vec<VertexId>,
     /// Hub-indexed view of `L(root)`: `t_start[h]..t_start[h]+t_len[h]`
-    /// indexes `root_entries`.
+    /// indexes the root's label entries.
     t_start: Vec<u32>,
     t_len: Vec<u32>,
     touched_t: Vec<VertexId>,
@@ -159,14 +250,9 @@ struct BuildState<'g> {
     queued: Vec<bool>,
 }
 
-impl<'g> BuildState<'g> {
-    fn new(graph: &'g Graph, order: &VertexOrder) -> Self {
-        let n = graph.num_vertices();
-        let labels = (0..n as VertexId).map(LabelSet::self_label).collect();
+impl SweepEngine {
+    pub(crate) fn new(n: usize) -> Self {
         Self {
-            graph,
-            rank: order.ranks().to_vec(),
-            labels,
             best_quality: vec![0; n],
             touched_quality: Vec::new(),
             covered_quality: vec![0; n],
@@ -178,17 +264,23 @@ impl<'g> BuildState<'g> {
         }
     }
 
-    fn into_labels(self) -> Vec<LabelSet> {
-        self.labels
-    }
-
     /// Runs the quality- and distance-prioritized constrained BFS rooted at
-    /// `root`, adding labels `(root, d, w)` to every vertex that survives the
+    /// `root` against the committed `labels`, clearing `out` and pushing one
+    /// `(vertex, dist, quality)` candidate per label entry that survives the
     /// cover-query pruning.
-    fn run_root_bfs(&mut self, root: VertexId, mode: ConstructionMode) {
-        let root_rank = self.rank[root as usize];
+    pub(crate) fn run_root(
+        &mut self,
+        graph: &Graph,
+        rank: &[u32],
+        labels: &[LabelSet],
+        root: VertexId,
+        mode: ConstructionMode,
+        out: &mut Vec<(VertexId, Distance, Quality)>,
+    ) {
+        out.clear();
+        let root_rank = rank[root as usize];
         if mode == ConstructionMode::QueryEfficient {
-            self.prepare_root_view(root);
+            self.prepare_root_view(labels, root);
         }
 
         // Frontier of the current distance; every entry is (vertex, quality).
@@ -212,18 +304,18 @@ impl<'g> BuildState<'g> {
                 if !is_root {
                     // Line 11: prune if the current index already covers the
                     // pair (root, u) at quality w within distance `dist`.
-                    if self.is_covered(root, u, w, dist, mode) {
+                    if self.is_covered(labels, root, u, w, dist, mode) {
                         continue;
                     }
                     // Line 12: the entry is minimal and necessary — keep it.
-                    self.labels[u as usize].push_unordered(LabelEntry::new(root, dist, w));
+                    out.push((u, dist, w));
                 }
                 // Lines 13-16: expand to less important neighbours whose best
                 // known bottleneck quality improves.
-                let ids = self.graph.neighbor_ids(u);
-                let quals = self.graph.neighbor_qualities(u);
+                let ids = graph.neighbor_ids(u);
+                let quals = graph.neighbor_qualities(u);
                 for (idx, &v) in ids.iter().enumerate() {
-                    if self.rank[v as usize] <= root_rank {
+                    if rank[v as usize] <= root_rank {
                         continue;
                     }
                     let w_new = w.min(quals[idx]);
@@ -258,8 +350,8 @@ impl<'g> BuildState<'g> {
     /// cover queries. `L(root)` is grouped by hub in insertion order (hubs are
     /// processed in rank order, distances ascend within a hub), so each hub's
     /// entries are contiguous.
-    fn prepare_root_view(&mut self, root: VertexId) {
-        let entries = self.labels[root as usize].entries();
+    fn prepare_root_view(&mut self, labels: &[LabelSet], root: VertexId) {
+        let entries = labels[root as usize].entries();
         let mut i = 0usize;
         while i < entries.len() {
             let hub = entries[i].hub;
@@ -292,6 +384,7 @@ impl<'g> BuildState<'g> {
     /// `min(w₁, w₂) ≥ w` and `d₁ + d₂ ≤ d`?
     fn is_covered(
         &mut self,
+        labels: &[LabelSet],
         root: VertexId,
         u: VertexId,
         w: Quality,
@@ -299,33 +392,16 @@ impl<'g> BuildState<'g> {
         mode: ConstructionMode,
     ) -> bool {
         match mode {
-            ConstructionMode::Basic => self.is_covered_basic(root, u, w, d),
-            ConstructionMode::QueryEfficient => self.is_covered_efficient(root, u, w, d),
+            ConstructionMode::Basic => is_covered_basic(labels, root, u, w, d),
+            ConstructionMode::QueryEfficient => self.is_covered_efficient(labels, root, u, w, d),
         }
-    }
-
-    /// Basic WC-INDEX cover query: for every entry of `L(u)` scan the whole of
-    /// `L(root)` for matching hubs (the Algorithm 2 strategy).
-    fn is_covered_basic(&self, root: VertexId, u: VertexId, w: Quality, d: Distance) -> bool {
-        let lu = self.labels[u as usize].entries();
-        let lr = self.labels[root as usize].entries();
-        for eu in lu {
-            if eu.quality < w || eu.dist > d {
-                continue;
-            }
-            for er in lr {
-                if er.hub == eu.hub && er.quality >= w && er.dist.saturating_add(eu.dist) <= d {
-                    return true;
-                }
-            }
-        }
-        false
     }
 
     /// WC-INDEX+ cover query: one pass over `L(u)`, binary search within the
     /// root's hub group, plus the further-pruning memo.
     fn is_covered_efficient(
         &mut self,
+        labels: &[LabelSet],
         root: VertexId,
         u: VertexId,
         w: Quality,
@@ -337,8 +413,8 @@ impl<'g> BuildState<'g> {
         if self.covered_quality[u as usize] >= w && self.covered_quality[u as usize] > 0 {
             return true;
         }
-        let lu = self.labels[u as usize].entries();
-        let lr = self.labels[root as usize].entries();
+        let lu = labels[u as usize].entries();
+        let lr = labels[root as usize].entries();
         let mut idx = 0usize;
         let mut covered = false;
         while idx < lu.len() {
@@ -369,6 +445,30 @@ impl<'g> BuildState<'g> {
         }
         covered
     }
+}
+
+/// Basic WC-INDEX cover query: for every entry of `L(u)` scan the whole of
+/// `L(root)` for matching hubs (the Algorithm 2 strategy).
+fn is_covered_basic(
+    labels: &[LabelSet],
+    root: VertexId,
+    u: VertexId,
+    w: Quality,
+    d: Distance,
+) -> bool {
+    let lu = labels[u as usize].entries();
+    let lr = labels[root as usize].entries();
+    for eu in lu {
+        if eu.quality < w || eu.dist > d {
+            continue;
+        }
+        for er in lr {
+            if er.hub == eu.hub && er.quality >= w && er.dist.saturating_add(eu.dist) <= d {
+                return true;
+            }
+        }
+    }
+    false
 }
 
 #[cfg(test)]
@@ -518,5 +618,31 @@ mod tests {
         let g = paper_figure3();
         let small = VertexOrder::from_permutation(vec![0, 1, 2]);
         let _ = IndexBuilder::default().build_with_order(&g, small);
+    }
+
+    #[test]
+    fn threaded_build_matches_sequential_on_paper_graphs() {
+        for g in [paper_figure3(), paper_figure2(), star_graph(8, 2), path_graph(9, 1)] {
+            let sequential = IndexBuilder::default().build(&g);
+            for threads in [2, 3, 8] {
+                let parallel = IndexBuilder::default().threads(threads).build(&g);
+                for v in 0..g.num_vertices() as VertexId {
+                    assert_eq!(
+                        sequential.labels(v),
+                        parallel.labels(v),
+                        "labels differ at vertex {v} with {threads} threads"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn zero_threads_means_auto() {
+        let g = paper_figure3();
+        let auto = IndexBuilder::default().threads(0).build(&g);
+        let seq = IndexBuilder::default().build(&g);
+        assert_eq!(auto.total_entries(), seq.total_entries());
+        assert_matches_oracle(&g, &auto);
     }
 }

@@ -7,7 +7,9 @@
 //! vertices) and once over in-edges (populating `L_out`).
 
 use crate::label::{LabelEntry, LabelSet};
+use crate::parallel_build::{self, BatchJob};
 use crate::query;
+use std::sync::Mutex;
 use wcsd_graph::{DiGraph, Distance, Quality, VertexId, INF_DIST, INF_QUALITY};
 use wcsd_order::VertexOrder;
 
@@ -24,52 +26,31 @@ impl DirectedWcIndex {
     /// Builds the directed index using a degree-style ordering
     /// (out-degree + in-degree, non-ascending).
     pub fn build(g: &DiGraph) -> Self {
+        Self::build_threads(g, 1)
+    }
+
+    /// Builds the directed index with the default ordering on `threads`
+    /// worker threads (`0` = all available cores). The produced index is
+    /// identical for every thread count (see [`crate::parallel_build`]).
+    pub fn build_threads(g: &DiGraph, threads: usize) -> Self {
         let mut by_degree: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
         by_degree.sort_by_key(|&v| (std::cmp::Reverse(g.out_degree(v) + g.in_degree(v)), v));
-        Self::build_with_order(g, VertexOrder::from_permutation(by_degree))
+        Self::build_with_order_threads(g, VertexOrder::from_permutation(by_degree), threads)
     }
 
     /// Builds the directed index under a caller-supplied vertex order.
     pub fn build_with_order(g: &DiGraph, order: VertexOrder) -> Self {
+        Self::build_with_order_threads(g, order, 1)
+    }
+
+    /// Builds the directed index under a caller-supplied vertex order on
+    /// `threads` worker threads (`0` = all available cores).
+    pub fn build_with_order_threads(g: &DiGraph, order: VertexOrder, threads: usize) -> Self {
         assert_eq!(order.len(), g.num_vertices());
-        let n = g.num_vertices();
-        let rank = order.ranks().to_vec();
-        let mut l_out: Vec<LabelSet> = (0..n as VertexId).map(LabelSet::self_label).collect();
-        let mut l_in: Vec<LabelSet> = (0..n as VertexId).map(LabelSet::self_label).collect();
-
-        let mut best_quality: Vec<Quality> = vec![0; n];
-        let mut touched: Vec<VertexId> = Vec::new();
-        let mut queued = vec![false; n];
-
-        for k in 0..order.len() {
-            let root = order.vertex_at(k);
-            // Forward sweep: paths root ⇝ u certify entries in L_in(u); the
-            // cover query intersects L_out(root) with L_in(u).
-            directed_sweep(
-                g,
-                root,
-                &rank,
-                Direction::Forward,
-                &mut l_out,
-                &mut l_in,
-                &mut best_quality,
-                &mut touched,
-                &mut queued,
-            );
-            // Backward sweep: paths u ⇝ root certify entries in L_out(u).
-            directed_sweep(
-                g,
-                root,
-                &rank,
-                Direction::Backward,
-                &mut l_out,
-                &mut l_in,
-                &mut best_quality,
-                &mut touched,
-                &mut queued,
-            );
-        }
-
+        let threads = parallel_build::effective_threads(threads);
+        let mut job = DirectedJob::new(g, &order, threads);
+        parallel_build::run_batched(&mut job, threads);
+        let (mut l_out, mut l_in) = (job.l_out, job.l_in);
         for set in l_out.iter_mut().chain(l_in.iter_mut()) {
             set.finalize();
         }
@@ -104,84 +85,185 @@ enum Direction {
     Backward,
 }
 
-/// One pruned constrained BFS from `root` along the given edge direction.
-#[allow(clippy::too_many_arguments)]
-fn directed_sweep(
-    g: &DiGraph,
-    root: VertexId,
-    rank: &[u32],
-    dir: Direction,
-    l_out: &mut [LabelSet],
-    l_in: &mut [LabelSet],
-    best_quality: &mut [Quality],
-    touched: &mut Vec<VertexId>,
-    queued: &mut [bool],
-) {
-    let root_rank = rank[root as usize];
-    let mut frontier: Vec<(VertexId, Quality)> = vec![(root, INF_QUALITY)];
-    best_quality[root as usize] = INF_QUALITY;
-    touched.push(root);
-    let mut next: Vec<(VertexId, Quality)> = Vec::new();
-    let mut dist: Distance = 0;
+/// Candidate labels of one root: the forward sweep feeds `L_in`, the backward
+/// sweep feeds `L_out`.
+#[derive(Default)]
+struct DirectedCandidates {
+    forward: Vec<(VertexId, Distance, Quality)>,
+    backward: Vec<(VertexId, Distance, Quality)>,
+}
 
-    while !frontier.is_empty() {
-        frontier.sort_unstable_by_key(|&(v, w)| (std::cmp::Reverse(w), v));
-        for &(u, w) in &frontier {
-            if u != root {
-                // Forward: does the index already certify root ⇝ u?
-                // Backward: does it certify u ⇝ root?
-                let already = match dir {
-                    Direction::Forward => {
-                        query::covered(&l_out[root as usize], &l_in[u as usize], w, dist)
-                    }
-                    Direction::Backward => {
-                        query::covered(&l_out[u as usize], &l_in[root as usize], w, dist)
-                    }
-                };
-                if already {
-                    continue;
-                }
-                match dir {
-                    Direction::Forward => {
-                        l_in[u as usize].push_unordered(LabelEntry::new(root, dist, w))
-                    }
-                    Direction::Backward => {
-                        l_out[u as usize].push_unordered(LabelEntry::new(root, dist, w))
-                    }
-                }
-            }
-            let neighbors: Vec<(VertexId, Quality)> = match dir {
-                Direction::Forward => g.out_neighbors(u).collect(),
-                Direction::Backward => g.in_neighbors(u).collect(),
-            };
-            for (v, q) in neighbors {
-                if rank[v as usize] <= root_rank {
-                    continue;
-                }
-                let w_new = w.min(q);
-                if w_new <= best_quality[v as usize] {
-                    continue;
-                }
-                if best_quality[v as usize] == 0 {
-                    touched.push(v);
-                }
-                best_quality[v as usize] = w_new;
-                if !queued[v as usize] {
-                    queued[v as usize] = true;
-                    next.push((v, 0));
-                }
-            }
+/// The [`BatchJob`] behind [`DirectedWcIndex`]: two pruned constrained BFS
+/// sweeps per root (out-edges then in-edges) against the committed snapshot.
+struct DirectedJob<'g, 'o> {
+    graph: &'g DiGraph,
+    order: &'o VertexOrder,
+    l_out: Vec<LabelSet>,
+    l_in: Vec<LabelSet>,
+    engines: Vec<Mutex<DirectedEngine>>,
+}
+
+impl<'g, 'o> DirectedJob<'g, 'o> {
+    fn new(graph: &'g DiGraph, order: &'o VertexOrder, threads: usize) -> Self {
+        let n = graph.num_vertices();
+        Self {
+            graph,
+            order,
+            l_out: (0..n as VertexId).map(LabelSet::self_label).collect(),
+            l_in: (0..n as VertexId).map(LabelSet::self_label).collect(),
+            engines: (0..threads.max(1)).map(|_| Mutex::new(DirectedEngine::new(n))).collect(),
         }
-        for entry in &mut next {
-            entry.1 = best_quality[entry.0 as usize];
-            queued[entry.0 as usize] = false;
-        }
-        frontier.clear();
-        std::mem::swap(&mut frontier, &mut next);
-        dist += 1;
     }
-    for v in touched.drain(..) {
-        best_quality[v as usize] = 0;
+}
+
+impl BatchJob for DirectedJob<'_, '_> {
+    type Candidates = DirectedCandidates;
+
+    fn num_roots(&self) -> usize {
+        self.order.len()
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn root_vertex(&self, pos: usize) -> VertexId {
+        self.order.vertex_at(pos)
+    }
+
+    fn sweep(&self, pos: usize, slot: usize, out: &mut Self::Candidates) {
+        let root = self.order.vertex_at(pos);
+        let rank = self.order.ranks();
+        let mut engine = self.engines[slot].lock().expect("sweep engines never panic");
+        // Forward sweep: paths root ⇝ u certify entries in L_in(u); the
+        // cover query intersects L_out(root) with L_in(u).
+        engine.run_root(
+            self.graph,
+            rank,
+            &self.l_out,
+            &self.l_in,
+            root,
+            Direction::Forward,
+            &mut out.forward,
+        );
+        // Backward sweep: paths u ⇝ root certify entries in L_out(u).
+        engine.run_root(
+            self.graph,
+            rank,
+            &self.l_out,
+            &self.l_in,
+            root,
+            Direction::Backward,
+            &mut out.backward,
+        );
+    }
+
+    fn commit(&mut self, pos: usize, out: &mut Self::Candidates, labeled: &mut Vec<VertexId>) {
+        let root = self.order.vertex_at(pos);
+        for &(v, d, w) in &out.forward {
+            self.l_in[v as usize].push_unordered(LabelEntry::new(root, d, w));
+            labeled.push(v);
+        }
+        for &(v, d, w) in &out.backward {
+            self.l_out[v as usize].push_unordered(LabelEntry::new(root, d, w));
+            labeled.push(v);
+        }
+    }
+}
+
+/// Per-worker scratch for the directed sweeps.
+struct DirectedEngine {
+    best_quality: Vec<Quality>,
+    touched: Vec<VertexId>,
+    queued: Vec<bool>,
+}
+
+impl DirectedEngine {
+    fn new(n: usize) -> Self {
+        Self { best_quality: vec![0; n], touched: Vec::new(), queued: vec![false; n] }
+    }
+
+    /// One pruned constrained BFS from `root` along the given edge direction,
+    /// pushing surviving `(vertex, dist, quality)` candidates onto `out`.
+    #[allow(clippy::too_many_arguments)]
+    fn run_root(
+        &mut self,
+        g: &DiGraph,
+        rank: &[u32],
+        l_out: &[LabelSet],
+        l_in: &[LabelSet],
+        root: VertexId,
+        dir: Direction,
+        out: &mut Vec<(VertexId, Distance, Quality)>,
+    ) {
+        out.clear();
+        let root_rank = rank[root as usize];
+        let mut frontier: Vec<(VertexId, Quality)> = vec![(root, INF_QUALITY)];
+        self.best_quality[root as usize] = INF_QUALITY;
+        self.touched.push(root);
+        let mut next: Vec<(VertexId, Quality)> = Vec::new();
+        let mut dist: Distance = 0;
+
+        while !frontier.is_empty() {
+            frontier.sort_unstable_by_key(|&(v, w)| (std::cmp::Reverse(w), v));
+            for &(u, w) in &frontier {
+                if u != root {
+                    // Forward: does the index already certify root ⇝ u?
+                    // Backward: does it certify u ⇝ root?
+                    let already = match dir {
+                        Direction::Forward => query::covered_building(
+                            &l_out[root as usize],
+                            &l_in[u as usize],
+                            rank,
+                            w,
+                            dist,
+                        ),
+                        Direction::Backward => query::covered_building(
+                            &l_out[u as usize],
+                            &l_in[root as usize],
+                            rank,
+                            w,
+                            dist,
+                        ),
+                    };
+                    if already {
+                        continue;
+                    }
+                    out.push((u, dist, w));
+                }
+                let neighbors: Vec<(VertexId, Quality)> = match dir {
+                    Direction::Forward => g.out_neighbors(u).collect(),
+                    Direction::Backward => g.in_neighbors(u).collect(),
+                };
+                for (v, q) in neighbors {
+                    if rank[v as usize] <= root_rank {
+                        continue;
+                    }
+                    let w_new = w.min(q);
+                    if w_new <= self.best_quality[v as usize] {
+                        continue;
+                    }
+                    if self.best_quality[v as usize] == 0 {
+                        self.touched.push(v);
+                    }
+                    self.best_quality[v as usize] = w_new;
+                    if !self.queued[v as usize] {
+                        self.queued[v as usize] = true;
+                        next.push((v, 0));
+                    }
+                }
+            }
+            for entry in &mut next {
+                entry.1 = self.best_quality[entry.0 as usize];
+                self.queued[entry.0 as usize] = false;
+            }
+            frontier.clear();
+            std::mem::swap(&mut frontier, &mut next);
+            dist += 1;
+        }
+        for v in self.touched.drain(..) {
+            self.best_quality[v as usize] = 0;
+        }
     }
 }
 

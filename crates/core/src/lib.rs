@@ -17,6 +17,11 @@
 //!   parent pointers, Section V).
 //! * [`parallel`] — scoped-thread batch query evaluation for large
 //!   workloads.
+//! * [`parallel_build`] — the multi-threaded construction driver behind
+//!   [`IndexBuilder::threads`](build::IndexBuilder::threads) and the
+//!   `*_threads` constructors of every index variant: rank-batched root
+//!   sweeps against immutable label snapshots, committed deterministically so
+//!   any thread count yields a byte-identical index.
 //! * [`directed::DirectedWcIndex`] — the `L_in`/`L_out` extension for
 //!   directed graphs (Section V).
 //! * [`weighted::WeightedWcIndex`] — the constrained-Dijkstra extension for
@@ -49,6 +54,7 @@ pub mod dynamic;
 pub mod index;
 pub mod label;
 pub mod parallel;
+pub mod parallel_build;
 pub mod path;
 pub mod query;
 pub mod stats;

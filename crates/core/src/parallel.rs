@@ -1,10 +1,15 @@
-//! Parallel batch-query evaluation.
+//! Parallel batch-**query** evaluation.
 //!
 //! The paper's query workloads are 10,000 independent point queries; because
 //! a built [`WcIndex`] is immutable, they parallelise trivially. This module
 //! provides a scoped-thread fan-out ([`std::thread::scope`]) that answers a
-//! batch across a fixed number of worker threads, which the benchmark harness
-//! and the examples use for large workloads.
+//! batch across a fixed number of worker threads, which the benchmark harness,
+//! the query server and the examples use for large workloads.
+//!
+//! This is the *read side* of the crate's parallelism story: queries share one
+//! finished index and need no coordination at all. The *write side* —
+//! constructing the index itself on multiple threads while keeping the result
+//! byte-identical to a sequential build — lives in [`crate::parallel_build`].
 
 use crate::index::{QueryImpl, WcIndex};
 use std::sync::Mutex;

@@ -6,7 +6,9 @@
 //! recorded during the construction BFS. A path is reconstructed by walking
 //! parents from both endpoints towards the meeting hub.
 
-use crate::label::LabelSet;
+use crate::label::{LabelEntry, LabelSet};
+use crate::parallel_build::{self, BatchJob};
+use std::sync::Mutex;
 use wcsd_graph::{Distance, Graph, Quality, VertexId, INF_QUALITY};
 use wcsd_order::{OrderingStrategy, VertexOrder};
 
@@ -74,95 +76,34 @@ impl PathIndex {
         Self::build_with_ordering(g, OrderingStrategy::Degree)
     }
 
+    /// Builds a path-capable index with degree ordering on `threads` worker
+    /// threads (`0` = all available cores). The produced index — parent
+    /// pointers included — is identical for every thread count (see
+    /// [`crate::parallel_build`]).
+    pub fn build_threads(g: &Graph, threads: usize) -> Self {
+        Self::build_with_ordering_threads(g, OrderingStrategy::Degree, threads)
+    }
+
     /// Builds a path-capable index with the given vertex ordering strategy.
     ///
     /// The construction mirrors Algorithm 3 exactly, additionally threading
     /// the BFS parent of every frontier vertex into the recorded label.
     pub fn build_with_ordering(g: &Graph, ordering: OrderingStrategy) -> Self {
+        Self::build_with_ordering_threads(g, ordering, 1)
+    }
+
+    /// Builds a path-capable index with the given vertex ordering strategy on
+    /// `threads` worker threads (`0` = all available cores).
+    pub fn build_with_ordering_threads(
+        g: &Graph,
+        ordering: OrderingStrategy,
+        threads: usize,
+    ) -> Self {
         let order = ordering.compute(g);
-        let n = g.num_vertices();
-        let rank = order.ranks().to_vec();
-        let mut labels: Vec<PathLabelSet> = (0..n as VertexId)
-            .map(|v| PathLabelSet {
-                entries: vec![PathLabelEntry { hub: v, dist: 0, quality: INF_QUALITY, parent: v }],
-            })
-            .collect();
-
-        // Plain-distance label sets reused for the cover queries; they always
-        // mirror `labels` minus the parent field.
-        let mut cover: Vec<LabelSet> = (0..n as VertexId).map(LabelSet::self_label).collect();
-
-        let mut best_quality: Vec<Quality> = vec![0; n];
-        let mut touched: Vec<VertexId> = Vec::new();
-        let mut parent_of: Vec<VertexId> = vec![0; n];
-        let mut queued = vec![false; n];
-
-        for k in 0..order.len() {
-            let root = order.vertex_at(k);
-            let root_rank = rank[root as usize];
-            // Frontier entries are (vertex, bottleneck quality, BFS parent);
-            // the quality and parent are captured when the frontier is sealed
-            // so that same-round improvements (which belong to the *next*
-            // distance level) cannot corrupt the label recorded here.
-            let mut frontier: Vec<(VertexId, Quality, VertexId)> = vec![(root, INF_QUALITY, root)];
-            best_quality[root as usize] = INF_QUALITY;
-            parent_of[root as usize] = root;
-            touched.push(root);
-            let mut next: Vec<(VertexId, Quality, VertexId)> = Vec::new();
-            let mut dist: Distance = 0;
-
-            while !frontier.is_empty() {
-                frontier.sort_unstable_by_key(|&(v, w, _)| (std::cmp::Reverse(w), v));
-                for &(u, w, parent) in &frontier {
-                    if u != root {
-                        if crate::query::covered(&cover[root as usize], &cover[u as usize], w, dist)
-                        {
-                            continue;
-                        }
-                        labels[u as usize].entries.push(PathLabelEntry {
-                            hub: root,
-                            dist,
-                            quality: w,
-                            parent,
-                        });
-                        cover[u as usize]
-                            .push_unordered(crate::label::LabelEntry::new(root, dist, w));
-                    }
-                    let ids = g.neighbor_ids(u);
-                    let quals = g.neighbor_qualities(u);
-                    for (idx, &v) in ids.iter().enumerate() {
-                        if rank[v as usize] <= root_rank {
-                            continue;
-                        }
-                        let w_new = w.min(quals[idx]);
-                        if w_new <= best_quality[v as usize] {
-                            continue;
-                        }
-                        if best_quality[v as usize] == 0 {
-                            touched.push(v);
-                        }
-                        best_quality[v as usize] = w_new;
-                        parent_of[v as usize] = u;
-                        if !queued[v as usize] {
-                            queued[v as usize] = true;
-                            next.push((v, 0, v));
-                        }
-                    }
-                }
-                for entry in &mut next {
-                    entry.1 = best_quality[entry.0 as usize];
-                    entry.2 = parent_of[entry.0 as usize];
-                    queued[entry.0 as usize] = false;
-                }
-                frontier.clear();
-                std::mem::swap(&mut frontier, &mut next);
-                dist += 1;
-            }
-            for v in touched.drain(..) {
-                best_quality[v as usize] = 0;
-            }
-        }
-
+        let threads = parallel_build::effective_threads(threads);
+        let mut job = PathJob::new(g, &order, threads);
+        parallel_build::run_batched(&mut job, threads);
+        let mut labels = job.labels;
         for set in &mut labels {
             set.finalize();
         }
@@ -248,6 +189,167 @@ fn skip(entries: &[PathLabelEntry], idx: usize) -> usize {
         k += 1;
     }
     k
+}
+
+/// The [`BatchJob`] behind [`PathIndex`]: the Algorithm 3 sweep augmented
+/// with BFS parents. The plain-distance `cover` sets always mirror `labels`
+/// minus the parent field and serve the cover queries.
+struct PathJob<'g, 'o> {
+    graph: &'g Graph,
+    order: &'o VertexOrder,
+    labels: Vec<PathLabelSet>,
+    cover: Vec<LabelSet>,
+    engines: Vec<Mutex<PathEngine>>,
+}
+
+impl<'g, 'o> PathJob<'g, 'o> {
+    fn new(graph: &'g Graph, order: &'o VertexOrder, threads: usize) -> Self {
+        let n = graph.num_vertices();
+        Self {
+            graph,
+            order,
+            labels: (0..n as VertexId)
+                .map(|v| PathLabelSet {
+                    entries: vec![PathLabelEntry {
+                        hub: v,
+                        dist: 0,
+                        quality: INF_QUALITY,
+                        parent: v,
+                    }],
+                })
+                .collect(),
+            cover: (0..n as VertexId).map(LabelSet::self_label).collect(),
+            engines: (0..threads.max(1)).map(|_| Mutex::new(PathEngine::new(n))).collect(),
+        }
+    }
+}
+
+impl BatchJob for PathJob<'_, '_> {
+    type Candidates = Vec<(VertexId, Distance, Quality, VertexId)>;
+
+    fn num_roots(&self) -> usize {
+        self.order.len()
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn root_vertex(&self, pos: usize) -> VertexId {
+        self.order.vertex_at(pos)
+    }
+
+    fn sweep(&self, pos: usize, slot: usize, out: &mut Self::Candidates) {
+        let root = self.order.vertex_at(pos);
+        let mut engine = self.engines[slot].lock().expect("sweep engines never panic");
+        engine.run_root(self.graph, self.order.ranks(), &self.cover, root, out);
+    }
+
+    fn commit(&mut self, pos: usize, out: &mut Self::Candidates, labeled: &mut Vec<VertexId>) {
+        let root = self.order.vertex_at(pos);
+        for &(v, dist, quality, parent) in out.iter() {
+            self.labels[v as usize].entries.push(PathLabelEntry {
+                hub: root,
+                dist,
+                quality,
+                parent,
+            });
+            self.cover[v as usize].push_unordered(LabelEntry::new(root, dist, quality));
+            labeled.push(v);
+        }
+    }
+}
+
+/// Per-worker scratch for the parent-recording sweeps.
+struct PathEngine {
+    best_quality: Vec<Quality>,
+    touched: Vec<VertexId>,
+    parent_of: Vec<VertexId>,
+    queued: Vec<bool>,
+}
+
+impl PathEngine {
+    fn new(n: usize) -> Self {
+        Self {
+            best_quality: vec![0; n],
+            touched: Vec::new(),
+            parent_of: vec![0; n],
+            queued: vec![false; n],
+        }
+    }
+
+    /// One Algorithm 3 sweep from `root` against the committed `cover` sets,
+    /// pushing surviving `(vertex, dist, quality, parent)` candidates.
+    fn run_root(
+        &mut self,
+        g: &Graph,
+        rank: &[u32],
+        cover: &[LabelSet],
+        root: VertexId,
+        out: &mut Vec<(VertexId, Distance, Quality, VertexId)>,
+    ) {
+        out.clear();
+        let root_rank = rank[root as usize];
+        // Frontier entries are (vertex, bottleneck quality, BFS parent);
+        // the quality and parent are captured when the frontier is sealed
+        // so that same-round improvements (which belong to the *next*
+        // distance level) cannot corrupt the label recorded here.
+        let mut frontier: Vec<(VertexId, Quality, VertexId)> = vec![(root, INF_QUALITY, root)];
+        self.best_quality[root as usize] = INF_QUALITY;
+        self.parent_of[root as usize] = root;
+        self.touched.push(root);
+        let mut next: Vec<(VertexId, Quality, VertexId)> = Vec::new();
+        let mut dist: Distance = 0;
+
+        while !frontier.is_empty() {
+            frontier.sort_unstable_by_key(|&(v, w, _)| (std::cmp::Reverse(w), v));
+            for &(u, w, parent) in &frontier {
+                if u != root {
+                    if crate::query::covered_building(
+                        &cover[root as usize],
+                        &cover[u as usize],
+                        rank,
+                        w,
+                        dist,
+                    ) {
+                        continue;
+                    }
+                    out.push((u, dist, w, parent));
+                }
+                let ids = g.neighbor_ids(u);
+                let quals = g.neighbor_qualities(u);
+                for (idx, &v) in ids.iter().enumerate() {
+                    if rank[v as usize] <= root_rank {
+                        continue;
+                    }
+                    let w_new = w.min(quals[idx]);
+                    if w_new <= self.best_quality[v as usize] {
+                        continue;
+                    }
+                    if self.best_quality[v as usize] == 0 {
+                        self.touched.push(v);
+                    }
+                    self.best_quality[v as usize] = w_new;
+                    self.parent_of[v as usize] = u;
+                    if !self.queued[v as usize] {
+                        self.queued[v as usize] = true;
+                        next.push((v, 0, v));
+                    }
+                }
+            }
+            for entry in &mut next {
+                entry.1 = self.best_quality[entry.0 as usize];
+                entry.2 = self.parent_of[entry.0 as usize];
+                self.queued[entry.0 as usize] = false;
+            }
+            frontier.clear();
+            std::mem::swap(&mut frontier, &mut next);
+            dist += 1;
+        }
+        for v in self.touched.drain(..) {
+            self.best_quality[v as usize] = 0;
+        }
+    }
 }
 
 #[cfg(test)]

@@ -8,9 +8,11 @@
 //! certified by the index built so far.
 
 use crate::label::{LabelEntry, LabelSet};
+use crate::parallel_build::{self, BatchJob};
 use crate::query;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Mutex;
 use wcsd_graph::{Distance, Quality, VertexId, WeightedGraph, INF_DIST, INF_QUALITY};
 use wcsd_order::VertexOrder;
 
@@ -25,66 +27,31 @@ pub struct WeightedWcIndex {
 impl WeightedWcIndex {
     /// Builds the weighted index with a degree ordering.
     pub fn build(g: &WeightedGraph) -> Self {
+        Self::build_threads(g, 1)
+    }
+
+    /// Builds the weighted index with a degree ordering on `threads` worker
+    /// threads (`0` = all available cores). The produced index is identical
+    /// for every thread count (see [`crate::parallel_build`]).
+    pub fn build_threads(g: &WeightedGraph, threads: usize) -> Self {
         let mut by_degree: Vec<VertexId> = (0..g.num_vertices() as VertexId).collect();
         by_degree.sort_by_key(|&v| (Reverse(g.degree(v)), v));
-        Self::build_with_order(g, VertexOrder::from_permutation(by_degree))
+        Self::build_with_order_threads(g, VertexOrder::from_permutation(by_degree), threads)
     }
 
     /// Builds the weighted index under a caller-supplied vertex order.
     pub fn build_with_order(g: &WeightedGraph, order: VertexOrder) -> Self {
+        Self::build_with_order_threads(g, order, 1)
+    }
+
+    /// Builds the weighted index under a caller-supplied vertex order on
+    /// `threads` worker threads (`0` = all available cores).
+    pub fn build_with_order_threads(g: &WeightedGraph, order: VertexOrder, threads: usize) -> Self {
         assert_eq!(order.len(), g.num_vertices());
-        let n = g.num_vertices();
-        let rank = order.ranks().to_vec();
-        let mut labels: Vec<LabelSet> = (0..n as VertexId).map(LabelSet::self_label).collect();
-        // Best quality among settled states per vertex for the current root.
-        let mut best_quality: Vec<Quality> = vec![0; n];
-        let mut touched: Vec<VertexId> = Vec::new();
-
-        for k in 0..order.len() {
-            let root = order.vertex_at(k);
-            let root_rank = rank[root as usize];
-            // Min-heap on (dist, Reverse(quality), vertex): shortest first, and
-            // for equal distances the highest quality first so dominated
-            // same-distance states are discarded cheaply.
-            let mut heap: BinaryHeap<Reverse<(Distance, Reverse<Quality>, VertexId)>> =
-                BinaryHeap::new();
-            heap.push(Reverse((0, Reverse(INF_QUALITY), root)));
-
-            while let Some(Reverse((dist, Reverse(w), u))) = heap.pop() {
-                // Dominance pruning: an earlier settled state of u had smaller
-                // or equal distance; if its quality was at least as good this
-                // state is dominated.
-                if w <= best_quality[u as usize] {
-                    continue;
-                }
-                if u != root {
-                    if query::covered(&labels[root as usize], &labels[u as usize], w, dist) {
-                        // Pruned states do not expand (pruned-landmark rule).
-                        continue;
-                    }
-                    labels[u as usize].push_unordered(LabelEntry::new(root, dist, w));
-                }
-                if best_quality[u as usize] == 0 {
-                    touched.push(u);
-                }
-                best_quality[u as usize] = w;
-
-                for (v, q, len) in g.neighbors(u) {
-                    if rank[v as usize] <= root_rank {
-                        continue;
-                    }
-                    let w_new = w.min(q);
-                    if w_new <= best_quality[v as usize] {
-                        continue;
-                    }
-                    heap.push(Reverse((dist.saturating_add(len), Reverse(w_new), v)));
-                }
-            }
-            for v in touched.drain(..) {
-                best_quality[v as usize] = 0;
-            }
-        }
-
+        let threads = parallel_build::effective_threads(threads);
+        let mut job = WeightedJob::new(g, &order, threads);
+        parallel_build::run_batched(&mut job, threads);
+        let mut labels = job.labels;
         for set in &mut labels {
             set.finalize();
         }
@@ -105,6 +72,130 @@ impl WeightedWcIndex {
     /// Total number of label entries.
     pub fn total_entries(&self) -> usize {
         self.labels.iter().map(|l| l.len()).sum()
+    }
+}
+
+/// The [`BatchJob`] behind [`WeightedWcIndex`]: one constrained Dijkstra per
+/// root instead of a constrained BFS, same snapshot/commit protocol.
+struct WeightedJob<'g, 'o> {
+    graph: &'g WeightedGraph,
+    order: &'o VertexOrder,
+    labels: Vec<LabelSet>,
+    engines: Vec<Mutex<WeightedEngine>>,
+}
+
+impl<'g, 'o> WeightedJob<'g, 'o> {
+    fn new(graph: &'g WeightedGraph, order: &'o VertexOrder, threads: usize) -> Self {
+        let n = graph.num_vertices();
+        Self {
+            graph,
+            order,
+            labels: (0..n as VertexId).map(LabelSet::self_label).collect(),
+            engines: (0..threads.max(1)).map(|_| Mutex::new(WeightedEngine::new(n))).collect(),
+        }
+    }
+}
+
+impl BatchJob for WeightedJob<'_, '_> {
+    type Candidates = Vec<(VertexId, Distance, Quality)>;
+
+    fn num_roots(&self) -> usize {
+        self.order.len()
+    }
+
+    fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    fn root_vertex(&self, pos: usize) -> VertexId {
+        self.order.vertex_at(pos)
+    }
+
+    fn sweep(&self, pos: usize, slot: usize, out: &mut Self::Candidates) {
+        let root = self.order.vertex_at(pos);
+        let mut engine = self.engines[slot].lock().expect("sweep engines never panic");
+        engine.run_root(self.graph, self.order.ranks(), &self.labels, root, out);
+    }
+
+    fn commit(&mut self, pos: usize, out: &mut Self::Candidates, labeled: &mut Vec<VertexId>) {
+        let root = self.order.vertex_at(pos);
+        for &(v, d, w) in out.iter() {
+            self.labels[v as usize].push_unordered(LabelEntry::new(root, d, w));
+            labeled.push(v);
+        }
+    }
+}
+
+/// Per-worker scratch for the constrained Dijkstra sweeps.
+struct WeightedEngine {
+    /// Best quality among settled states per vertex for the current root.
+    best_quality: Vec<Quality>,
+    touched: Vec<VertexId>,
+}
+
+impl WeightedEngine {
+    fn new(n: usize) -> Self {
+        Self { best_quality: vec![0; n], touched: Vec::new() }
+    }
+
+    /// One constrained Dijkstra from `root` against the committed `labels`,
+    /// pushing surviving `(vertex, dist, quality)` candidates onto `out`.
+    fn run_root(
+        &mut self,
+        g: &WeightedGraph,
+        rank: &[u32],
+        labels: &[LabelSet],
+        root: VertexId,
+        out: &mut Vec<(VertexId, Distance, Quality)>,
+    ) {
+        out.clear();
+        let root_rank = rank[root as usize];
+        // Min-heap on (dist, Reverse(quality), vertex): shortest first, and
+        // for equal distances the highest quality first so dominated
+        // same-distance states are discarded cheaply.
+        let mut heap: BinaryHeap<Reverse<(Distance, Reverse<Quality>, VertexId)>> =
+            BinaryHeap::new();
+        heap.push(Reverse((0, Reverse(INF_QUALITY), root)));
+
+        while let Some(Reverse((dist, Reverse(w), u))) = heap.pop() {
+            // Dominance pruning: an earlier settled state of u had smaller
+            // or equal distance; if its quality was at least as good this
+            // state is dominated.
+            if w <= self.best_quality[u as usize] {
+                continue;
+            }
+            if u != root {
+                if query::covered_building(
+                    &labels[root as usize],
+                    &labels[u as usize],
+                    rank,
+                    w,
+                    dist,
+                ) {
+                    // Pruned states do not expand (pruned-landmark rule).
+                    continue;
+                }
+                out.push((u, dist, w));
+            }
+            if self.best_quality[u as usize] == 0 {
+                self.touched.push(u);
+            }
+            self.best_quality[u as usize] = w;
+
+            for (v, q, len) in g.neighbors(u) {
+                if rank[v as usize] <= root_rank {
+                    continue;
+                }
+                let w_new = w.min(q);
+                if w_new <= self.best_quality[v as usize] {
+                    continue;
+                }
+                heap.push(Reverse((dist.saturating_add(len), Reverse(w_new), v)));
+            }
+        }
+        for v in self.touched.drain(..) {
+            self.best_quality[v as usize] = 0;
+        }
     }
 }
 

@@ -11,8 +11,10 @@
 //!   standing in for social/web networks.
 //! * [`erdos_renyi`], [`watts_strogatz`] — classic random-graph baselines for
 //!   ablations.
-//! * [`special`] — paths, cycles, stars, trees, complete graphs and the
-//!   paper's running examples, used heavily in tests.
+//! * [`path_graph`], [`cycle_graph`], [`star_graph`], [`random_tree`],
+//!   [`complete_graph`], [`paper_figure2`], [`paper_figure3`] — paths,
+//!   cycles, stars, trees, complete graphs and the paper's running examples,
+//!   used heavily in tests.
 //!
 //! All generators are deterministic given a seed, and every generated edge is
 //! assigned a quality level by [`QualityAssigner`].

@@ -2,7 +2,7 @@
 //! WC-INDEX snapshots from edge-list or DIMACS graph files.
 //!
 //! ```text
-//! wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--dimacs]
+//! wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--threads N] [--dimacs]
 //! wcsd-cli stats <graph-file> [--dimacs]
 //! wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]
 //! wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--dimacs]
@@ -50,7 +50,7 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--dimacs]");
+            eprintln!("  wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--threads N] [--dimacs]");
             eprintln!("  wcsd-cli stats <graph-file> [--dimacs]");
             eprintln!("  wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]");
             eprintln!("  wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--dimacs]");
@@ -74,16 +74,20 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err("build requires <graph-file> <index-file>".to_string());
             };
             let graph = read_graph_file(graph_path, use_dimacs)?;
+            // --threads N: construction workers (0 = all cores); the index is
+            // identical for every thread count.
+            let threads: usize = flag_value(args, "--threads")?.unwrap_or(1);
             let start = std::time::Instant::now();
-            let index = IndexBuilder::new().ordering(ordering).build(&graph);
+            let index = IndexBuilder::new().ordering(ordering).threads(threads).build(&graph);
             let stats = index.stats();
             std::fs::write(index_path, index.encode())
                 .map_err(|e| format!("cannot write {index_path}: {e}"))?;
             println!(
-                "built index for {} vertices / {} edges in {:.2?}: {} entries ({:.2} per vertex, {:.3} MiB) -> {index_path}",
+                "built index for {} vertices / {} edges in {:.2?} ({} thread(s)): {} entries ({:.2} per vertex, {:.3} MiB) -> {index_path}",
                 graph.num_vertices(),
                 graph.num_edges(),
                 start.elapsed(),
+                threads,
                 stats.total_entries,
                 stats.avg_label_size,
                 stats.megabytes()
