@@ -15,6 +15,7 @@
 //! | (ours) ordering ablation | `exp_ablation_ordering` | `ordering_ablation` |
 //! | (ours) query implementation ablation | — | `query_impl_ablation` |
 //! | (ours) parallel construction speedup | `exp6_parallel_build` | — |
+//! | (ours) flat vs. nested query engine | `exp7_flat_query` | `flat_query` |
 //! | (ours) server throughput/latency | `loadgen` | — |
 //! | everything above in one run | `exp_all` | — |
 //!
@@ -38,5 +39,5 @@ pub mod workload;
 pub use cliargs::{parse_exp_args, ExpArgs};
 pub use datasets::{Dataset, DatasetKind, Scale};
 pub use loadgen::{LoadgenConfig, LoadgenResult};
-pub use measure::{BuildSpeedupResult, IndexingResult, MethodKind, QueryResult};
+pub use measure::{BuildSpeedupResult, FlatQueryResult, IndexingResult, MethodKind, QueryResult};
 pub use workload::QueryWorkload;

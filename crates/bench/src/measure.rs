@@ -7,7 +7,7 @@
 use crate::workload::QueryWorkload;
 use std::time::Instant;
 use wcsd_baselines::{online, DistanceAlgorithm, LcrAdaptIndex, NaiveWIndex, PartitionedGraphs};
-use wcsd_core::{ConstructionMode, IndexBuilder, WcIndex};
+use wcsd_core::{ConstructionMode, FlatIndex, FlatView, IndexBuilder, WcIndex};
 use wcsd_graph::Graph;
 use wcsd_order::OrderingStrategy;
 
@@ -260,6 +260,135 @@ pub fn run_queries(
     }
 }
 
+/// One row of the flat-vs-nested comparison (Exp 7): the same WC-INDEX+
+/// queried through the nested build representation and the flat serve
+/// representation, plus snapshot decode times for both on-disk formats.
+///
+/// The speedup fields are within-run ratios (nested / flat), which is the
+/// meaningful number on a shared single-core host.
+#[derive(Debug, Clone)]
+pub struct FlatQueryResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Total label entries of the index both representations share.
+    pub entries: usize,
+    /// Queries replayed per measurement pass.
+    pub queries: usize,
+    /// Mean `Query⁺` time over the nested `WcIndex`, microseconds.
+    pub nested_query_us: f64,
+    /// Mean `Query⁺` time over the owned `FlatIndex`, microseconds.
+    pub flat_query_us: f64,
+    /// Mean `Query⁺` time over the borrowed `FlatView` (zero-copy snapshot),
+    /// microseconds.
+    pub view_query_us: f64,
+    /// Query speedup of the flat form: `nested_query_us / flat_query_us`.
+    pub query_speedup: f64,
+    /// `WCIX` snapshot decode time (per-vertex rebuild), milliseconds.
+    pub nested_decode_ms: f64,
+    /// `WCIF` snapshot decode time (validated bulk copy), milliseconds.
+    pub flat_decode_ms: f64,
+    /// Snapshot-load speedup into an owned index:
+    /// `nested_decode_ms / flat_decode_ms`.
+    pub decode_speedup: f64,
+    /// `WCIF` zero-copy view parse time (validation only, nothing copied),
+    /// milliseconds — the load cost of the mmap-style serving path.
+    pub view_parse_ms: f64,
+    /// Load speedup of the zero-copy path:
+    /// `nested_decode_ms / view_parse_ms`.
+    pub view_load_speedup: f64,
+    /// `WCIX` snapshot size in bytes.
+    pub nested_snapshot_bytes: usize,
+    /// `WCIF` snapshot size in bytes.
+    pub flat_snapshot_bytes: usize,
+}
+
+/// Replays `workload` `reps` times through `f`, returning the best
+/// (minimum-interference) mean per-query microseconds across passes. The
+/// count of reachable answers is folded into a checksum so the query loop
+/// cannot be optimized away.
+fn best_pass_us(
+    workload: &QueryWorkload,
+    reps: usize,
+    mut f: impl FnMut(u32, u32, u32) -> Option<u32>,
+) -> f64 {
+    let mut best = f64::INFINITY;
+    let mut checksum = 0usize;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        for &(s, t, w) in workload.queries() {
+            if f(s, t, w).is_some() {
+                checksum += 1;
+            }
+        }
+        best = best.min(start.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(checksum);
+    1e6 * best / workload.len().max(1) as f64
+}
+
+/// Builds WC-INDEX+ on `g` and measures nested-vs-flat query latency and
+/// snapshot decode time (Exp 7). Answers of the two representations are
+/// cross-checked on every replayed query.
+pub fn flat_query_comparison(
+    dataset: &str,
+    g: &Graph,
+    workload: &QueryWorkload,
+    reps: usize,
+) -> FlatQueryResult {
+    let index = IndexBuilder::wc_index_plus().build(g);
+    let flat = FlatIndex::from_index(&index);
+    for &(s, t, w) in workload.queries() {
+        assert_eq!(
+            index.distance(s, t, w),
+            flat.distance(s, t, w),
+            "flat representation diverged on {dataset} Q({s},{t},{w})"
+        );
+    }
+
+    let nested_query_us = best_pass_us(workload, reps, |s, t, w| index.distance(s, t, w));
+    let flat_query_us = best_pass_us(workload, reps, |s, t, w| flat.distance(s, t, w));
+
+    let nested_bytes = index.encode();
+    let flat_bytes = flat.encode();
+    let view = FlatView::parse(&flat_bytes).expect("own encoding parses");
+    let view_query_us = best_pass_us(workload, reps, |s, t, w| view.distance(s, t, w));
+
+    let mut nested_decode = f64::INFINITY;
+    let mut flat_decode = f64::INFINITY;
+    let mut view_parse = f64::INFINITY;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        let decoded = WcIndex::decode(&nested_bytes).expect("own encoding decodes");
+        nested_decode = nested_decode.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(decoded.total_entries());
+        let start = Instant::now();
+        let decoded = FlatIndex::decode(&flat_bytes).expect("own encoding decodes");
+        flat_decode = flat_decode.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(decoded.total_entries());
+        let start = Instant::now();
+        let parsed = FlatView::parse(&flat_bytes).expect("own encoding parses");
+        view_parse = view_parse.min(start.elapsed().as_secs_f64());
+        std::hint::black_box(parsed.total_entries());
+    }
+
+    FlatQueryResult {
+        dataset: dataset.to_string(),
+        entries: index.total_entries(),
+        queries: workload.len(),
+        nested_query_us,
+        flat_query_us,
+        view_query_us,
+        query_speedup: if flat_query_us > 0.0 { nested_query_us / flat_query_us } else { 0.0 },
+        nested_decode_ms: 1e3 * nested_decode,
+        flat_decode_ms: 1e3 * flat_decode,
+        decode_speedup: if flat_decode > 0.0 { nested_decode / flat_decode } else { 0.0 },
+        view_parse_ms: 1e3 * view_parse,
+        view_load_speedup: if view_parse > 0.0 { nested_decode / view_parse } else { 0.0 },
+        nested_snapshot_bytes: nested_bytes.len(),
+        flat_snapshot_bytes: flat_bytes.len(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -305,6 +434,21 @@ mod tests {
         assert_eq!(q.queries, 50);
         assert!(q.avg_query_us >= 0.0);
         assert!(q.reachable <= q.queries);
+    }
+
+    #[test]
+    fn flat_comparison_fields_are_sane() {
+        let d = Dataset::bench_road();
+        let g = Dataset { base_size: 10, ..d }.generate();
+        let workload = QueryWorkload::uniform(&g, 120, 5);
+        let r = flat_query_comparison("t", &g, &workload, 2);
+        assert_eq!(r.queries, 120);
+        assert!(r.entries > 0);
+        assert!(r.nested_query_us > 0.0 && r.flat_query_us > 0.0 && r.view_query_us > 0.0);
+        assert!(r.query_speedup > 0.0 && r.decode_speedup > 0.0);
+        assert!(r.nested_decode_ms >= 0.0 && r.flat_decode_ms >= 0.0);
+        // Both formats serialize the same entries plus bounded metadata.
+        assert!(r.nested_snapshot_bytes > 0 && r.flat_snapshot_bytes > 0);
     }
 
     #[test]

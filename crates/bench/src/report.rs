@@ -1,7 +1,7 @@
 //! Table/JSON rendering of experiment results, mimicking the rows and series
 //! the paper's figures plot.
 
-use crate::measure::{BuildSpeedupResult, IndexingResult, QueryResult};
+use crate::measure::{BuildSpeedupResult, FlatQueryResult, IndexingResult, QueryResult};
 
 /// Renders a plain-text table with one row per dataset and one column per
 /// method, from `(dataset, method, value)` cells.
@@ -64,6 +64,27 @@ pub fn build_speedup_table(title: &str, results: &[BuildSpeedupResult]) -> Strin
     })
 }
 
+/// Renders flat-vs-nested comparison results (Exp 7): one row per dataset,
+/// columns for nested/flat/view query latency and the two within-run ratios.
+pub fn flat_query_table(title: &str, results: &[FlatQueryResult]) -> String {
+    let datasets: Vec<String> = results.iter().map(|r| r.dataset.clone()).collect();
+    let methods: Vec<String> = ["nested µs", "flat µs", "view µs", "query ×", "load ×", "mmap ×"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    render_matrix(title, "µs/query, ratios", &datasets, &methods, |d, m| {
+        let r = results.iter().find(|r| r.dataset == d)?;
+        Some(match m {
+            "nested µs" => r.nested_query_us,
+            "flat µs" => r.flat_query_us,
+            "view µs" => r.view_query_us,
+            "query ×" => r.query_speedup,
+            "load ×" => r.decode_speedup,
+            _ => r.view_load_speedup,
+        })
+    })
+}
+
 /// Renders query-time results (Figures 7, 12 of the paper).
 pub fn query_time_table(title: &str, results: &[QueryResult]) -> String {
     let (datasets, methods) = axes(results.iter().map(|r| (r.dataset.clone(), r.method.clone())));
@@ -102,6 +123,27 @@ impl JsonRecord for BuildSpeedupResult {
             ("build_seconds", json_f64(self.build_seconds)),
             ("speedup", json_f64(self.speedup)),
             ("entries", self.entries.to_string()),
+        ]
+    }
+}
+
+impl JsonRecord for FlatQueryResult {
+    fn json_fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("dataset", json_string(&self.dataset)),
+            ("entries", self.entries.to_string()),
+            ("queries", self.queries.to_string()),
+            ("nested_query_us", json_f64(self.nested_query_us)),
+            ("flat_query_us", json_f64(self.flat_query_us)),
+            ("view_query_us", json_f64(self.view_query_us)),
+            ("query_speedup", json_f64(self.query_speedup)),
+            ("nested_decode_ms", json_f64(self.nested_decode_ms)),
+            ("flat_decode_ms", json_f64(self.flat_decode_ms)),
+            ("decode_speedup", json_f64(self.decode_speedup)),
+            ("view_parse_ms", json_f64(self.view_parse_ms)),
+            ("view_load_speedup", json_f64(self.view_load_speedup)),
+            ("nested_snapshot_bytes", self.nested_snapshot_bytes.to_string()),
+            ("flat_snapshot_bytes", self.flat_snapshot_bytes.to_string()),
         ]
     }
 }

@@ -23,11 +23,13 @@
 //! multi-threaded builder of [`crate::parallel_build`].
 
 use crate::build::IndexBuilder;
+use crate::flat::FlatIndex;
 use crate::index::WcIndex;
 use crate::label::LabelEntry;
 use crate::query;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
+use std::sync::Arc;
 use wcsd_graph::{Distance, Graph, GraphBuilder, Quality, VertexId};
 
 /// A WC-INDEX paired with its graph, supporting edge insertions and deletions.
@@ -38,6 +40,9 @@ pub struct DynamicWcIndex {
     index: WcIndex,
     builder: IndexBuilder,
     rebuild_count: usize,
+    /// Cached frozen serve representation; invalidated by every update and
+    /// re-frozen lazily by [`Self::freeze`].
+    flat: Option<Arc<FlatIndex>>,
 }
 
 impl DynamicWcIndex {
@@ -45,7 +50,7 @@ impl DynamicWcIndex {
     pub fn new(g: &Graph, builder: IndexBuilder) -> Self {
         let edges: Vec<_> = g.edges().map(|e| (e.u, e.v, e.quality)).collect();
         let index = builder.build(g);
-        Self { edges, graph: g.clone(), index, builder, rebuild_count: 0 }
+        Self { edges, graph: g.clone(), index, builder, rebuild_count: 0, flat: None }
     }
 
     /// The current graph.
@@ -56,6 +61,19 @@ impl DynamicWcIndex {
     /// The current index (read-only view).
     pub fn index(&self) -> &WcIndex {
         &self.index
+    }
+
+    /// Re-freezes the current index into the flat serve representation,
+    /// returning a shared handle suitable for handing to a query server.
+    ///
+    /// The frozen index is cached: repeated calls without intervening updates
+    /// return the same `Arc`, while every [`Self::insert_edge`],
+    /// [`Self::remove_edge`] and [`Self::rebuild`] invalidates it so the next
+    /// freeze reflects the updated labels. Handles returned earlier stay
+    /// valid — they are immutable snapshots of the index at freeze time,
+    /// which is exactly the hand-over a serving loop wants during updates.
+    pub fn freeze(&mut self) -> Arc<FlatIndex> {
+        self.flat.get_or_insert_with(|| Arc::new(FlatIndex::from_index(&self.index))).clone()
     }
 
     /// How many full rebuilds have been performed (deletions and explicit
@@ -85,6 +103,7 @@ impl DynamicWcIndex {
         self.graph =
             rebuild_graph(&self.edges, self.graph.num_vertices().max(a.max(b) as usize + 1));
         self.incremental_insert(a, b, q);
+        self.flat = None;
         true
     }
 
@@ -107,6 +126,7 @@ impl DynamicWcIndex {
     pub fn rebuild(&mut self) {
         self.index = self.builder.build(&self.graph);
         self.rebuild_count += 1;
+        self.flat = None;
     }
 
     /// Incremental repair after inserting `(a, b, q)`: for every hub (in rank
@@ -325,6 +345,35 @@ mod tests {
                 "parallel rebuild diverged at vertex {v}"
             );
         }
+    }
+
+    #[test]
+    fn freeze_is_cached_and_invalidated_by_updates() {
+        let g = paper_figure3();
+        let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::default());
+        let frozen = dyn_idx.freeze();
+        assert!(Arc::ptr_eq(&frozen, &dyn_idx.freeze()), "no update → same frozen Arc");
+        assert_eq!(frozen.distance(0, 4, 3), Some(4));
+
+        assert!(dyn_idx.insert_edge(0, 4, 5));
+        let refrozen = dyn_idx.freeze();
+        assert!(!Arc::ptr_eq(&frozen, &refrozen), "insert must invalidate the frozen cache");
+        // The old handle still answers from its snapshot; the new one sees
+        // the shortcut, matching the live index on every quality level.
+        assert_eq!(frozen.distance(0, 4, 3), Some(4));
+        assert_eq!(refrozen.distance(0, 4, 3), Some(1));
+        for w in 1..=5 {
+            for s in 0..6 {
+                for t in 0..6 {
+                    assert_eq!(refrozen.distance(s, t, w), dyn_idx.distance(s, t, w));
+                }
+            }
+        }
+
+        assert!(dyn_idx.remove_edge(0, 4));
+        let after_delete = dyn_idx.freeze();
+        assert!(!Arc::ptr_eq(&refrozen, &after_delete), "delete must invalidate too");
+        assert_eq!(after_delete.distance(0, 4, 3), Some(4));
     }
 
     #[test]

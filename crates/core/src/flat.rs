@@ -1,0 +1,983 @@
+//! Read-optimized flat representation of a WC-INDEX: one contiguous entry
+//! arena instead of one heap allocation per vertex.
+//!
+//! [`crate::index::WcIndex`] is the *build* representation: each vertex owns a
+//! `Vec<LabelEntry>`, which is exactly what the construction sweeps need
+//! (per-vertex growth, in-place finalization) but pessimal for serving — every
+//! query chases two pointers into scattered allocations, and the
+//! array-of-structs entry layout drags `hub` bytes through the cache while the
+//! binary search only wants `quality`. [`FlatIndex`] is the *serve*
+//! representation:
+//!
+//! * a single struct-of-arrays entry arena (`dists`, `qualities`),
+//!   concatenated over all vertices in vertex order;
+//! * a CSR `entry_offsets` array (`entry_offsets[v]..entry_offsets[v + 1]` is
+//!   `L(v)`);
+//! * a per-vertex *hub-group directory* (`group_hubs`, `group_starts` under a
+//!   CSR `group_offsets`): one record per distinct hub of each vertex, so
+//!   `Query⁺` merges the two directories directly — comparing one `u32` per
+//!   distinct hub instead of walking entry-by-entry (`skip_group`) — and skips
+//!   ahead with `partition_point`-style binary searches on the miss path.
+//!   The directory makes a per-entry hub column redundant, so the arena does
+//!   not store one: entries cost 8 bytes instead of the nested form's 12.
+//!
+//! The split also fixes the snapshot story: [`FlatIndex::encode`] writes the
+//! arrays as-is into the versioned `WCIF` format, and [`FlatIndex::decode`] is
+//! a validated bulk copy — no per-vertex `Vec`, no re-sort. For load-once
+//! serving, [`FlatView`] answers queries *directly from the encoded bytes*
+//! (e.g. an mmap'd file) without copying the arena at all.
+//!
+//! Conversion is lossless in both directions ([`FlatIndex::from_index`] /
+//! [`FlatIndex::to_index`]) and answers are bit-identical for all three query
+//! implementations (enforced by `tests/flat.rs`).
+
+use crate::index::{QueryImpl, WcIndex};
+use crate::label::{LabelEntry, LabelSet};
+use crate::stats::IndexStats;
+use wcsd_graph::{Distance, Quality, VertexId, INF_DIST};
+use wcsd_order::VertexOrder;
+
+/// Snapshot magic of the flat format ("WC Index, Flat").
+pub const WCIF_MAGIC: &[u8; 4] = b"WCIF";
+
+/// Current `WCIF` format version.
+pub const WCIF_VERSION: u32 = 1;
+
+/// Size of the fixed `WCIF` header: magic, version, vertex / entry / group
+/// counts.
+const WCIF_HEADER: usize = 4 + 4 * 4;
+
+/// A frozen, read-optimized WC-INDEX in contiguous struct-of-arrays form.
+///
+/// Construct one from a built [`WcIndex`] with [`FlatIndex::from_index`], or
+/// load one from a `WCIF` snapshot with [`FlatIndex::decode`]. The query
+/// surface mirrors [`WcIndex`] and returns bit-identical answers.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatIndex {
+    /// Distance of every entry; arena position `entry_offsets[v]..entry_offsets[v+1]` is `L(v)`.
+    dists: Vec<Distance>,
+    /// Quality threshold of every entry, parallel to `dists`.
+    qualities: Vec<Quality>,
+    /// CSR offsets into the entry arena, length `n + 1`.
+    entry_offsets: Vec<u32>,
+    /// Hub id of every hub group, concatenated over vertices.
+    group_hubs: Vec<VertexId>,
+    /// Arena position of the first entry of every group, parallel to `group_hubs`.
+    group_starts: Vec<u32>,
+    /// CSR offsets into the group directory, length `n + 1`.
+    group_offsets: Vec<u32>,
+    /// The vertex order the index was built with.
+    order: VertexOrder,
+}
+
+impl FlatIndex {
+    /// Freezes a built [`WcIndex`] into the flat representation.
+    ///
+    /// Lossless: [`Self::to_index`] reconstructs an equal [`WcIndex`], and all
+    /// queries return identical answers.
+    pub fn from_index(index: &WcIndex) -> Self {
+        let n = index.num_vertices();
+        let total: usize = index.total_entries();
+        assert!(total <= u32::MAX as usize, "flat index arena limited to u32::MAX entries");
+        let mut dists = Vec::with_capacity(total);
+        let mut qualities = Vec::with_capacity(total);
+        let mut entry_offsets = Vec::with_capacity(n + 1);
+        let mut group_hubs = Vec::new();
+        let mut group_starts = Vec::new();
+        let mut group_offsets = Vec::with_capacity(n + 1);
+        entry_offsets.push(0);
+        group_offsets.push(0);
+        for v in 0..n {
+            for (hub, group) in index.labels(v as VertexId).hub_groups() {
+                group_hubs.push(hub);
+                group_starts.push(dists.len() as u32);
+                for e in group {
+                    dists.push(e.dist);
+                    qualities.push(e.quality);
+                }
+            }
+            entry_offsets.push(dists.len() as u32);
+            group_offsets.push(group_hubs.len() as u32);
+        }
+        Self {
+            dists,
+            qualities,
+            entry_offsets,
+            group_hubs,
+            group_starts,
+            group_offsets,
+            order: index.order().clone(),
+        }
+    }
+
+    /// Thaws the flat index back into the nested build representation.
+    pub fn to_index(&self) -> WcIndex {
+        let n = self.num_vertices();
+        let mut labels = Vec::with_capacity(n);
+        for v in 0..n {
+            let entries: Vec<LabelEntry> = self.label_entries(v as VertexId).collect();
+            labels.push(LabelSet::from_sorted(entries));
+        }
+        WcIndex::from_parts(labels, self.order.clone())
+    }
+
+    /// Number of vertices the index covers.
+    pub fn num_vertices(&self) -> usize {
+        self.entry_offsets.len() - 1
+    }
+
+    /// Total number of label entries across all vertices.
+    pub fn total_entries(&self) -> usize {
+        self.dists.len()
+    }
+
+    /// Total number of hub groups across all vertices.
+    pub fn num_groups(&self) -> usize {
+        self.group_hubs.len()
+    }
+
+    /// The vertex order the index was built with.
+    pub fn order(&self) -> &VertexOrder {
+        &self.order
+    }
+
+    /// Iterates the entries of `L(v)` in canonical `(hub, dist)` order. The
+    /// hub of each entry comes from the group directory — the arena itself
+    /// stores no per-entry hub column (it would be fully redundant).
+    pub fn label_entries(&self, v: VertexId) -> impl Iterator<Item = LabelEntry> + '_ {
+        let g0 = self.group_offsets[v as usize] as usize;
+        let g1 = self.group_offsets[v as usize + 1] as usize;
+        (g0..g1).flat_map(move |g| {
+            let hub = self.group_hubs[g];
+            let start = self.group_starts[g] as usize;
+            let end = FlatStore::group_end(self, g, v);
+            (start..end).map(move |e| LabelEntry::new(hub, self.dists[e], self.qualities[e]))
+        })
+    }
+
+    /// Number of entries in `L(v)`.
+    pub fn label_len(&self, v: VertexId) -> usize {
+        (self.entry_offsets[v as usize + 1] - self.entry_offsets[v as usize]) as usize
+    }
+
+    /// Answers `Q(s, t, w)` with the `Query⁺` merge over the group
+    /// directories.
+    pub fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+        self.distance_with(s, t, w, QueryImpl::Merge)
+    }
+
+    /// Same as [`Self::distance`] but selecting the query implementation.
+    pub fn distance_with(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        w: Quality,
+        imp: QueryImpl,
+    ) -> Option<Distance> {
+        let d = match imp {
+            QueryImpl::PairScan => pair_scan_flat(self, s, t, w),
+            QueryImpl::HubBucket => hub_bucket_flat(self, s, t, w),
+            QueryImpl::Merge => merge_flat(self, s, t, w),
+        };
+        (d != INF_DIST).then_some(d)
+    }
+
+    /// Returns `true` if some `w`-path of length at most `d` connects `s` and
+    /// `t` (the cover predicate, mirroring [`WcIndex::within`]).
+    pub fn within(&self, s: VertexId, t: VertexId, w: Quality, d: Distance) -> bool {
+        covered_flat(self, s, t, w, d)
+    }
+
+    /// Aggregate statistics of the index.
+    pub fn stats(&self) -> IndexStats {
+        stats_of(self)
+    }
+
+    /// Serializes the index into the versioned `WCIF` snapshot: a fixed
+    /// header followed by each array as raw little-endian words, in exactly
+    /// the in-memory layout. [`Self::decode`] and [`FlatView::parse`] read it
+    /// back.
+    pub fn encode(&self) -> bytes::Bytes {
+        use bytes::BufMut;
+        let n = self.num_vertices();
+        let m = self.total_entries();
+        let g = self.num_groups();
+        let total = WCIF_HEADER + 4 * (2 * (n + 1) + 2 * g + 2 * m + n);
+        let mut buf = bytes::BytesMut::with_capacity(total);
+        buf.put_slice(WCIF_MAGIC);
+        buf.put_u32_le(WCIF_VERSION);
+        buf.put_u32_le(n as u32);
+        buf.put_u32_le(m as u32);
+        buf.put_u32_le(g as u32);
+        for section in [
+            &self.entry_offsets,
+            &self.group_offsets,
+            &self.group_hubs,
+            &self.group_starts,
+            &self.dists,
+            &self.qualities,
+        ] {
+            for &word in section.iter() {
+                buf.put_u32_le(word);
+            }
+        }
+        for v in self.order.iter() {
+            buf.put_u32_le(v);
+        }
+        buf.freeze()
+    }
+
+    /// Decodes a `WCIF` snapshot produced by [`Self::encode`].
+    ///
+    /// The decode is a bulk copy of each section followed by one linear
+    /// validation pass over the copied arrays (offset monotonicity,
+    /// group/entry consistency, the Theorem-3 ordering every query binary
+    /// search relies on, and a permutation check on the vertex order). No
+    /// per-vertex allocation, no re-sort. Corrupt or truncated input is
+    /// rejected with an error, never a panic.
+    pub fn decode(data: &[u8]) -> Result<Self, String> {
+        // The sections are copied first and the (shared, generic) validation
+        // pass runs over the owned arrays, where the `FlatStore` accessors
+        // monomorphize to plain `Vec` indexing — same speed as a
+        // hand-specialized pass, one validator to maintain.
+        let owned = FlatView::split(data)?.copy_sections()?;
+        validate(&owned)?;
+        Ok(owned)
+    }
+}
+
+/// A borrowed, zero-copy view over an encoded `WCIF` snapshot.
+///
+/// [`FlatView::parse`] validates the buffer once (same checks as
+/// [`FlatIndex::decode`]) and then answers queries by reading little-endian
+/// words straight out of the underlying bytes — nothing is copied, so a
+/// memory-mapped snapshot file serves queries at file-cache speed the moment
+/// it is mapped. Convert to an owned [`FlatIndex`] with [`FlatView::to_owned`]
+/// when the backing buffer cannot outlive the serving loop.
+#[derive(Debug, Clone, Copy)]
+pub struct FlatView<'a> {
+    n: usize,
+    m: usize,
+    g: usize,
+    entry_offsets: &'a [u8],
+    group_offsets: &'a [u8],
+    group_hubs: &'a [u8],
+    group_starts: &'a [u8],
+    dists: &'a [u8],
+    qualities: &'a [u8],
+    order: &'a [u8],
+}
+
+/// Little-endian `u32` at word index `i` of `section`.
+#[inline]
+fn word(section: &[u8], i: usize) -> u32 {
+    let bytes: [u8; 4] = section[4 * i..4 * i + 4].try_into().expect("4-byte slice");
+    u32::from_le_bytes(bytes)
+}
+
+impl<'a> FlatView<'a> {
+    /// Parses and fully validates an encoded `WCIF` buffer without copying
+    /// the arrays.
+    pub fn parse(data: &'a [u8]) -> Result<Self, String> {
+        let view = Self::split(data)?;
+        validate(&view)?;
+        validate_order_words((0..view.n).map(|k| word(view.order, k)), view.n)?;
+        Ok(view)
+    }
+
+    /// Checks the header and splits the buffer into its sections, without
+    /// the structural validation pass.
+    fn split(data: &'a [u8]) -> Result<Self, String> {
+        if data.len() < WCIF_HEADER {
+            return Err("buffer shorter than the WCIF header".to_string());
+        }
+        if &data[..4] != WCIF_MAGIC {
+            return Err(format!("bad magic {:?} (expected WCIF)", &data[..4]));
+        }
+        let header_word = |i: usize| word(&data[4..], i);
+        let version = header_word(0);
+        if version != WCIF_VERSION {
+            return Err(format!("unsupported WCIF version {version} (expected {WCIF_VERSION})"));
+        }
+        let n = header_word(1) as usize;
+        let m = header_word(2) as usize;
+        let g = header_word(3) as usize;
+        let words = 2usize
+            .checked_mul(n + 1)
+            .and_then(|x| x.checked_add(2 * g))
+            .and_then(|x| x.checked_add(2usize.checked_mul(m)?))
+            .and_then(|x| x.checked_add(n))
+            .ok_or("section sizes overflow")?;
+        let expected = 4usize
+            .checked_mul(words)
+            .and_then(|x| x.checked_add(WCIF_HEADER))
+            .ok_or("section sizes overflow")?;
+        if data.len() != expected {
+            return Err(format!(
+                "buffer is {} bytes but the header implies {expected}",
+                data.len()
+            ));
+        }
+        let mut rest = &data[WCIF_HEADER..];
+        let mut take = |words: usize| {
+            let (section, tail) = rest.split_at(4 * words);
+            rest = tail;
+            section
+        };
+        Ok(Self {
+            n,
+            m,
+            g,
+            entry_offsets: take(n + 1),
+            group_offsets: take(n + 1),
+            group_hubs: take(g),
+            group_starts: take(g),
+            dists: take(m),
+            qualities: take(m),
+            order: take(n),
+        })
+    }
+
+    /// Number of vertices the snapshot covers.
+    pub fn num_vertices(&self) -> usize {
+        self.n
+    }
+
+    /// Total number of label entries.
+    pub fn total_entries(&self) -> usize {
+        self.m
+    }
+
+    /// Total number of hub groups.
+    pub fn num_groups(&self) -> usize {
+        self.g
+    }
+
+    /// Answers `Q(s, t, w)` directly from the borrowed buffer.
+    pub fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+        self.distance_with(s, t, w, QueryImpl::Merge)
+    }
+
+    /// Same as [`Self::distance`] but selecting the query implementation.
+    pub fn distance_with(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        w: Quality,
+        imp: QueryImpl,
+    ) -> Option<Distance> {
+        let d = match imp {
+            QueryImpl::PairScan => pair_scan_flat(self, s, t, w),
+            QueryImpl::HubBucket => hub_bucket_flat(self, s, t, w),
+            QueryImpl::Merge => merge_flat(self, s, t, w),
+        };
+        (d != INF_DIST).then_some(d)
+    }
+
+    /// Returns `true` if some `w`-path of length at most `d` connects `s` and
+    /// `t`.
+    pub fn within(&self, s: VertexId, t: VertexId, w: Quality, d: Distance) -> bool {
+        covered_flat(self, s, t, w, d)
+    }
+
+    /// Aggregate statistics of the snapshot.
+    pub fn stats(&self) -> IndexStats {
+        stats_of(self)
+    }
+
+    /// Copies the view into an owned [`FlatIndex`].
+    pub fn to_owned(&self) -> FlatIndex {
+        // `parse` already validated the buffer, so the copy cannot fail.
+        self.copy_sections().expect("a parsed view always copies")
+    }
+
+    /// Bulk-copies every section into owned vectors, checking only that the
+    /// vertex order is a permutation (so `VertexOrder::from_permutation`
+    /// cannot panic on untrusted input). [`FlatIndex::decode`] runs the
+    /// structural validation pass afterwards on the owned arrays, where the
+    /// accessors are plain `Vec` indexing instead of byte reads.
+    fn copy_sections(&self) -> Result<FlatIndex, String> {
+        let copy = |section: &[u8]| -> Vec<u32> {
+            section
+                .chunks_exact(4)
+                .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+                .collect()
+        };
+        let order_words = copy(self.order);
+        validate_order_words(order_words.iter().copied(), self.n)?;
+        Ok(FlatIndex {
+            dists: copy(self.dists),
+            qualities: copy(self.qualities),
+            entry_offsets: copy(self.entry_offsets),
+            group_hubs: copy(self.group_hubs),
+            group_starts: copy(self.group_starts),
+            group_offsets: copy(self.group_offsets),
+            order: VertexOrder::from_permutation(order_words),
+        })
+    }
+}
+
+impl crate::index::QueryEngine for FlatIndex {
+    fn num_vertices(&self) -> usize {
+        FlatIndex::num_vertices(self)
+    }
+    fn distance_with(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        w: Quality,
+        imp: QueryImpl,
+    ) -> Option<Distance> {
+        FlatIndex::distance_with(self, s, t, w, imp)
+    }
+    fn within(&self, s: VertexId, t: VertexId, w: Quality, d: Distance) -> bool {
+        FlatIndex::within(self, s, t, w, d)
+    }
+    fn stats(&self) -> IndexStats {
+        FlatIndex::stats(self)
+    }
+}
+
+impl crate::index::QueryEngine for FlatView<'_> {
+    fn num_vertices(&self) -> usize {
+        FlatView::num_vertices(self)
+    }
+    fn distance_with(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        w: Quality,
+        imp: QueryImpl,
+    ) -> Option<Distance> {
+        FlatView::distance_with(self, s, t, w, imp)
+    }
+    fn within(&self, s: VertexId, t: VertexId, w: Quality, d: Distance) -> bool {
+        FlatView::within(self, s, t, w, d)
+    }
+    fn stats(&self) -> IndexStats {
+        FlatView::stats(self)
+    }
+}
+
+/// Scalar accessors shared by the owned arena ([`FlatIndex`]) and the
+/// borrowed byte view ([`FlatView`]), so every query algorithm is written
+/// once. All methods are `#[inline]`-trivial; for the owned form they compile
+/// down to plain `Vec` indexing.
+trait FlatStore {
+    fn num_vertices(&self) -> usize;
+    fn num_entries(&self) -> usize;
+    fn num_groups(&self) -> usize;
+    /// `entry_offsets[i]`, `i` in `0..=n`.
+    fn entry_offset(&self, i: usize) -> usize;
+    /// `group_offsets[i]`, `i` in `0..=n`.
+    fn group_offset(&self, i: usize) -> usize;
+    /// Hub id of group `g`.
+    fn group_hub(&self, g: usize) -> VertexId;
+    /// Arena position of the first entry of group `g`.
+    fn group_start(&self, g: usize) -> usize;
+    fn dist(&self, e: usize) -> Distance;
+    fn quality(&self, e: usize) -> Quality;
+
+    /// Arena position one past the last entry of group `g`, which belongs to
+    /// vertex `v`: the next group's start, or the end of `L(v)` for the
+    /// vertex's last group.
+    #[inline]
+    fn group_end(&self, g: usize, v: VertexId) -> usize {
+        if g + 1 < self.group_offset(v as usize + 1) {
+            self.group_start(g + 1)
+        } else {
+            self.entry_offset(v as usize + 1)
+        }
+    }
+}
+
+impl FlatStore for FlatIndex {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.entry_offsets.len() - 1
+    }
+    #[inline]
+    fn num_entries(&self) -> usize {
+        self.dists.len()
+    }
+    #[inline]
+    fn num_groups(&self) -> usize {
+        self.group_hubs.len()
+    }
+    #[inline]
+    fn entry_offset(&self, i: usize) -> usize {
+        self.entry_offsets[i] as usize
+    }
+    #[inline]
+    fn group_offset(&self, i: usize) -> usize {
+        self.group_offsets[i] as usize
+    }
+    #[inline]
+    fn group_hub(&self, g: usize) -> VertexId {
+        self.group_hubs[g]
+    }
+    #[inline]
+    fn group_start(&self, g: usize) -> usize {
+        self.group_starts[g] as usize
+    }
+    #[inline]
+    fn dist(&self, e: usize) -> Distance {
+        self.dists[e]
+    }
+    #[inline]
+    fn quality(&self, e: usize) -> Quality {
+        self.qualities[e]
+    }
+}
+
+impl FlatStore for FlatView<'_> {
+    #[inline]
+    fn num_vertices(&self) -> usize {
+        self.n
+    }
+    #[inline]
+    fn num_entries(&self) -> usize {
+        self.m
+    }
+    #[inline]
+    fn num_groups(&self) -> usize {
+        self.g
+    }
+    #[inline]
+    fn entry_offset(&self, i: usize) -> usize {
+        word(self.entry_offsets, i) as usize
+    }
+    #[inline]
+    fn group_offset(&self, i: usize) -> usize {
+        word(self.group_offsets, i) as usize
+    }
+    #[inline]
+    fn group_hub(&self, g: usize) -> VertexId {
+        word(self.group_hubs, g)
+    }
+    #[inline]
+    fn group_start(&self, g: usize) -> usize {
+        word(self.group_starts, g) as usize
+    }
+    #[inline]
+    fn dist(&self, e: usize) -> Distance {
+        word(self.dists, e)
+    }
+    #[inline]
+    fn quality(&self, e: usize) -> Quality {
+        word(self.qualities, e)
+    }
+}
+
+/// First group index in `lo..hi` whose hub is `>= target`
+/// (`partition_point` over the group-hub directory).
+#[inline]
+fn lower_bound_hub<S: FlatStore>(st: &S, mut lo: usize, hi: usize, target: VertexId) -> usize {
+    let mut len = hi - lo;
+    while len > 0 {
+        let half = len / 2;
+        let mid = lo + half;
+        if st.group_hub(mid) < target {
+            lo = mid + 1;
+            len -= half + 1;
+        } else {
+            len = half;
+        }
+    }
+    lo
+}
+
+/// Advances past group `i` (whose hub is `< target`) to the first group in
+/// `..hi` whose hub is `>= target`. The next record is the overwhelmingly
+/// common case, so it is probed directly; longer mismatch runs gallop —
+/// exponential probes, then a binary search over the overshoot window — so a
+/// skip of `d` groups costs `O(log d)` instead of the entry-by-entry
+/// `skip_group` walk of the nested representation.
+#[inline]
+fn advance_to_hub<S: FlatStore>(st: &S, i: usize, hi: usize, target: VertexId) -> usize {
+    let mut lo = i + 1;
+    if lo >= hi || st.group_hub(lo) >= target {
+        return lo;
+    }
+    // Invariant: group_hub(lo) < target.
+    let mut step = 1;
+    loop {
+        let probe = lo + step;
+        if probe >= hi || st.group_hub(probe) >= target {
+            return lower_bound_hub(st, lo + 1, probe.min(hi), target);
+        }
+        lo = probe;
+        step *= 2;
+    }
+}
+
+/// Minimal distance among the entries of group `g` (of vertex `v`) with
+/// quality at least `w`: the Theorem-3 binary search over the dense
+/// `qualities` column.
+#[inline]
+fn min_dist_in_group<S: FlatStore>(st: &S, g: usize, v: VertexId, w: Quality) -> Option<Distance> {
+    let end = st.group_end(g, v);
+    let mut lo = st.group_start(g);
+    let mut len = end - lo;
+    while len > 0 {
+        let half = len / 2;
+        let mid = lo + half;
+        if st.quality(mid) < w {
+            lo = mid + 1;
+            len -= half + 1;
+        } else {
+            len = half;
+        }
+    }
+    (lo < end).then(|| st.dist(lo))
+}
+
+/// `Query⁺` over the flat form: merge the two *group directories* (one record
+/// per distinct hub) instead of the raw entry lists, skipping runs of
+/// unmatched hubs with a binary search.
+fn merge_flat<S: FlatStore>(st: &S, s: VertexId, t: VertexId, w: Quality) -> Distance {
+    let (mut i, i_end) = (st.group_offset(s as usize), st.group_offset(s as usize + 1));
+    let (mut j, j_end) = (st.group_offset(t as usize), st.group_offset(t as usize + 1));
+    let mut best = INF_DIST;
+    while i < i_end && j < j_end {
+        let ha = st.group_hub(i);
+        let hb = st.group_hub(j);
+        if ha < hb {
+            i = advance_to_hub(st, i, i_end, hb);
+        } else if hb < ha {
+            j = advance_to_hub(st, j, j_end, ha);
+        } else {
+            if let (Some(da), Some(db)) =
+                (min_dist_in_group(st, i, s, w), min_dist_in_group(st, j, t, w))
+            {
+                best = best.min(da.saturating_add(db));
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    best
+}
+
+/// Algorithm 2 over the flat form (reference oracle for the ablation).
+/// Entry hubs come from the group directory; the arena stores no per-entry
+/// hub column.
+fn pair_scan_flat<S: FlatStore>(st: &S, s: VertexId, t: VertexId, w: Quality) -> Distance {
+    let (i0, i1) = (st.group_offset(s as usize), st.group_offset(s as usize + 1));
+    let (j0, j1) = (st.group_offset(t as usize), st.group_offset(t as usize + 1));
+    let mut best = INF_DIST;
+    for i in i0..i1 {
+        let hub = st.group_hub(i);
+        for a in st.group_start(i)..st.group_end(i, s) {
+            if st.quality(a) < w {
+                continue;
+            }
+            for j in j0..j1 {
+                if st.group_hub(j) != hub {
+                    continue;
+                }
+                for b in st.group_start(j)..st.group_end(j, t) {
+                    if st.quality(b) >= w {
+                        best = best.min(st.dist(a).saturating_add(st.dist(b)));
+                    }
+                }
+            }
+        }
+    }
+    best
+}
+
+/// Algorithm 4 over the flat form: for each hub group of `L(t)`, binary-search
+/// the matching group in `L(s)`'s directory.
+fn hub_bucket_flat<S: FlatStore>(st: &S, s: VertexId, t: VertexId, w: Quality) -> Distance {
+    let (s0, s1) = (st.group_offset(s as usize), st.group_offset(s as usize + 1));
+    let (j0, j1) = (st.group_offset(t as usize), st.group_offset(t as usize + 1));
+    let mut best = INF_DIST;
+    for j in j0..j1 {
+        let hub = st.group_hub(j);
+        let i = lower_bound_hub(st, s0, s1, hub);
+        if i >= s1 || st.group_hub(i) != hub {
+            continue;
+        }
+        let Some(dt) = min_dist_in_group(st, j, t, w) else { continue };
+        if let Some(ds) = min_dist_in_group(st, i, s, w) {
+            best = best.min(ds.saturating_add(dt));
+        }
+    }
+    best
+}
+
+/// The cover predicate over the flat form, with an early exit as soon as a
+/// certifying hub is found.
+fn covered_flat<S: FlatStore>(st: &S, s: VertexId, t: VertexId, w: Quality, d: Distance) -> bool {
+    let (mut i, i_end) = (st.group_offset(s as usize), st.group_offset(s as usize + 1));
+    let (mut j, j_end) = (st.group_offset(t as usize), st.group_offset(t as usize + 1));
+    while i < i_end && j < j_end {
+        let ha = st.group_hub(i);
+        let hb = st.group_hub(j);
+        if ha < hb {
+            i = advance_to_hub(st, i, i_end, hb);
+        } else if hb < ha {
+            j = advance_to_hub(st, j, j_end, ha);
+        } else {
+            if let (Some(da), Some(db)) =
+                (min_dist_in_group(st, i, s, w), min_dist_in_group(st, j, t, w))
+            {
+                let sum = da.saturating_add(db);
+                // An unreachable saturated sum must not count as covered even
+                // for the loosest bound d == INF_DIST (same rule as
+                // `query::covered`).
+                if sum != INF_DIST && sum <= d {
+                    return true;
+                }
+            }
+            i += 1;
+            j += 1;
+        }
+    }
+    false
+}
+
+/// Statistics shared by the owned and borrowed forms.
+fn stats_of<S: FlatStore>(st: &S) -> IndexStats {
+    let n = st.num_vertices();
+    let total = st.num_entries();
+    let max_label_size =
+        (0..n).map(|v| st.entry_offset(v + 1) - st.entry_offset(v)).max().unwrap_or(0);
+    IndexStats {
+        num_vertices: n,
+        total_entries: total,
+        max_label_size,
+        avg_label_size: if n == 0 { 0.0 } else { total as f64 / n as f64 },
+        entry_bytes: total * std::mem::size_of::<LabelEntry>(),
+    }
+}
+
+/// Structural validation of a flat store: offset monotonicity, group/entry
+/// consistency, and the Theorem-3 within-group ordering that makes every
+/// query binary search sound. One linear pass over the directory and arena.
+fn validate<S: FlatStore>(st: &S) -> Result<(), String> {
+    let n = st.num_vertices();
+    if st.entry_offset(0) != 0 || st.group_offset(0) != 0 {
+        return Err("offsets must start at 0".to_string());
+    }
+    if st.entry_offset(n) != st.num_entries() {
+        return Err("entry offsets do not cover the arena".to_string());
+    }
+    if st.group_offset(n) != st.num_groups() {
+        return Err("group offsets do not cover the directory".to_string());
+    }
+    for v in 0..n {
+        let (e0, e1) = (st.entry_offset(v), st.entry_offset(v + 1));
+        let (g0, g1) = (st.group_offset(v), st.group_offset(v + 1));
+        if e1 < e0 || e1 > st.num_entries() {
+            return Err(format!("entry offsets of vertex {v} are not monotone"));
+        }
+        if g1 < g0 || g1 > st.num_groups() {
+            return Err(format!("group offsets of vertex {v} are not monotone"));
+        }
+        if (e0 == e1) != (g0 == g1) {
+            return Err(format!("vertex {v} has entries and groups out of sync"));
+        }
+        let mut prev_hub: Option<VertexId> = None;
+        for g in g0..g1 {
+            let start = st.group_start(g);
+            let end = st.group_end(g, v as VertexId);
+            if g == g0 && start != e0 {
+                return Err(format!("first group of vertex {v} does not start its label set"));
+            }
+            if start >= end || end > e1 {
+                return Err(format!("group {g} of vertex {v} has an invalid entry range"));
+            }
+            let hub = st.group_hub(g);
+            if prev_hub.is_some_and(|p| p >= hub) {
+                return Err(format!("group hubs of vertex {v} are not strictly ascending"));
+            }
+            prev_hub = Some(hub);
+            for e in start + 1..end {
+                if !(st.dist(e - 1) < st.dist(e) && st.quality(e - 1) < st.quality(e)) {
+                    return Err(format!(
+                        "entries of vertex {v}, hub {hub} violate the Theorem-3 ordering"
+                    ));
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Checks that the order words form a permutation of `0..n` (so
+/// `VertexOrder::from_permutation` cannot panic on untrusted input).
+fn validate_order_words(order: impl Iterator<Item = u32>, n: usize) -> Result<(), String> {
+    let mut seen = vec![false; n];
+    let mut count = 0usize;
+    for v in order {
+        let v = v as usize;
+        if v >= n || seen[v] {
+            return Err(format!("vertex order is not a permutation of 0..{n}"));
+        }
+        seen[v] = true;
+        count += 1;
+    }
+    if count != n {
+        return Err(format!("vertex order is not a permutation of 0..{n}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::IndexBuilder;
+    use wcsd_graph::generators::paper_figure3;
+
+    fn sample() -> (WcIndex, FlatIndex) {
+        let g = paper_figure3();
+        let idx = IndexBuilder::wc_index_plus().build(&g);
+        let flat = FlatIndex::from_index(&idx);
+        (idx, flat)
+    }
+
+    #[test]
+    fn conversion_is_lossless() {
+        let (idx, flat) = sample();
+        assert_eq!(flat.num_vertices(), idx.num_vertices());
+        assert_eq!(flat.total_entries(), idx.total_entries());
+        assert_eq!(flat.order(), idx.order());
+        let back = flat.to_index();
+        for v in 0..idx.num_vertices() as VertexId {
+            assert_eq!(back.labels(v), idx.labels(v), "vertex {v}");
+            let flat_entries: Vec<LabelEntry> = flat.label_entries(v).collect();
+            assert_eq!(flat_entries, idx.labels(v).entries().to_vec(), "vertex {v}");
+            assert_eq!(flat.label_len(v), idx.labels(v).len());
+        }
+    }
+
+    #[test]
+    fn all_query_impls_match_nested() {
+        let (idx, flat) = sample();
+        for s in 0..6 {
+            for t in 0..6 {
+                for w in 1..=6 {
+                    for imp in [QueryImpl::PairScan, QueryImpl::HubBucket, QueryImpl::Merge] {
+                        assert_eq!(
+                            flat.distance_with(s, t, w, imp),
+                            idx.distance_with(s, t, w, imp),
+                            "Q({s},{t},{w}) under {imp:?}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn within_matches_nested() {
+        let (idx, flat) = sample();
+        for s in 0..6 {
+            for t in 0..6 {
+                for w in 1..=5 {
+                    for d in [0, 1, 2, 5, u32::MAX] {
+                        assert_eq!(
+                            flat.within(s, t, w, d),
+                            idx.within(s, t, w, d),
+                            "within({s},{t},{w},{d})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn stats_match_nested() {
+        let (idx, flat) = sample();
+        assert_eq!(flat.stats(), idx.stats());
+    }
+
+    #[test]
+    fn wcif_roundtrip() {
+        let (_, flat) = sample();
+        let bytes = flat.encode();
+        let decoded = FlatIndex::decode(&bytes).unwrap();
+        assert_eq!(decoded, flat);
+        let view = FlatView::parse(&bytes).unwrap();
+        assert_eq!(view.num_vertices(), flat.num_vertices());
+        assert_eq!(view.total_entries(), flat.total_entries());
+        assert_eq!(view.stats(), flat.stats());
+        for s in 0..6 {
+            for t in 0..6 {
+                for w in 1..=5 {
+                    assert_eq!(view.distance(s, t, w), flat.distance(s, t, w));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let (_, flat) = sample();
+        let bytes = flat.encode();
+        // Truncation at every prefix length must error, never panic.
+        for cut in [0, 3, 4, WCIF_HEADER - 1, WCIF_HEADER, bytes.len() - 1] {
+            assert!(FlatIndex::decode(&bytes[..cut]).is_err(), "prefix {cut}");
+        }
+        // Trailing junk changes the length away from what the header implies.
+        let mut long = bytes.to_vec();
+        long.push(0);
+        assert!(FlatIndex::decode(&long).is_err());
+        // Wrong magic / version.
+        assert!(FlatIndex::decode(b"WCIX").is_err());
+        let mut wrong_version = bytes.to_vec();
+        wrong_version[4] = 0xFF;
+        assert!(FlatIndex::decode(&wrong_version).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_unsorted_entries() {
+        let (_, flat) = sample();
+        // Swap the two leading entries of some hub group with >= 2 entries,
+        // breaking the Theorem-3 ordering without changing any length.
+        let g = (0..flat.num_groups())
+            .find(|&g| {
+                let v = flat.group_offsets.partition_point(|&o| o as usize <= g) - 1;
+                FlatStore::group_end(&flat, g, v as VertexId) - flat.group_starts[g] as usize >= 2
+            })
+            .expect("the paper index has multi-entry hub groups");
+        let lo = flat.group_starts[g] as usize;
+        let mut tampered = flat.clone();
+        tampered.dists.swap(lo, lo + 1);
+        tampered.qualities.swap(lo, lo + 1);
+        assert!(FlatIndex::decode(&tampered.encode()).is_err());
+        // A flipped quality alone (dist still ascending) is equally rejected.
+        let mut tampered = flat.clone();
+        tampered.qualities.swap(lo, lo + 1);
+        assert!(FlatIndex::decode(&tampered.encode()).is_err());
+    }
+
+    #[test]
+    fn decode_rejects_bad_order() {
+        let (_, flat) = sample();
+        let bytes = flat.encode();
+        let mut bad = bytes.to_vec();
+        // The order section is the last n words; duplicate the first vertex
+        // into the second slot so it is no longer a permutation.
+        let order_start = bad.len() - 4 * flat.num_vertices();
+        let first: [u8; 4] = bad[order_start..order_start + 4].try_into().unwrap();
+        bad[order_start + 4..order_start + 8].copy_from_slice(&first);
+        assert!(FlatIndex::decode(&bad).is_err());
+    }
+
+    #[test]
+    fn empty_label_sets_are_handled() {
+        // An edgeless graph: every vertex has only its self label; build a
+        // 1-vertex flat index plus an empty one via conversion corner cases.
+        let g = wcsd_graph::GraphBuilder::new(3).build();
+        let idx = IndexBuilder::default().build(&g);
+        let flat = FlatIndex::from_index(&idx);
+        assert_eq!(flat.distance(0, 0, 1), Some(0));
+        assert_eq!(flat.distance(0, 2, 1), None);
+        let decoded = FlatIndex::decode(&flat.encode()).unwrap();
+        assert_eq!(decoded, flat);
+    }
+}

@@ -19,6 +19,59 @@ pub enum QueryImpl {
     Merge,
 }
 
+/// Anything that answers `w`-constrained distance queries from 2-hop labels:
+/// the nested build representation ([`WcIndex`]), the flat serve
+/// representation ([`crate::flat::FlatIndex`]), and the borrowed snapshot
+/// view ([`crate::flat::FlatView`]). Generic consumers — the parallel batch
+/// evaluator, the query server — work against this trait so they serve from
+/// either representation unchanged.
+pub trait QueryEngine: Sync {
+    /// Number of vertices the engine covers.
+    fn num_vertices(&self) -> usize;
+
+    /// Answers `Q(s, t, w)` with the selected query implementation.
+    fn distance_with(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        w: Quality,
+        imp: QueryImpl,
+    ) -> Option<Distance>;
+
+    /// Answers `Q(s, t, w)` with the default `Query⁺` merge.
+    fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
+        self.distance_with(s, t, w, QueryImpl::Merge)
+    }
+
+    /// Returns `true` if some `w`-path of length at most `d` connects `s`
+    /// and `t`.
+    fn within(&self, s: VertexId, t: VertexId, w: Quality, d: Distance) -> bool;
+
+    /// Aggregate statistics (entry counts, bytes).
+    fn stats(&self) -> crate::stats::IndexStats;
+}
+
+impl QueryEngine for WcIndex {
+    fn num_vertices(&self) -> usize {
+        WcIndex::num_vertices(self)
+    }
+    fn distance_with(
+        &self,
+        s: VertexId,
+        t: VertexId,
+        w: Quality,
+        imp: QueryImpl,
+    ) -> Option<Distance> {
+        WcIndex::distance_with(self, s, t, w, imp)
+    }
+    fn within(&self, s: VertexId, t: VertexId, w: Quality, d: Distance) -> bool {
+        WcIndex::within(self, s, t, w, d)
+    }
+    fn stats(&self) -> IndexStats {
+        WcIndex::stats(self)
+    }
+}
+
 /// A complete WC-INDEX over a graph (Definition 6 of the paper).
 ///
 /// Construct one with [`crate::build::IndexBuilder`]. Queries never touch the
@@ -98,13 +151,13 @@ impl WcIndex {
     /// label set. Returns the offending `(vertex, entry)` pairs (empty =
     /// minimal).
     pub fn dominated_entries(&self) -> Vec<(VertexId, LabelEntry)> {
+        // One linear pass per hub group (the Theorem-3 check) instead of the
+        // former O(g²) all-pairs scan; see `label::dominated_in_group`.
         let mut bad = Vec::new();
         for (v, set) in self.labels.iter().enumerate() {
             for (_, group) in set.hub_groups() {
-                for (i, a) in group.iter().enumerate() {
-                    if group.iter().enumerate().any(|(j, b)| i != j && b.dominates(a)) {
-                        bad.push((v as VertexId, *a));
-                    }
+                for e in crate::label::dominated_in_group(group) {
+                    bad.push((v as VertexId, e));
                 }
             }
         }
@@ -165,6 +218,11 @@ impl WcIndex {
     }
 
     /// Decodes an index produced by [`Self::encode`].
+    ///
+    /// [`Self::encode`] writes every label set in its canonical `(hub, dist)`
+    /// order, so decoding validates strict sortedness in O(n) and rejects
+    /// out-of-order input instead of re-sorting each set (the former
+    /// `finalize()` cost an O(k log k) sort per vertex).
     pub fn decode(data: &[u8]) -> Result<Self, String> {
         use bytes::Buf;
         let mut buf = data;
@@ -180,7 +238,7 @@ impl WcIndex {
         // Do not pre-allocate from the untrusted header; a corrupt count would
         // otherwise trigger a huge allocation before any bounds check fails.
         let mut labels = Vec::new();
-        for _ in 0..n {
+        for v in 0..n {
             if buf.remaining() < 4 {
                 return Err("truncated label header".to_string());
             }
@@ -188,15 +246,23 @@ impl WcIndex {
             if buf.remaining() < 12 * k {
                 return Err("truncated label entries".to_string());
             }
-            let mut set = LabelSet::new();
+            let mut entries = Vec::with_capacity(k);
             for _ in 0..k {
                 let hub = buf.get_u32_le();
                 let dist = buf.get_u32_le();
                 let quality = buf.get_u32_le();
-                set.push_unordered(LabelEntry::new(hub, dist, quality));
+                let entry = LabelEntry::new(hub, dist, quality);
+                if let Some(prev) = entries.last() {
+                    let prev: &LabelEntry = prev;
+                    if (prev.hub, prev.dist) >= (entry.hub, entry.dist) {
+                        return Err(format!(
+                            "label entries of vertex {v} are not in canonical (hub, dist) order"
+                        ));
+                    }
+                }
+                entries.push(entry);
             }
-            set.finalize();
-            labels.push(set);
+            labels.push(LabelSet::from_sorted(entries));
         }
         let order = serde_decode_order(buf, n)?;
         Ok(Self { labels, order })
@@ -250,6 +316,32 @@ mod tests {
     fn decode_rejects_garbage() {
         assert!(WcIndex::decode(b"nope").is_err());
         assert!(WcIndex::decode(b"WCIX\xff\xff\xff\xff").is_err());
+    }
+
+    #[test]
+    fn decode_rejects_out_of_order_entries() {
+        // A 1-vertex index whose two entries are swapped out of (hub, dist)
+        // order: hub 1 before hub 0.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(b"WCIX");
+        buf.extend_from_slice(&1u32.to_le_bytes()); // n = 1
+        buf.extend_from_slice(&2u32.to_le_bytes()); // |L(v0)| = 2
+        for word in [1u32, 2, 3, 0, 0, u32::MAX] {
+            buf.extend_from_slice(&word.to_le_bytes());
+        }
+        buf.extend_from_slice(&0u32.to_le_bytes()); // order = [0]
+        let err = WcIndex::decode(&buf).unwrap_err();
+        assert!(err.contains("canonical"), "unexpected error: {err}");
+        // Duplicate (hub, dist) pairs are equally non-canonical.
+        let mut dup = Vec::new();
+        dup.extend_from_slice(b"WCIX");
+        dup.extend_from_slice(&1u32.to_le_bytes());
+        dup.extend_from_slice(&2u32.to_le_bytes());
+        for word in [0u32, 2, 3, 0, 2, 4] {
+            dup.extend_from_slice(&word.to_le_bytes());
+        }
+        dup.extend_from_slice(&0u32.to_le_bytes());
+        assert!(WcIndex::decode(&dup).is_err());
     }
 
     #[test]

@@ -89,6 +89,17 @@ impl LabelSet {
         self.entries.shrink_to_fit();
     }
 
+    /// Wraps entries that are **already** in canonical `(hub, dist)` order —
+    /// the snapshot decoders and the flat-index conversion use this to skip
+    /// [`Self::finalize`]'s O(n log n) re-sort. Debug builds assert the order.
+    pub(crate) fn from_sorted(entries: Vec<LabelEntry>) -> Self {
+        debug_assert!(
+            entries.windows(2).all(|p| (p[0].hub, p[0].dist) < (p[1].hub, p[1].dist)),
+            "from_sorted requires strictly ascending (hub, dist) entries"
+        );
+        Self { entries }
+    }
+
     /// Inserts an entry into an already-finalized set, keeping the
     /// `(hub, dist)` order and dropping any existing entries of the same hub
     /// the new entry dominates. Used by the dynamic-update extension.
@@ -124,19 +135,59 @@ impl LabelSet {
 
     /// Returns `true` if some entry in the set is dominated by another entry
     /// of the same hub — i.e. the set violates the minimality invariant.
+    ///
+    /// O(n) by Theorem 3: within a `(hub, dist)`-sorted group, no entry is
+    /// dominated if and only if every consecutive pair strictly increases in
+    /// **both** distance and quality. (If a pair does not — equal distances,
+    /// or a quality that fails to rise — the earlier entry has distance no
+    /// larger and quality no smaller, so it dominates the later one.)
     pub fn has_dominated_entry(&self) -> bool {
-        self.hub_groups().any(|(_, group)| {
-            group
-                .iter()
-                .enumerate()
-                .any(|(i, a)| group.iter().enumerate().any(|(j, b)| i != j && b.dominates(a)))
-        })
+        self.hub_groups().any(|(_, group)| !group_is_pareto(group))
     }
 
     /// Total heap memory consumed by the entries, in bytes.
     pub fn memory_bytes(&self) -> usize {
         self.entries.capacity() * std::mem::size_of::<LabelEntry>()
     }
+}
+
+/// Returns `true` if a `(hub, dist)`-sorted hub group is a strict Pareto
+/// frontier: every consecutive pair strictly increases in both distance and
+/// quality (the Theorem-3 invariant).
+pub(crate) fn group_is_pareto(group: &[LabelEntry]) -> bool {
+    group.windows(2).all(|p| p[0].dist < p[1].dist && p[0].quality < p[1].quality)
+}
+
+/// Entries of a `(hub, dist)`-sorted hub group that are dominated by another
+/// entry of the same group, found in one linear pass: an entry is dominated
+/// iff an entry at strictly smaller distance has quality at least as high
+/// (tracked as a prefix maximum), or another entry at the *same* distance has
+/// quality at least as high.
+pub(crate) fn dominated_in_group(group: &[LabelEntry]) -> Vec<LabelEntry> {
+    let mut bad = Vec::new();
+    // Max quality among entries with strictly smaller distance than the
+    // current equal-distance run.
+    let mut prefix_max: Option<Quality> = None;
+    let mut i = 0;
+    while i < group.len() {
+        let mut j = i;
+        while j < group.len() && group[j].dist == group[i].dist {
+            j += 1;
+        }
+        let run = &group[i..j];
+        let run_max = run.iter().map(|e| e.quality).max().expect("runs are nonempty");
+        let max_count = run.iter().filter(|e| e.quality == run_max).count();
+        for e in run {
+            let by_earlier = prefix_max.is_some_and(|q| q >= e.quality);
+            let by_run_mate = e.quality < run_max || max_count > 1;
+            if by_earlier || by_run_mate {
+                bad.push(*e);
+            }
+        }
+        prefix_max = Some(prefix_max.map_or(run_max, |q| q.max(run_max)));
+        i = j;
+    }
+    bad
 }
 
 /// Iterator over contiguous hub groups of a [`LabelSet`].

@@ -12,6 +12,11 @@
 //!   (WC-INDEX+) construction modes and every vertex-ordering strategy.
 //! * [`index::WcIndex`] — the index itself: `distance`, `within`, statistics,
 //!   minimality verification and binary snapshots.
+//! * [`flat::FlatIndex`] — the read-optimized *serve* representation: one
+//!   contiguous struct-of-arrays entry arena with a CSR per-vertex directory,
+//!   a versioned `WCIF` snapshot whose decode is a validated bulk copy, and a
+//!   zero-copy [`flat::FlatView`] over the encoded bytes. Lossless conversion
+//!   from/to [`index::WcIndex`], bit-identical answers.
 //! * [`query`] — the three query implementations (Algorithms 2, 4 and 5).
 //! * [`path::PathIndex`] — the shortest-*path* extension (quad labels with
 //!   parent pointers, Section V).
@@ -51,6 +56,7 @@
 pub mod build;
 pub mod directed;
 pub mod dynamic;
+pub mod flat;
 pub mod index;
 pub mod label;
 pub mod parallel;
@@ -61,6 +67,7 @@ pub mod stats;
 pub mod weighted;
 
 pub use build::{BuildConfig, ConstructionMode, IndexBuilder};
-pub use index::{QueryImpl, WcIndex};
+pub use flat::{FlatIndex, FlatView};
+pub use index::{QueryEngine, QueryImpl, WcIndex};
 pub use label::{LabelEntry, LabelSet};
 pub use stats::IndexStats;

@@ -1,36 +1,42 @@
 //! Parallel batch-**query** evaluation.
 //!
 //! The paper's query workloads are 10,000 independent point queries; because
-//! a built [`WcIndex`] is immutable, they parallelise trivially. This module
+//! a built index is immutable, they parallelise trivially. This module
 //! provides a scoped-thread fan-out ([`std::thread::scope`]) that answers a
 //! batch across a fixed number of worker threads, which the benchmark harness,
-//! the query server and the examples use for large workloads.
+//! the query server and the examples use for large workloads. It is generic
+//! over the [`QueryEngine`], so the nested [`crate::WcIndex`], the flat
+//! [`crate::FlatIndex`] and the borrowed [`crate::FlatView`] all work.
 //!
 //! This is the *read side* of the crate's parallelism story: queries share one
 //! finished index and need no coordination at all. The *write side* —
 //! constructing the index itself on multiple threads while keeping the result
 //! byte-identical to a sequential build — lives in [`crate::parallel_build`].
 
-use crate::index::{QueryImpl, WcIndex};
+use crate::index::{QueryEngine, QueryImpl};
 use std::sync::Mutex;
 use wcsd_graph::{Distance, Quality, VertexId};
 
 /// Answers a batch of `(s, t, w)` queries using `num_threads` worker threads.
 ///
+/// Generic over the [`QueryEngine`] — the nested [`crate::WcIndex`], the
+/// flat [`crate::FlatIndex`], and the borrowed [`crate::FlatView`] all work.
 /// Results are returned in the same order as the input queries. With
 /// `num_threads <= 1` the batch is answered inline without spawning.
 ///
 /// ```
-/// use wcsd_core::{parallel, IndexBuilder};
+/// use wcsd_core::{parallel, FlatIndex, IndexBuilder};
 /// use wcsd_graph::generators::paper_figure3;
 ///
 /// let index = IndexBuilder::wc_index_plus().build(&paper_figure3());
 /// let queries = vec![(2, 5, 2), (2, 5, 3), (0, 4, 1), (2, 5, 99)];
 /// let answers = parallel::par_distances(&index, &queries, 2);
 /// assert_eq!(answers, vec![Some(2), Some(3), Some(2), None]);
+/// let flat = FlatIndex::from_index(&index);
+/// assert_eq!(parallel::par_distances(&flat, &queries, 2), answers);
 /// ```
-pub fn par_distances(
-    index: &WcIndex,
+pub fn par_distances<E: QueryEngine>(
+    index: &E,
     queries: &[(VertexId, VertexId, Quality)],
     num_threads: usize,
 ) -> Vec<Option<Distance>> {
@@ -38,8 +44,8 @@ pub fn par_distances(
 }
 
 /// Same as [`par_distances`] but with an explicit query implementation.
-pub fn par_distances_with(
-    index: &WcIndex,
+pub fn par_distances_with<E: QueryEngine>(
+    index: &E,
     queries: &[(VertexId, VertexId, Quality)],
     num_threads: usize,
     imp: QueryImpl,

@@ -9,7 +9,11 @@
 //! * [`server::Server`] — `std::net::TcpListener` accept loop with one scoped
 //!   handler thread per connection (the [`wcsd_core::parallel`] pattern),
 //!   cooperative `SHUTDOWN`, and server-side `BATCH` scheduling through
-//!   [`wcsd_core::parallel::par_distances`].
+//!   [`wcsd_core::parallel::par_distances`]. Serves from the flat
+//!   representation: [`server::Server::bind`] freezes a
+//!   [`wcsd_core::WcIndex`] into an `Arc<`[`wcsd_core::FlatIndex`]`>`, and
+//!   [`server::Server::bind_flat`] accepts an already-frozen handle (e.g.
+//!   decoded from a `WCIF` snapshot).
 //! * [`protocol`] — the newline-delimited text protocol (`QUERY`, `BATCH`,
 //!   `WITHIN`, `STATS`, `SHUTDOWN`) shared by server and client.
 //! * [`cache::ResultCache`] — a sharded LRU result cache keyed on

@@ -1,12 +1,21 @@
 //! The query server: a long-lived service answering WCSD queries over TCP
-//! from one loaded, immutable [`WcIndex`].
+//! from one loaded, immutable [`FlatIndex`].
+//!
+//! The served representation is the *flat* one: [`Server::bind`] freezes a
+//! freshly built [`WcIndex`] into an `Arc<FlatIndex>` (and
+//! [`Server::bind_flat`] accepts an already-frozen handle, e.g. one decoded
+//! straight from a `WCIF` snapshot or produced by
+//! `DynamicWcIndex::freeze`), so every query runs over the contiguous
+//! struct-of-arrays arena instead of per-vertex heap allocations. The `Arc`
+//! is what a future hot-reload needs: swapping in a new frozen index never
+//! invalidates the one in-flight queries hold.
 //!
 //! Connection handling follows the scoped-thread pattern of
 //! [`wcsd_core::parallel`]: the accept loop runs inside a
 //! [`std::thread::scope`] and spawns one handler thread per connection, so
-//! every handler borrows the shared index directly — no `Arc` plumbing, no
-//! locks on the hot query path (the index is immutable; only the result cache
-//! shards and the statistics counters are shared mutable state).
+//! every handler borrows the shared index directly (the index is immutable;
+//! only the result cache shards and the statistics counters are shared
+//! mutable state).
 //!
 //! `BATCH` requests are scheduled server-side: cache hits are answered
 //! immediately and only the misses are fanned out across
@@ -22,8 +31,9 @@ use crate::protocol::{self, Request};
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-use wcsd_core::{parallel, WcIndex};
+use wcsd_core::{parallel, FlatIndex, WcIndex};
 use wcsd_graph::{Quality, VertexId};
 
 /// How often parked connection handlers wake up to poll the shutdown flag.
@@ -161,7 +171,7 @@ impl ServerSnapshot {
 
 /// Shared state every connection handler borrows.
 struct Shared {
-    index: WcIndex,
+    index: Arc<FlatIndex>,
     cache: ResultCache,
     batch_threads: usize,
     started: Instant,
@@ -219,8 +229,16 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds a loopback listener and takes ownership of the index to serve.
+    /// Binds a loopback listener, freezing the build-representation index
+    /// into the flat serve representation first. To serve an already-frozen
+    /// index (e.g. decoded from a `WCIF` snapshot) without the conversion
+    /// pass, use [`Server::bind_flat`].
     pub fn bind(index: WcIndex, config: ServerConfig) -> std::io::Result<Self> {
+        Self::bind_flat(Arc::new(FlatIndex::from_index(&index)), config)
+    }
+
+    /// Binds a loopback listener and serves the given frozen index.
+    pub fn bind_flat(index: Arc<FlatIndex>, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let local_addr = listener.local_addr()?;
         Ok(Self {
@@ -479,7 +497,7 @@ fn answer_batch(shared: &Shared, queries: &[(VertexId, VertexId, Quality)]) -> V
             }
         }
     }
-    let computed = parallel::par_distances(&shared.index, &misses, shared.batch_threads);
+    let computed = parallel::par_distances(shared.index.as_ref(), &misses, shared.batch_threads);
     for (slot, (query, answer)) in miss_slots.into_iter().zip(misses.iter().zip(computed)) {
         shared.cache.insert(*query, answer);
         answers[slot] = Some(answer);

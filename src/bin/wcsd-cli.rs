@@ -2,12 +2,19 @@
 //! WC-INDEX snapshots from edge-list or DIMACS graph files.
 //!
 //! ```text
-//! wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--threads N] [--dimacs]
+//! wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--threads N] [--flat] [--dimacs]
 //! wcsd-cli stats <graph-file> [--dimacs]
 //! wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]
 //! wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--dimacs]
 //! wcsd-cli client <host:port> <command> [args...]
 //! ```
+//!
+//! `build --flat` writes the read-optimized `WCIF` snapshot (contiguous
+//! struct-of-arrays arena; loads with a validated bulk copy, no per-vertex
+//! allocation or re-sort) instead of the nested `WCIX` format. `query` and
+//! `serve` detect the format from the snapshot magic, so either file works
+//! everywhere an index file is expected; `serve` always serves from the flat
+//! representation, converting a nested snapshot once at load.
 //!
 //! `serve` loads the graph and index once, then answers queries over a
 //! loopback TCP socket until a client sends `SHUTDOWN`; `client` sends one
@@ -50,7 +57,7 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--threads N] [--dimacs]");
+            eprintln!("  wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--threads N] [--flat] [--dimacs]");
             eprintln!("  wcsd-cli stats <graph-file> [--dimacs]");
             eprintln!("  wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]");
             eprintln!("  wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--dimacs]");
@@ -65,6 +72,7 @@ const VALUE_FLAGS: [&str; 4] = ["--ordering", "--port", "--threads", "--cache-si
 
 fn run(args: &[String]) -> Result<(), String> {
     let use_dimacs = args.iter().any(|a| a == "--dimacs");
+    let use_flat = args.iter().any(|a| a == "--flat");
     let ordering = parse_ordering(args)?;
     let positional = positional_args(args, &VALUE_FLAGS);
 
@@ -80,10 +88,15 @@ fn run(args: &[String]) -> Result<(), String> {
             let start = std::time::Instant::now();
             let index = IndexBuilder::new().ordering(ordering).threads(threads).build(&graph);
             let stats = index.stats();
-            std::fs::write(index_path, index.encode())
+            // --flat: write the read-optimized WCIF snapshot (loads with a
+            // validated bulk copy) instead of the nested WCIX format.
+            let encoded =
+                if use_flat { FlatIndex::from_index(&index).encode() } else { index.encode() };
+            std::fs::write(index_path, &encoded)
                 .map_err(|e| format!("cannot write {index_path}: {e}"))?;
             println!(
-                "built index for {} vertices / {} edges in {:.2?} ({} thread(s)): {} entries ({:.2} per vertex, {:.3} MiB) -> {index_path}",
+                "built {} index for {} vertices / {} edges in {:.2?} ({} thread(s)): {} entries ({:.2} per vertex, {:.3} MiB) -> {index_path}",
+                if use_flat { "flat (WCIF)" } else { "nested (WCIX)" },
                 graph.num_vertices(),
                 graph.num_edges(),
                 start.elapsed(),
@@ -143,7 +156,9 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err("serve requires <graph-file> <index-file>".to_string());
             };
             let graph = read_graph_file(graph_path, use_dimacs)?;
-            let index = load_index(index_path, &graph)?;
+            // The server always serves the flat representation; a nested
+            // WCIX snapshot is frozen once here at load time.
+            let index = std::sync::Arc::new(load_index(index_path, &graph)?.into_flat());
             let mut config = ServerConfig::default();
             if let Some(port) = flag_value(args, "--port")? {
                 config.port = port;
@@ -155,8 +170,8 @@ fn run(args: &[String]) -> Result<(), String> {
                 config.cache_capacity = cache;
             }
             let stats = index.stats();
-            let server =
-                Server::bind(index, config.clone()).map_err(|e| format!("cannot bind: {e}"))?;
+            let server = Server::bind_flat(index, config.clone())
+                .map_err(|e| format!("cannot bind: {e}"))?;
             println!(
                 "wcsd-server listening on {} ({} vertices, {} entries, {} batch threads, cache {})",
                 server.local_addr(),
@@ -220,10 +235,47 @@ fn parse_ordering(args: &[String]) -> Result<OrderingStrategy, String> {
     }
 }
 
-/// Loads an index snapshot and checks it matches the loaded graph.
-fn load_index(path: &str, graph: &Graph) -> Result<WcIndex, String> {
+/// An index snapshot loaded from either on-disk format.
+enum LoadedIndex {
+    /// The nested `WCIX` build representation.
+    Nested(WcIndex),
+    /// The flat `WCIF` serve representation.
+    Flat(FlatIndex),
+}
+
+impl LoadedIndex {
+    fn num_vertices(&self) -> usize {
+        match self {
+            Self::Nested(i) => i.num_vertices(),
+            Self::Flat(f) => f.num_vertices(),
+        }
+    }
+
+    fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<u32> {
+        match self {
+            Self::Nested(i) => i.distance(s, t, w),
+            Self::Flat(f) => f.distance(s, t, w),
+        }
+    }
+
+    /// The frozen serve representation, converting a nested snapshot once.
+    fn into_flat(self) -> FlatIndex {
+        match self {
+            Self::Nested(i) => FlatIndex::from_index(&i),
+            Self::Flat(f) => f,
+        }
+    }
+}
+
+/// Loads an index snapshot — `WCIX` (nested) or `WCIF` (flat), detected from
+/// the magic — and checks it matches the loaded graph.
+fn load_index(path: &str, graph: &Graph) -> Result<LoadedIndex, String> {
     let data = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let index = WcIndex::decode(&data).map_err(|e| format!("corrupt index: {e}"))?;
+    let index = if data.starts_with(wcsd::core::flat::WCIF_MAGIC) {
+        LoadedIndex::Flat(FlatIndex::decode(&data).map_err(|e| format!("corrupt index: {e}"))?)
+    } else {
+        LoadedIndex::Nested(WcIndex::decode(&data).map_err(|e| format!("corrupt index: {e}"))?)
+    };
     if index.num_vertices() != graph.num_vertices() {
         return Err(format!(
             "index covers {} vertices but the graph has {}",

@@ -28,7 +28,9 @@ pub use wcsd_server as server;
 /// Commonly used types, importable with a single `use wcsd::prelude::*`.
 pub mod prelude {
     pub use wcsd_baselines::DistanceAlgorithm;
-    pub use wcsd_core::{ConstructionMode, IndexBuilder, QueryImpl, WcIndex};
+    pub use wcsd_core::{
+        ConstructionMode, FlatIndex, FlatView, IndexBuilder, QueryEngine, QueryImpl, WcIndex,
+    };
     pub use wcsd_graph::{Graph, GraphBuilder, Quality, QualityDomain, VertexId};
     pub use wcsd_order::OrderingStrategy;
     pub use wcsd_server::{Client, Server, ServerConfig};

@@ -86,6 +86,42 @@ fn serve_loadgen_round_trip() {
     assert!(summary.cache_hits > 0);
 }
 
+/// The `WCIF` serving path end to end: encode a flat snapshot, decode it the
+/// way `wcsd-cli serve` does, hand the `Arc<FlatIndex>` to `bind_flat`, and
+/// check wire answers (point, batch, within, stats) against the nested index.
+#[test]
+fn serve_from_flat_snapshot() {
+    let g = test_graph();
+    let nested = IndexBuilder::wc_index_plus().build(&g);
+    let snapshot = FlatIndex::from_index(&nested).encode();
+    let loaded = std::sync::Arc::new(FlatIndex::decode(&snapshot).expect("snapshot decodes"));
+
+    let server = Server::bind_flat(loaded, ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let workload = QueryWorkload::uniform(&g, 120, 11);
+    let mut client = Client::connect(&*addr).unwrap();
+    for &(s, t, w) in workload.queries() {
+        assert_eq!(client.query(s, t, w), Ok(nested.distance(s, t, w)), "Q({s},{t},{w})");
+    }
+    let answers = client.batch(workload.queries()).expect("batch over flat index");
+    for (&(s, t, w), answer) in workload.queries().iter().zip(&answers) {
+        assert_eq!(*answer, nested.distance(s, t, w), "batched Q({s},{t},{w})");
+    }
+    // `within` runs uncached over the flat engine.
+    let (s, t, w) = workload.queries()[0];
+    if let Some(d) = nested.distance(s, t, w) {
+        assert_eq!(client.within(s, t, w, d), Ok(true));
+    }
+    let stats = client.stats().expect("stats reply");
+    assert_eq!(stats.vertices, g.num_vertices());
+    assert_eq!(stats.entries, nested.total_entries());
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
 /// Malformed requests get `ERR` replies and never poison the connection.
 #[test]
 fn malformed_commands_are_rejected_not_fatal() {
