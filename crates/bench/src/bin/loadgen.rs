@@ -3,10 +3,14 @@
 //!
 //! ```text
 //! loadgen <host:port> <graph-file> [--queries N] [--connections C] [--batch B]
-//!         [--seed S] [--small] [--dimacs] [--json <path>]
+//!         [--rate QPS] [--seed S] [--binary] [--small] [--dimacs] [--json <path>]
 //! ```
 //!
 //! `--small` is the CI smoke preset (500 queries, 2 connections, batch 16).
+//! `--binary` speaks the length-prefixed binary protocol instead of text.
+//! `--rate QPS` switches to open-loop mode: queries depart on a fixed
+//! arrival schedule and the reported percentiles include queueing delay
+//! (requires batch 0, so `--small --rate` runs with `--batch 0`).
 //! Prints a human summary plus the JSON record; exits non-zero when any
 //! request failed, so CI can assert a clean run.
 
@@ -16,6 +20,7 @@ use wcsd_bench::loadgen::{self, LoadgenConfig};
 use wcsd_bench::report::to_json;
 use wcsd_bench::QueryWorkload;
 use wcsd_cliutil::{flag_value, positional_args};
+use wcsd_server::Protocol;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -33,7 +38,8 @@ fn main() -> ExitCode {
             eprintln!();
             eprintln!(
                 "usage: loadgen <host:port> <graph-file> [--queries N] [--connections C] \
-                 [--batch B] [--seed S] [--small] [--dimacs] [--json <path>]"
+                 [--batch B] [--rate QPS] [--seed S] [--binary] [--small] [--dimacs] \
+                 [--json <path>]"
             );
             ExitCode::FAILURE
         }
@@ -41,24 +47,44 @@ fn main() -> ExitCode {
 }
 
 fn run(args: &[String]) -> Result<bool, String> {
-    let positional =
-        positional_args(args, &["--queries", "--connections", "--batch", "--seed", "--json"]);
+    let positional = positional_args(
+        args,
+        &["--queries", "--connections", "--batch", "--rate", "--seed", "--json"],
+    );
     let [addr, graph_path] = positional[..] else {
         return Err("expected <host:port> <graph-file>".to_string());
     };
 
     let small = args.iter().any(|a| a == "--small");
+    let rate: f64 = flag_value(args, "--rate")?.unwrap_or(0.0);
     let queries = flag_value(args, "--queries")?.unwrap_or(if small { 500 } else { 10_000 });
     let connections = flag_value(args, "--connections")?.unwrap_or(if small { 2 } else { 4 });
-    let batch = flag_value(args, "--batch")?.unwrap_or(if small { 16 } else { 0 });
+    // Open-loop mode requires individual queries, so --rate overrides the
+    // presets' default batch size (an explicit --batch still wins, and
+    // conflicts are reported by the loadgen library).
+    let default_batch = if rate > 0.0 {
+        0
+    } else if small {
+        16
+    } else {
+        0
+    };
+    let batch = flag_value(args, "--batch")?.unwrap_or(default_batch);
     let seed: u64 = flag_value(args, "--seed")?.unwrap_or(42);
     let json_path: Option<String> = flag_value(args, "--json")?;
+    let protocol =
+        if args.iter().any(|a| a == "--binary") { Protocol::Binary } else { Protocol::Text };
 
     let graph = wcsd_graph::io::read_graph_file(graph_path, args.iter().any(|a| a == "--dimacs"))?;
     let workload = QueryWorkload::uniform(&graph, queries, seed);
     let dataset = graph_path.rsplit('/').next().unwrap_or(graph_path);
-    let config =
-        LoadgenConfig { connections, batch_size: batch, connect_timeout: Duration::from_secs(10) };
+    let config = LoadgenConfig {
+        connections,
+        batch_size: batch,
+        connect_timeout: Duration::from_secs(10),
+        protocol,
+        rate_qps: rate,
+    };
     let (result, _answers) = loadgen::run_against(addr, dataset, &workload, &config)?;
     println!("{}", loadgen::summary(&result));
     let clean = result.errors == 0;

@@ -1,17 +1,32 @@
 //! Client-side load generation against a running `wcsd-server`.
 //!
 //! Drives a [`QueryWorkload`] over N concurrent connections (each its own
-//! [`wcsd_server::Client`]), optionally packing queries into `BATCH` requests,
-//! and reports throughput and latency percentiles through the same
-//! [`crate::report`] JSON machinery as the offline experiments. The answers
-//! received over the wire are returned to the caller so integration tests can
-//! cross-check them against a directly queried [`wcsd_core::WcIndex`].
+//! [`wcsd_server::Client`], speaking either wire protocol), optionally
+//! packing queries into `BATCH` requests, and reports throughput and latency
+//! percentiles through the same [`crate::report`] JSON machinery as the
+//! offline experiments. The answers received over the wire are returned to
+//! the caller so integration tests can cross-check them against a directly
+//! queried [`wcsd_core::WcIndex`].
+//!
+//! ## Closed loop vs. open loop
+//!
+//! The default mode is **closed-loop**: each connection fires its next
+//! request the moment the previous reply lands, so the measured latency
+//! excludes any queueing and the offered load adapts to the server. With
+//! [`LoadgenConfig::rate_qps`] set, the generator runs **open-loop**: query
+//! `i` of the workload is *scheduled* to depart at `i / rate` regardless of
+//! how the server is doing, and each latency is measured from that scheduled
+//! arrival — so when the server falls behind, the reported percentiles
+//! include the queueing delay, the way a user would experience it
+//! (coordinated omission is avoided by construction). Queries are assigned
+//! to connections round-robin so every connection sees the same arrival
+//! spacing.
 
 use crate::report::{json_string, JsonRecord};
 use crate::workload::QueryWorkload;
 use std::time::{Duration, Instant};
 use wcsd_graph::Distance;
-use wcsd_server::Client;
+use wcsd_server::{Client, Protocol};
 
 /// Load-generator knobs.
 #[derive(Debug, Clone)]
@@ -23,11 +38,22 @@ pub struct LoadgenConfig {
     /// How long to keep retrying the initial connection (covers a server
     /// still starting up in another process).
     pub connect_timeout: Duration,
+    /// Wire protocol to speak.
+    pub protocol: Protocol,
+    /// Open-loop arrival rate in queries/second across all connections;
+    /// 0.0 selects closed-loop mode. Open loop requires `batch_size == 0`.
+    pub rate_qps: f64,
 }
 
 impl Default for LoadgenConfig {
     fn default() -> Self {
-        Self { connections: 4, batch_size: 0, connect_timeout: Duration::from_secs(10) }
+        Self {
+            connections: 4,
+            batch_size: 0,
+            connect_timeout: Duration::from_secs(10),
+            protocol: Protocol::Text,
+            rate_qps: 0.0,
+        }
     }
 }
 
@@ -36,6 +62,12 @@ impl Default for LoadgenConfig {
 pub struct LoadgenResult {
     /// Dataset / workload label.
     pub dataset: String,
+    /// Wire protocol used (`"text"` / `"binary"`).
+    pub protocol: String,
+    /// Arrival mode (`"closed"` / `"open"`).
+    pub mode: String,
+    /// Open-loop target rate in queries/second (0 in closed-loop mode).
+    pub target_qps: f64,
     /// Concurrent connections used.
     pub connections: usize,
     /// Batch size used (0 = individual queries).
@@ -50,7 +82,8 @@ pub struct LoadgenResult {
     pub elapsed_seconds: f64,
     /// Queries answered per second across all connections.
     pub throughput_qps: f64,
-    /// Median request latency in microseconds (per `BATCH` when batching).
+    /// Median request latency in microseconds (per `BATCH` when batching;
+    /// queueing-inclusive in open-loop mode).
     pub p50_us: f64,
     /// 90th-percentile request latency in microseconds.
     pub p90_us: f64,
@@ -69,6 +102,9 @@ impl JsonRecord for LoadgenResult {
         }
         vec![
             ("dataset", json_string(&self.dataset)),
+            ("protocol", json_string(&self.protocol)),
+            ("mode", json_string(&self.mode)),
+            ("target_qps", f(self.target_qps)),
             ("connections", self.connections.to_string()),
             ("batch_size", self.batch_size.to_string()),
             ("queries", self.queries.to_string()),
@@ -85,11 +121,18 @@ impl JsonRecord for LoadgenResult {
     }
 }
 
-/// What one connection worker produced: answers aligned with its chunk of the
-/// workload, request latencies, and an error count.
+/// One query with its index in the overall workload (and, in open-loop
+/// mode, its scheduled departure offset).
+struct Item {
+    index: usize,
+    query: (u32, u32, u32),
+    due: Option<Duration>,
+}
+
+/// What one connection worker produced: answers tagged with their workload
+/// positions, request latencies, and an error count.
 struct WorkerOutput {
-    base: usize,
-    answers: Vec<Option<Distance>>,
+    answers: Vec<(usize, Option<Distance>)>,
     latencies_us: Vec<f64>,
     errors: usize,
 }
@@ -106,27 +149,40 @@ pub fn run_against(
 ) -> Result<(LoadgenResult, Vec<Option<Distance>>), String> {
     let queries = workload.queries();
     let connections = config.connections.max(1);
-    let chunk_size = queries.len().div_ceil(connections).max(1);
+    let open_loop = config.rate_qps > 0.0;
+    if open_loop && config.batch_size > 0 {
+        return Err("open-loop mode (--rate) requires individual queries (batch size 0)".into());
+    }
+    // Assign queries to connections: contiguous chunks in closed-loop mode
+    // (cache-friendly, matches the old behaviour), round-robin in open-loop
+    // mode so each connection sees evenly spaced arrivals.
+    let mut assignments: Vec<Vec<Item>> = (0..connections).map(|_| Vec::new()).collect();
+    if open_loop {
+        for (i, &query) in queries.iter().enumerate() {
+            let due = Duration::from_secs_f64(i as f64 / config.rate_qps);
+            assignments[i % connections].push(Item { index: i, query, due: Some(due) });
+        }
+    } else {
+        let chunk_size = queries.len().div_ceil(connections).max(1);
+        for (i, &query) in queries.iter().enumerate() {
+            assignments[i / chunk_size].push(Item { index: i, query, due: None });
+        }
+    }
     // Establish every connection before starting the clock, so
     // elapsed/throughput measure traffic only — not the retry wait for a
     // server that is still loading its index in another process.
-    struct Worker<'w> {
-        base: usize,
-        chunk: &'w [(u32, u32, u32)],
-        client: Client,
-    }
-    let mut workers: Vec<Worker<'_>> = Vec::with_capacity(connections);
-    for (chunk_idx, chunk) in queries.chunks(chunk_size).enumerate() {
-        let client = Client::connect_retry(addr, config.connect_timeout)
+    let mut workers: Vec<(Client, Vec<Item>)> = Vec::with_capacity(connections);
+    for items in assignments {
+        let client = Client::connect_retry_with(addr, config.connect_timeout, config.protocol)
             .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
-        workers.push(Worker { base: chunk_idx * chunk_size, chunk, client });
+        workers.push((client, items));
     }
     let start = Instant::now();
     let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(connections);
     std::thread::scope(|scope| {
         let mut handles = Vec::new();
-        for w in workers {
-            handles.push(scope.spawn(move || drive_connection(w.client, w.base, w.chunk, config)));
+        for (client, items) in workers {
+            handles.push(scope.spawn(move || drive_connection(client, items, config, start)));
         }
         for handle in handles {
             outputs.push(handle.join().expect("loadgen workers never panic"));
@@ -138,8 +194,8 @@ pub fn run_against(
     let mut latencies: Vec<f64> = Vec::new();
     let mut errors = 0usize;
     for out in outputs {
-        for (offset, answer) in out.answers.into_iter().enumerate() {
-            answers[out.base + offset] = answer;
+        for (index, answer) in out.answers {
+            answers[index] = answer;
         }
         latencies.extend(out.latencies_us);
         errors += out.errors;
@@ -155,6 +211,9 @@ pub fn run_against(
 
     let result = LoadgenResult {
         dataset: dataset.to_string(),
+        protocol: config.protocol.label().to_string(),
+        mode: if open_loop { "open" } else { "closed" }.to_string(),
+        target_qps: if open_loop { config.rate_qps } else { 0.0 },
         connections,
         batch_size: config.batch_size,
         queries: queries.len(),
@@ -171,40 +230,57 @@ pub fn run_against(
     Ok((result, answers))
 }
 
-/// One connection worker: sends its chunk as individual queries or batches
-/// over its pre-established connection.
+/// One connection worker: sends its items as individual queries or batches
+/// over its pre-established connection. In open-loop mode each item waits
+/// for its scheduled departure and its latency is measured from that
+/// schedule, so queueing delay is included.
 fn drive_connection(
     mut client: Client,
-    base: usize,
-    chunk: &[(u32, u32, u32)],
+    items: Vec<Item>,
     config: &LoadgenConfig,
+    start: Instant,
 ) -> WorkerOutput {
     let mut out = WorkerOutput {
-        base,
-        answers: vec![None; chunk.len()],
+        answers: Vec::with_capacity(items.len()),
         latencies_us: Vec::new(),
         errors: 0,
     };
     if config.batch_size == 0 {
-        for (i, &(s, t, w)) in chunk.iter().enumerate() {
-            let sent = Instant::now();
+        for item in &items {
+            let measured_from = match item.due {
+                Some(due) => {
+                    let due_at = start + due;
+                    if let Some(wait) = due_at.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    due_at
+                }
+                None => Instant::now(),
+            };
+            let (s, t, w) = item.query;
             match client.query(s, t, w) {
-                Ok(answer) => out.answers[i] = answer,
-                Err(_) => out.errors += 1,
+                Ok(answer) => out.answers.push((item.index, answer)),
+                Err(_) => {
+                    out.answers.push((item.index, None));
+                    out.errors += 1;
+                }
             }
-            out.latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
+            out.latencies_us.push(measured_from.elapsed().as_secs_f64() * 1e6);
         }
     } else {
-        for (batch_idx, batch) in chunk.chunks(config.batch_size).enumerate() {
+        for batch in items.chunks(config.batch_size) {
+            let queries: Vec<(u32, u32, u32)> = batch.iter().map(|item| item.query).collect();
             let sent = Instant::now();
-            match client.batch(batch) {
+            match client.batch(&queries) {
                 Ok(batch_answers) => {
-                    let offset = batch_idx * config.batch_size;
-                    for (j, answer) in batch_answers.into_iter().enumerate() {
-                        out.answers[offset + j] = answer;
+                    for (item, answer) in batch.iter().zip(batch_answers) {
+                        out.answers.push((item.index, answer));
                     }
                 }
-                Err(_) => out.errors += batch.len(),
+                Err(_) => {
+                    out.errors += batch.len();
+                    out.answers.extend(batch.iter().map(|item| (item.index, None)));
+                }
             }
             out.latencies_us.push(sent.elapsed().as_secs_f64() * 1e6);
         }
@@ -223,12 +299,18 @@ fn percentile(sorted: &[f64], q: f64) -> f64 {
 
 /// Renders a short human-readable summary of a run.
 pub fn summary(result: &LoadgenResult) -> String {
+    let pacing = if result.mode == "open" {
+        format!("open loop @ {:.0} q/s", result.target_qps)
+    } else {
+        "closed loop".to_string()
+    };
     format!(
-        "{}: {} queries over {} connections (batch {}) in {:.3}s -> {:.0} q/s, \
-         latency p50/p90/p99/max {:.1}/{:.1}/{:.1}/{:.1} µs, {} reachable, {} errors, \
-         cache hit rate {:.1}%",
+        "{}: {} queries ({} protocol, {pacing}) over {} connections (batch {}) in {:.3}s \
+         -> {:.0} q/s, latency p50/p90/p99/max {:.1}/{:.1}/{:.1}/{:.1} µs, {} reachable, \
+         {} errors, cache hit rate {:.1}%",
         result.dataset,
         result.queries,
+        result.protocol,
         result.connections,
         result.batch_size,
         result.elapsed_seconds,
@@ -261,20 +343,57 @@ mod tests {
         let handle = std::thread::spawn(move || server.run());
 
         let workload = QueryWorkload::uniform(&g, 300, 5);
-        for batch_size in [0usize, 7] {
-            let config = LoadgenConfig { connections: 3, batch_size, ..Default::default() };
+        for (batch_size, protocol) in
+            [(0usize, Protocol::Text), (7, Protocol::Text), (0, Protocol::Binary)]
+        {
+            let config =
+                LoadgenConfig { connections: 3, batch_size, protocol, ..Default::default() };
             let (result, answers) = run_against(&addr, "ba-120", &workload, &config).unwrap();
             assert_eq!(result.errors, 0);
             assert_eq!(result.queries, 300);
+            assert_eq!(result.mode, "closed");
+            assert_eq!(result.protocol, protocol.label());
             assert!(result.throughput_qps > 0.0);
             assert!(result.p50_us <= result.p99_us && result.p99_us <= result.max_us);
             for (&(s, t, w), answer) in workload.queries().iter().zip(&answers) {
                 assert_eq!(*answer, reference.distance(s, t, w), "Q({s},{t},{w})");
             }
         }
-        // The second pass replayed the same workload: the cache must hit.
+        // The later passes replayed the same workload: the cache must hit.
         let mut client = Client::connect(&*addr).unwrap();
         assert!(client.stats().unwrap().hit_rate() > 0.0);
+        client.shutdown().unwrap();
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn open_loop_mode_paces_and_reports() {
+        let g = barabasi_albert(80, 3, &QualityAssigner::uniform(4), 7);
+        let index = IndexBuilder::wc_index_plus().build(&g);
+        let reference = index.clone();
+        let server = Server::bind(index, ServerConfig::default()).unwrap();
+        let addr = server.local_addr().to_string();
+        let handle = std::thread::spawn(move || server.run());
+
+        let workload = QueryWorkload::uniform(&g, 120, 9);
+        // Batching + open loop is rejected up front.
+        let bad = LoadgenConfig { batch_size: 8, rate_qps: 100.0, ..Default::default() };
+        assert!(run_against(&addr, "ba-80", &workload, &bad).unwrap_err().contains("open-loop"));
+
+        let config = LoadgenConfig { connections: 2, rate_qps: 2000.0, ..Default::default() };
+        let started = Instant::now();
+        let (result, answers) = run_against(&addr, "ba-80", &workload, &config).unwrap();
+        // 120 queries at 2000 q/s schedule the last departure at ~60ms.
+        assert!(started.elapsed() >= Duration::from_millis(55), "schedule was not honoured");
+        assert_eq!(result.errors, 0);
+        assert_eq!(result.mode, "open");
+        assert_eq!(result.target_qps, 2000.0);
+        assert!(result.p50_us > 0.0);
+        for (&(s, t, w), answer) in workload.queries().iter().zip(&answers) {
+            assert_eq!(*answer, reference.distance(s, t, w), "Q({s},{t},{w})");
+        }
+
+        let mut client = Client::connect(&*addr).unwrap();
         client.shutdown().unwrap();
         handle.join().unwrap();
     }
@@ -283,6 +402,9 @@ mod tests {
     fn loadgen_result_renders_as_json() {
         let result = LoadgenResult {
             dataset: "smoke".into(),
+            protocol: "binary".into(),
+            mode: "open".into(),
+            target_qps: 500.0,
             connections: 2,
             batch_size: 8,
             queries: 100,
@@ -300,6 +422,9 @@ mod tests {
         assert!(json.contains("\"throughput_qps\": 200.000"));
         assert!(json.contains("\"cache_hit_rate\": 0.2500"));
         assert!(json.contains("\"dataset\": \"smoke\""));
+        assert!(json.contains("\"protocol\": \"binary\""));
+        assert!(json.contains("\"mode\": \"open\""));
+        assert!(json.contains("\"target_qps\": 500.000"));
     }
 
     #[test]

@@ -1,4 +1,4 @@
-//! Sharded LRU result cache keyed on `(s, t, w)`.
+//! Sharded LRU result cache keyed on `(epoch, s, t, w)`.
 //!
 //! Point-query traffic against an immutable [`wcsd_core::WcIndex`] is
 //! embarrassingly cacheable: the answer to `(s, t, w)` never changes for the
@@ -7,14 +7,22 @@
 //! LRU list (slab-backed doubly linked list + hash map), so concurrent
 //! connections rarely contend on the same lock. Hit/miss counters are lock-free
 //! atomics feeding the `STATS` command and the load-generator report.
+//!
+//! Hot reload does need invalidation, and gets it by *epoch tagging* instead
+//! of a stop-the-world clear: the key carries the generation of the snapshot
+//! that computed the answer, so after a `RELOAD` swap every lookup under the
+//! new generation misses the old entries, which then age out of the LRU lists
+//! naturally. Swapping a snapshot is O(1) with respect to the cache.
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use wcsd_graph::{Distance, Quality, VertexId};
 
-/// Cache key: one point query.
-pub type QueryKey = (VertexId, VertexId, Quality);
+/// Cache key: the snapshot generation that computed the answer plus one
+/// point query. Tagging the generation into the key is what keeps the cache
+/// coherent across hot reloads (see the module docs).
+pub type QueryKey = (u64, VertexId, VertexId, Quality);
 
 /// Cached value: the query answer (`None` = unreachable, which is just as
 /// worth caching as a finite distance).
@@ -119,11 +127,12 @@ impl Shard {
 /// use wcsd_server::cache::ResultCache;
 ///
 /// let cache = ResultCache::new(128, 4);
-/// assert_eq!(cache.get(&(0, 1, 2)), None);
-/// cache.insert((0, 1, 2), Some(7));
-/// assert_eq!(cache.get(&(0, 1, 2)), Some(Some(7)));
+/// assert_eq!(cache.get(&(1, 0, 1, 2)), None);
+/// cache.insert((1, 0, 1, 2), Some(7));
+/// assert_eq!(cache.get(&(1, 0, 1, 2)), Some(Some(7)));
+/// assert_eq!(cache.get(&(2, 0, 1, 2)), None); // a new epoch misses
 /// assert_eq!(cache.hits(), 1);
-/// assert_eq!(cache.misses(), 1);
+/// assert_eq!(cache.misses(), 2);
 /// ```
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
@@ -156,10 +165,11 @@ impl ResultCache {
     fn shard_of(&self, key: &QueryKey) -> &Mutex<Shard> {
         // Fibonacci-hash the key into a shard; the std HashMap hasher is not
         // reachable for one-off hashes without allocation, and this mixer is
-        // plenty for distributing (s, t, w) triples.
-        let mut h = (key.0 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
-        h ^= (key.1 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
-        h ^= (key.2 as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
+        // plenty for distributing (epoch, s, t, w) tuples.
+        let mut h = key.0.wrapping_mul(0xD6E8_FEB8_6659_FD93);
+        h ^= (key.1 as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        h ^= (key.2 as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F);
+        h ^= (key.3 as u64).wrapping_mul(0x1656_67B1_9E37_79F9);
         h ^= h >> 29;
         &self.shards[(h % self.shards.len() as u64) as usize]
     }
@@ -229,11 +239,11 @@ mod tests {
     #[test]
     fn hit_miss_accounting() {
         let c = ResultCache::new(16, 2);
-        assert_eq!(c.get(&(1, 2, 3)), None);
-        c.insert((1, 2, 3), Some(9));
-        c.insert((4, 5, 6), None);
-        assert_eq!(c.get(&(1, 2, 3)), Some(Some(9)));
-        assert_eq!(c.get(&(4, 5, 6)), Some(None)); // unreachable is cached too
+        assert_eq!(c.get(&(1, 1, 2, 3)), None);
+        c.insert((1, 1, 2, 3), Some(9));
+        c.insert((1, 4, 5, 6), None);
+        assert_eq!(c.get(&(1, 1, 2, 3)), Some(Some(9)));
+        assert_eq!(c.get(&(1, 4, 5, 6)), Some(None)); // unreachable is cached too
         assert_eq!(c.hits(), 2);
         assert_eq!(c.misses(), 1);
         assert!((c.hit_rate() - 2.0 / 3.0).abs() < 1e-9);
@@ -244,30 +254,45 @@ mod tests {
     fn evicts_least_recently_used() {
         // Single shard so the eviction order is fully deterministic.
         let c = ResultCache::new(2, 1);
-        c.insert((0, 0, 1), Some(0));
-        c.insert((1, 1, 1), Some(1));
-        assert_eq!(c.get(&(0, 0, 1)), Some(Some(0))); // touch key 0: key 1 is now LRU
-        c.insert((2, 2, 1), Some(2)); // evicts key 1
+        c.insert((1, 0, 0, 1), Some(0));
+        c.insert((1, 1, 1, 1), Some(1));
+        assert_eq!(c.get(&(1, 0, 0, 1)), Some(Some(0))); // touch key 0: key 1 is now LRU
+        c.insert((1, 2, 2, 1), Some(2)); // evicts key 1
         assert_eq!(c.len(), 2);
-        assert_eq!(c.get(&(1, 1, 1)), None);
-        assert_eq!(c.get(&(0, 0, 1)), Some(Some(0)));
-        assert_eq!(c.get(&(2, 2, 1)), Some(Some(2)));
+        assert_eq!(c.get(&(1, 1, 1, 1)), None);
+        assert_eq!(c.get(&(1, 0, 0, 1)), Some(Some(0)));
+        assert_eq!(c.get(&(1, 2, 2, 1)), Some(Some(2)));
     }
 
     #[test]
     fn reinsert_updates_value_without_growth() {
         let c = ResultCache::new(4, 1);
-        c.insert((1, 2, 3), Some(5));
-        c.insert((1, 2, 3), Some(6));
+        c.insert((1, 1, 2, 3), Some(5));
+        c.insert((1, 1, 2, 3), Some(6));
         assert_eq!(c.len(), 1);
-        assert_eq!(c.get(&(1, 2, 3)), Some(Some(6)));
+        assert_eq!(c.get(&(1, 1, 2, 3)), Some(Some(6)));
+    }
+
+    #[test]
+    fn epoch_tag_isolates_generations() {
+        // The same (s, t, w) under a newer epoch misses, and the stale entry
+        // is evicted by LRU pressure like any other key.
+        let c = ResultCache::new(2, 1);
+        c.insert((1, 7, 8, 2), Some(3));
+        assert_eq!(c.get(&(2, 7, 8, 2)), None);
+        c.insert((2, 7, 8, 2), Some(9));
+        assert_eq!(c.get(&(1, 7, 8, 2)), Some(Some(3))); // old epoch still resident
+        c.insert((2, 0, 1, 1), Some(1)); // evicts the LRU entry: (2, 7, 8, 2)
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&(2, 7, 8, 2)), None);
+        assert_eq!(c.get(&(2, 0, 1, 1)), Some(Some(1)));
     }
 
     #[test]
     fn zero_capacity_disables_caching() {
         let c = ResultCache::disabled();
-        c.insert((1, 2, 3), Some(5));
-        assert_eq!(c.get(&(1, 2, 3)), None);
+        c.insert((1, 1, 2, 3), Some(5));
+        assert_eq!(c.get(&(1, 1, 2, 3)), None);
         assert_eq!(c.len(), 0);
         assert_eq!(c.hit_rate(), 0.0);
         assert_eq!(c.misses(), 1);
@@ -277,11 +302,11 @@ mod tests {
     fn many_inserts_respect_capacity() {
         let c = ResultCache::new(64, 8);
         for i in 0..10_000u32 {
-            c.insert((i, i + 1, 1), Some(i));
+            c.insert((1, i, i + 1, 1), Some(i));
         }
         assert!(c.len() <= 64, "len {} exceeds capacity", c.len());
         // The most recent key of some shard must still be present.
-        assert_eq!(c.get(&(9999, 10_000, 1)), Some(Some(9999)));
+        assert_eq!(c.get(&(1, 9999, 10_000, 1)), Some(Some(9999)));
     }
 
     #[test]
@@ -289,13 +314,13 @@ mod tests {
         // 17 over 16 shards must not round up to 32.
         let c = ResultCache::new(17, 16);
         for i in 0..1000u32 {
-            c.insert((i, i, 1), Some(i));
+            c.insert((1, i, i, 1), Some(i));
         }
         assert!(c.len() <= 17, "len {} exceeds configured capacity", c.len());
         // Fewer entries than shards: shard count is clamped, capacity holds.
         let c = ResultCache::new(3, 16);
         for i in 0..100u32 {
-            c.insert((i, i, 1), Some(i));
+            c.insert((1, i, i, 1), Some(i));
         }
         assert!(c.len() <= 3 && !c.is_empty());
     }
@@ -308,11 +333,11 @@ mod tests {
                 let c = std::sync::Arc::clone(&c);
                 s.spawn(move || {
                     for i in 0..500u32 {
-                        let key = (i % 97, (i + th) % 89, 1 + i % 5);
+                        let key = (1, i % 97, (i + th) % 89, 1 + i % 5);
                         if let Some(v) = c.get(&key) {
-                            assert_eq!(v, Some(key.0 + key.1));
+                            assert_eq!(v, Some(key.1 + key.2));
                         } else {
-                            c.insert(key, Some(key.0 + key.1));
+                            c.insert(key, Some(key.1 + key.2));
                         }
                     }
                 });

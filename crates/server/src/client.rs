@@ -1,28 +1,76 @@
-//! A small blocking client for the wcsd wire protocol, used by the
-//! `wcsd-cli client` subcommand, the bench load-generator, and the
+//! A small blocking client for the wcsd wire protocols, used by the
+//! `wcsd-cli client`/`reload` subcommands, the bench load-generator, and the
 //! integration tests.
+//!
+//! One `Client` speaks either the newline text protocol or the
+//! length-prefixed binary protocol, chosen at connect time
+//! ([`Client::connect_with`]); the request/reply API is identical across
+//! both. Reads carry a configurable timeout ([`Client::set_read_timeout`],
+//! default [`DEFAULT_READ_TIMEOUT`]) so a stalled server surfaces as an
+//! error instead of hanging the client forever — the client-side mirror of
+//! the server's write-stall deadline.
 
-use crate::protocol::{self, Request};
+use crate::binary::{self, BinRequest};
+use crate::protocol::{self, ReloadInfo, Reply, Request};
 use crate::server::ServerSnapshot;
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::{Duration, Instant};
 use wcsd_graph::{Distance, Quality, VertexId};
+
+/// Default cap on one reply read. Generous enough for a maximum-size batch
+/// computed under load; a genuinely wedged server trips it instead of
+/// hanging the caller.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Which wire protocol a [`Client`] speaks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Protocol {
+    /// Newline-delimited text ([`crate::protocol`]).
+    Text,
+    /// Length-prefixed binary frames ([`crate::binary`]).
+    Binary,
+}
+
+impl Protocol {
+    /// Lower-case label for reports and logs.
+    pub fn label(&self) -> &'static str {
+        match self {
+            Self::Text => "text",
+            Self::Binary => "binary",
+        }
+    }
+}
 
 /// A connected protocol client. One request/reply exchange at a time; open
 /// several clients for concurrency.
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    protocol: Protocol,
 }
 
 impl Client {
-    /// Connects to a running server.
+    /// Connects to a running server, speaking the text protocol.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Self> {
+        Self::connect_with(addr, Protocol::Text)
+    }
+
+    /// Connects to a running server with an explicit wire protocol. A
+    /// binary client sends the two negotiation bytes immediately.
+    pub fn connect_with(addr: impl ToSocketAddrs, protocol: Protocol) -> std::io::Result<Self> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok(); // request/reply traffic hates Nagle
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
         let writer = BufWriter::new(stream.try_clone()?);
-        Ok(Self { reader: BufReader::new(stream), writer })
+        let mut client = Self { reader: BufReader::new(stream), writer, protocol };
+        if protocol == Protocol::Binary {
+            client
+                .writer
+                .write_all(&[binary::MAGIC, binary::VERSION])
+                .and_then(|()| client.writer.flush())?;
+        }
+        Ok(client)
     }
 
     /// Connects, retrying until `timeout` elapses. Useful when the server is
@@ -31,9 +79,18 @@ impl Client {
         addr: impl ToSocketAddrs + Copy,
         timeout: Duration,
     ) -> std::io::Result<Self> {
+        Self::connect_retry_with(addr, timeout, Protocol::Text)
+    }
+
+    /// [`Client::connect_retry`] with an explicit wire protocol.
+    pub fn connect_retry_with(
+        addr: impl ToSocketAddrs + Copy,
+        timeout: Duration,
+        protocol: Protocol,
+    ) -> std::io::Result<Self> {
         let deadline = Instant::now() + timeout;
         loop {
-            match Self::connect(addr) {
+            match Self::connect_with(addr, protocol) {
                 Ok(client) => return Ok(client),
                 Err(e) if Instant::now() >= deadline => return Err(e),
                 Err(_) => std::thread::sleep(Duration::from_millis(25)),
@@ -41,12 +98,27 @@ impl Client {
         }
     }
 
+    /// The wire protocol this client negotiated.
+    pub fn protocol(&self) -> Protocol {
+        self.protocol
+    }
+
+    /// Caps how long one reply read may block (`None` = wait forever).
+    /// Connections start at [`DEFAULT_READ_TIMEOUT`]. After a timeout
+    /// error the connection may be mid-reply: reconnect rather than reuse.
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> std::io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
     /// Sends one raw protocol line and returns the first reply line —
-    /// the `wcsd-cli client` passthrough. `BATCH` bodies are not supported
-    /// here; use [`Client::batch`].
+    /// the `wcsd-cli client` passthrough. Text protocol only; `BATCH`
+    /// bodies are not supported here (use [`Client::batch`]).
     pub fn roundtrip(&mut self, line: &str) -> Result<String, String> {
-        self.send(line)?;
-        self.recv()
+        if self.protocol != Protocol::Text {
+            return Err("raw line roundtrip requires the text protocol".to_string());
+        }
+        self.send_line(line)?;
+        self.recv_line()
     }
 
     /// Answers `Q(s, t, w)` over the wire.
@@ -56,8 +128,19 @@ impl Client {
         t: VertexId,
         w: Quality,
     ) -> Result<Option<Distance>, String> {
-        let reply = self.roundtrip(&Request::Query { s, t, w }.encode())?;
-        protocol::parse_distance_reply(&reply)
+        match self.protocol {
+            Protocol::Text => {
+                let reply = {
+                    self.send_line(&Request::Query { s, t, w }.encode())?;
+                    self.recv_line()?
+                };
+                protocol::parse_distance_reply(&reply)
+            }
+            Protocol::Binary => match self.exchange(&BinRequest::Query { s, t, w })? {
+                Reply::Dist(answer) => Ok(answer),
+                other => Err(unexpected(&other)),
+            },
+        }
     }
 
     /// Answers a whole batch over the wire with one `BATCH` request.
@@ -66,8 +149,8 @@ impl Client {
         queries: &[(VertexId, VertexId, Quality)],
     ) -> Result<Vec<Option<Distance>>, String> {
         // Reject oversized batches before sending anything: the server would
-        // refuse the header without consuming the body lines, permanently
-        // desynchronising the connection.
+        // refuse the request without consuming the body, permanently
+        // desynchronising a text connection.
         if queries.len() > protocol::MAX_BATCH {
             return Err(format!(
                 "batch of {} queries exceeds the protocol maximum {}; split it",
@@ -75,25 +158,44 @@ impl Client {
                 protocol::MAX_BATCH
             ));
         }
-        let mut request = Request::Batch { n: queries.len() }.encode();
-        request.push('\n');
-        for &(s, t, w) in queries {
-            request.push_str(&format!("{s} {t} {w}\n"));
-        }
-        self.writer.write_all(request.as_bytes()).map_err(|e| format!("send failed: {e}"))?;
-        self.writer.flush().map_err(|e| format!("send failed: {e}"))?;
-        let header = self.recv()?;
-        let n: usize = header
-            .strip_prefix("OK ")
-            .and_then(|rest| rest.trim().parse().ok())
-            .ok_or_else(|| protocol::server_error(&header))?;
-        if n != queries.len() {
-            return Err(format!("batch header announced {n} answers, expected {}", queries.len()));
-        }
-        let mut answers = Vec::with_capacity(n);
-        for _ in 0..n {
-            let line = self.recv()?;
-            answers.push(protocol::parse_distance_reply(&line)?);
+        let n = queries.len();
+        let answers = match self.protocol {
+            Protocol::Text => {
+                let mut request = Request::Batch { n }.encode();
+                request.push('\n');
+                for &(s, t, w) in queries {
+                    request.push_str(&format!("{s} {t} {w}\n"));
+                }
+                self.writer
+                    .write_all(request.as_bytes())
+                    .and_then(|()| self.writer.flush())
+                    .map_err(|e| format!("send failed: {e}"))?;
+                let header = self.recv_line()?;
+                let announced: usize = header
+                    .strip_prefix("OK ")
+                    .and_then(|rest| rest.trim().parse().ok())
+                    .ok_or_else(|| protocol::server_error(&header))?;
+                if announced != n {
+                    return Err(format!(
+                        "batch header announced {announced} answers, expected {n}"
+                    ));
+                }
+                let mut answers = Vec::with_capacity(announced);
+                for _ in 0..announced {
+                    let line = self.recv_line()?;
+                    answers.push(protocol::parse_distance_reply(&line)?);
+                }
+                answers
+            }
+            Protocol::Binary => {
+                match self.exchange(&BinRequest::Batch { queries: queries.to_vec() })? {
+                    Reply::Batch(answers) => answers,
+                    other => return Err(unexpected(&other)),
+                }
+            }
+        };
+        if answers.len() != n {
+            return Err(format!("batch reply carried {} answers, expected {n}", answers.len()));
         }
         Ok(answers)
     }
@@ -106,27 +208,95 @@ impl Client {
         w: Quality,
         d: Distance,
     ) -> Result<bool, String> {
-        let reply = self.roundtrip(&Request::Within { s, t, w, d }.encode())?;
-        protocol::parse_bool_reply(&reply)
+        match self.protocol {
+            Protocol::Text => {
+                self.send_line(&Request::Within { s, t, w, d }.encode())?;
+                let reply = self.recv_line()?;
+                protocol::parse_bool_reply(&reply)
+            }
+            Protocol::Binary => match self.exchange(&BinRequest::Within { s, t, w, d })? {
+                Reply::Bool(b) => Ok(b),
+                other => Err(unexpected(&other)),
+            },
+        }
     }
 
     /// Fetches the server counters.
     pub fn stats(&mut self) -> Result<ServerSnapshot, String> {
-        let reply = self.roundtrip(&Request::Stats.encode())?;
-        ServerSnapshot::decode(&reply)
+        let line = match self.protocol {
+            Protocol::Text => {
+                self.send_line(&Request::Stats.encode())?;
+                self.recv_line()?
+            }
+            Protocol::Binary => match self.exchange(&BinRequest::Stats)? {
+                Reply::Stats(line) => line,
+                other => return Err(unexpected(&other)),
+            },
+        };
+        ServerSnapshot::decode(&line)
+    }
+
+    /// Asks the server to swap in the snapshot at `path` (a path on the
+    /// *server's* filesystem); returns once the new snapshot is live.
+    pub fn reload(&mut self, path: &str) -> Result<ReloadInfo, String> {
+        match self.protocol {
+            Protocol::Text => {
+                if path.split_whitespace().count() != 1 {
+                    return Err(format!(
+                        "path {path:?} contains whitespace; the text protocol cannot frame it \
+                         (use a binary client)"
+                    ));
+                }
+                self.send_line(&Request::Reload { path: path.to_string() }.encode())?;
+                let reply = self.recv_line()?;
+                ReloadInfo::decode(&reply)
+            }
+            Protocol::Binary => {
+                match self.exchange(&BinRequest::Reload { path: path.to_string() })? {
+                    Reply::Reloaded(info) => Ok(info),
+                    other => Err(unexpected(&other)),
+                }
+            }
+        }
     }
 
     /// Asks the server to shut down; returns once the server acknowledged.
     pub fn shutdown(&mut self) -> Result<(), String> {
-        let reply = self.roundtrip(&Request::Shutdown.encode())?;
-        if reply.trim() == "BYE" {
-            Ok(())
-        } else {
-            Err(protocol::server_error(&reply))
+        let reply = match self.protocol {
+            Protocol::Text => {
+                self.send_line(&Request::Shutdown.encode())?;
+                let line = self.recv_line()?;
+                if line.trim() == "BYE" {
+                    Reply::Bye
+                } else {
+                    return Err(protocol::server_error(&line));
+                }
+            }
+            Protocol::Binary => self.exchange(&BinRequest::Shutdown)?,
+        };
+        match reply {
+            Reply::Bye => Ok(()),
+            other => Err(unexpected(&other)),
         }
     }
 
-    fn send(&mut self, line: &str) -> Result<(), String> {
+    /// One binary request/reply exchange. A server-sent `ERR` surfaces as
+    /// this function's `Err` with the same wording as the text path.
+    fn exchange(&mut self, req: &BinRequest) -> Result<Reply, String> {
+        let mut frame = Vec::new();
+        binary::encode_request(req, &mut frame);
+        self.writer
+            .write_all(&frame)
+            .and_then(|()| self.writer.flush())
+            .map_err(|e| format!("send failed: {e}"))?;
+        let body = self.recv_frame()?;
+        match binary::decode_reply(&body)? {
+            Reply::Err(reason) => Err(format!("server error: {reason}")),
+            reply => Ok(reply),
+        }
+    }
+
+    fn send_line(&mut self, line: &str) -> Result<(), String> {
         self.writer
             .write_all(line.as_bytes())
             .and_then(|()| self.writer.write_all(b"\n"))
@@ -134,7 +304,7 @@ impl Client {
             .map_err(|e| format!("send failed: {e}"))
     }
 
-    fn recv(&mut self) -> Result<String, String> {
+    fn recv_line(&mut self) -> Result<String, String> {
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
             Ok(0) => Err("server closed the connection".to_string()),
@@ -142,4 +312,31 @@ impl Client {
             Err(e) => Err(format!("receive failed: {e}")),
         }
     }
+
+    /// Reads one length-prefixed reply frame body.
+    fn recv_frame(&mut self) -> Result<Vec<u8>, String> {
+        let mut len = [0u8; 4];
+        self.reader.read_exact(&mut len).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                "server closed the connection".to_string()
+            } else {
+                format!("receive failed: {e}")
+            }
+        })?;
+        let len = u32::from_le_bytes(len) as usize;
+        if len > binary::MAX_FRAME {
+            return Err(format!(
+                "reply frame of {len} bytes exceeds maximum {}",
+                binary::MAX_FRAME
+            ));
+        }
+        let mut body = vec![0u8; len];
+        self.reader.read_exact(&mut body).map_err(|e| format!("receive failed: {e}"))?;
+        Ok(body)
+    }
+}
+
+/// Describes a structurally valid reply of the wrong kind.
+fn unexpected(reply: &Reply) -> String {
+    format!("unexpected reply {reply:?}")
 }

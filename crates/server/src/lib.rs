@@ -6,20 +6,28 @@
 //! queries, instead of the one-shot `wcsd-cli query` flow that reloads both
 //! from disk per invocation.
 //!
-//! * [`server::Server`] — `std::net::TcpListener` accept loop with one scoped
-//!   handler thread per connection (the [`wcsd_core::parallel`] pattern),
-//!   cooperative `SHUTDOWN`, and server-side `BATCH` scheduling through
-//!   [`wcsd_core::parallel::par_distances`]. Serves from the flat
-//!   representation: [`server::Server::bind`] freezes a
-//!   [`wcsd_core::WcIndex`] into an `Arc<`[`wcsd_core::FlatIndex`]`>`, and
-//!   [`server::Server::bind_flat`] accepts an already-frozen handle (e.g.
-//!   decoded from a `WCIF` snapshot).
+//! * [`server::Server`] — binds the listener and owns the shared state:
+//!   the swappable `Arc<`[`wcsd_core::FlatIndex`]`>` snapshot slot (hot
+//!   reloadable via the `RELOAD` verb, generation-tagged), the result
+//!   cache, and the counters behind `STATS`.
+//! * `reactor` *(private module)* — the event-loop core: nonblocking sockets
+//!   multiplexed through a minimal `poll(2)` wrapper, per-connection
+//!   read/parse/execute/write state machines, and a bounded worker pool
+//!   for `BATCH` fan-out (via [`wcsd_core::parallel::par_distances`]) and
+//!   `RELOAD` snapshot decoding. Connections scale with file descriptors,
+//!   not threads.
 //! * [`protocol`] — the newline-delimited text protocol (`QUERY`, `BATCH`,
-//!   `WITHIN`, `STATS`, `SHUTDOWN`) shared by server and client.
+//!   `WITHIN`, `STATS`, `RELOAD`, `SHUTDOWN`) and the protocol-neutral
+//!   [`protocol::Reply`] type.
+//! * [`binary`] — the length-prefixed binary protocol, negotiated by magic
+//!   byte on the first bytes of a connection; same verbs, fixed-width
+//!   little-endian fields.
 //! * [`cache::ResultCache`] — a sharded LRU result cache keyed on
-//!   `(s, t, w)` with lock-free hit/miss accounting.
-//! * [`client::Client`] — a small blocking client used by the CLI, the bench
-//!   load generator, and the integration tests.
+//!   `(generation, s, t, w)` with lock-free hit/miss accounting; the
+//!   generation tag keeps it coherent across hot reloads.
+//! * [`client::Client`] — a small blocking client speaking either wire
+//!   protocol, used by the CLI, the bench load generator, and the
+//!   integration tests.
 //!
 //! ## Quickstart
 //!
@@ -42,14 +50,18 @@
 //! ```
 
 #![warn(missing_docs)]
-#![forbid(unsafe_code)]
+// Everything is safe Rust except the single audited `poll(2)` FFI wrapper
+// in `reactor::sys`, which carries its own narrow `allow`.
+#![deny(unsafe_code)]
 
+pub mod binary;
 pub mod cache;
 pub mod client;
 pub mod protocol;
+mod reactor;
 pub mod server;
 
 pub use cache::ResultCache;
-pub use client::Client;
-pub use protocol::Request;
+pub use client::{Client, Protocol};
+pub use protocol::{ReloadInfo, Reply, Request};
 pub use server::{Server, ServerConfig, ServerSnapshot};

@@ -1,6 +1,8 @@
-//! The wire protocol: newline-delimited ASCII text, symmetric enough that the
+//! The text wire protocol: newline-delimited ASCII, symmetric enough that the
 //! same module serves both the server (parse requests, encode replies) and the
-//! client (encode requests, parse replies).
+//! client (encode requests, parse replies). The length-prefixed binary
+//! protocol negotiated by magic byte lives in [`crate::binary`]; both share
+//! the protocol-neutral [`Reply`] type defined here.
 //!
 //! ## Requests
 //!
@@ -9,11 +11,13 @@
 //! BATCH <n>                    followed by n lines "<s> <t> <w>"
 //! WITHIN <s> <t> <w> <d>       bounded reachability predicate
 //! STATS                        server + cache counters
+//! RELOAD <path>                swap in a new index snapshot (admin)
 //! SHUTDOWN                     stop accepting and drain
 //! ```
 //!
 //! Command verbs are case-insensitive; arguments are unsigned decimal
-//! integers separated by whitespace.
+//! integers separated by whitespace (`RELOAD` takes one whitespace-free
+//! path — the binary protocol carries arbitrary paths).
 //!
 //! ## Replies
 //!
@@ -23,6 +27,8 @@
 //! OK <n>                       BATCH header, followed by n DIST/INF lines
 //! TRUE | FALSE                 answer to WITHIN
 //! STATS k=v k=v ...            answer to STATS (single line)
+//! RELOADED generation=<g> vertices=<n> entries=<m>
+//!                              answer to RELOAD after the swap
 //! BYE                          answer to SHUTDOWN
 //! ERR <reason>                 any malformed or out-of-range request
 //! ```
@@ -63,6 +69,12 @@ pub enum Request {
     },
     /// `STATS` — report server counters.
     Stats,
+    /// `RELOAD path` — swap the served snapshot for the one at `path` (a
+    /// path on the *server's* filesystem).
+    Reload {
+        /// Path to a `WCIF` (or `WCIX`) snapshot, resolved server-side.
+        path: String,
+    },
     /// `SHUTDOWN` — stop the server gracefully.
     Shutdown,
 }
@@ -75,6 +87,7 @@ impl Request {
             Self::Batch { n } => format!("BATCH {n}"),
             Self::Within { s, t, w, d } => format!("WITHIN {s} {t} {w} {d}"),
             Self::Stats => "STATS".to_string(),
+            Self::Reload { path } => format!("RELOAD {path}"),
             Self::Shutdown => "SHUTDOWN".to_string(),
         }
     }
@@ -105,6 +118,10 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Request::Within { s, t, w, d }
         }
         "STATS" => Request::Stats,
+        "RELOAD" => {
+            let path = it.next().ok_or_else(|| "missing argument <path>".to_string())?;
+            Request::Reload { path: path.to_string() }
+        }
         "SHUTDOWN" => Request::Shutdown,
         other => return Err(format!("unknown command {other:?}")),
     };
@@ -132,6 +149,100 @@ fn num<T: std::str::FromStr>(
 ) -> Result<T, String> {
     let tok = it.next().ok_or_else(|| format!("missing argument <{what}>"))?;
     tok.parse().map_err(|_| format!("invalid argument <{what}>: {tok:?}"))
+}
+
+/// Outcome of a `RELOAD`: the swap already happened when this is produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReloadInfo {
+    /// Snapshot generation now being served (bumped by every reload).
+    pub generation: u64,
+    /// Vertices covered by the new snapshot.
+    pub vertices: u64,
+    /// Label entries in the new snapshot.
+    pub entries: u64,
+}
+
+impl ReloadInfo {
+    /// Renders the `RELOADED ...` reply line (without the newline).
+    pub fn encode(&self) -> String {
+        format!(
+            "RELOADED generation={} vertices={} entries={}",
+            self.generation, self.vertices, self.entries
+        )
+    }
+
+    /// Parses a `RELOADED ...` reply line (client side).
+    pub fn decode(line: &str) -> Result<Self, String> {
+        let body = line.trim().strip_prefix("RELOADED ").ok_or_else(|| server_error(line))?;
+        let mut info = Self { generation: 0, vertices: 0, entries: 0 };
+        for pair in body.split_whitespace() {
+            let (key, value) =
+                pair.split_once('=').ok_or_else(|| format!("malformed reload field {pair:?}"))?;
+            let value: u64 =
+                value.parse().map_err(|_| format!("malformed reload value {pair:?}"))?;
+            match key {
+                "generation" => info.generation = value,
+                "vertices" => info.vertices = value,
+                "entries" => info.entries = value,
+                other => return Err(format!("unknown reload field {other:?}")),
+            }
+        }
+        Ok(info)
+    }
+}
+
+/// One server reply, independent of the wire encoding. The server builds
+/// values of this type and hands them to the text encoder below or to the
+/// binary encoder in [`crate::binary`]; the client decodes back into it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Answer to `QUERY` (`DIST <d>` / `INF`).
+    Dist(Option<Distance>),
+    /// Answer to `BATCH` (`OK <n>` + n distance lines).
+    Batch(Vec<Option<Distance>>),
+    /// Answer to `WITHIN` (`TRUE` / `FALSE`).
+    Bool(bool),
+    /// Answer to `STATS`: the already-rendered `STATS k=v ...` line, so this
+    /// module needs no knowledge of the counter set.
+    Stats(String),
+    /// Answer to `RELOAD` after the snapshot swap.
+    Reloaded(ReloadInfo),
+    /// Answer to `SHUTDOWN`.
+    Bye,
+    /// Any malformed or failed request.
+    Err(String),
+}
+
+impl Reply {
+    /// Appends the newline-terminated text encoding to `out`.
+    pub fn encode_text(&self, out: &mut Vec<u8>) {
+        match self {
+            Self::Dist(d) => {
+                out.extend_from_slice(encode_distance(*d).as_bytes());
+                out.push(b'\n');
+            }
+            Self::Batch(answers) => {
+                out.extend_from_slice(format!("OK {}\n", answers.len()).as_bytes());
+                for answer in answers {
+                    out.extend_from_slice(encode_distance(*answer).as_bytes());
+                    out.push(b'\n');
+                }
+            }
+            Self::Bool(b) => out.extend_from_slice(if *b { b"TRUE\n" } else { b"FALSE\n" }),
+            Self::Stats(line) => {
+                out.extend_from_slice(line.as_bytes());
+                out.push(b'\n');
+            }
+            Self::Reloaded(info) => {
+                out.extend_from_slice(info.encode().as_bytes());
+                out.push(b'\n');
+            }
+            Self::Bye => out.extend_from_slice(b"BYE\n"),
+            Self::Err(reason) => {
+                out.extend_from_slice(format!("ERR {reason}\n").as_bytes());
+            }
+        }
+    }
 }
 
 /// Renders a distance answer as its wire line: `DIST <d>` or `INF`.
@@ -237,5 +348,34 @@ mod tests {
         assert_eq!(parse_bool_reply("TRUE\n"), Ok(true));
         assert_eq!(parse_bool_reply("FALSE"), Ok(false));
         assert!(parse_bool_reply("ERR out of range").is_err());
+    }
+
+    #[test]
+    fn reload_requests_and_replies() {
+        assert_eq!(
+            parse_request("RELOAD /tmp/x.fidx"),
+            Ok(Request::Reload { path: "/tmp/x.fidx".to_string() })
+        );
+        assert!(parse_request("RELOAD").is_err());
+        assert!(parse_request("RELOAD /a /b").is_err()); // text paths are whitespace-free
+        let info = ReloadInfo { generation: 3, vertices: 90, entries: 512 };
+        assert_eq!(ReloadInfo::decode(&info.encode()), Ok(info));
+        assert!(ReloadInfo::decode("ERR no such file").is_err());
+        assert!(ReloadInfo::decode("RELOADED generation=x").is_err());
+    }
+
+    #[test]
+    fn reply_text_encoding() {
+        let mut out = Vec::new();
+        Reply::Dist(Some(4)).encode_text(&mut out);
+        Reply::Dist(None).encode_text(&mut out);
+        Reply::Batch(vec![Some(1), None]).encode_text(&mut out);
+        Reply::Bool(true).encode_text(&mut out);
+        Reply::Bye.encode_text(&mut out);
+        Reply::Err("nope".into()).encode_text(&mut out);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "DIST 4\nINF\nOK 2\nDIST 1\nINF\nTRUE\nBYE\nERR nope\n"
+        );
     }
 }

@@ -1,65 +1,70 @@
 //! The query server: a long-lived service answering WCSD queries over TCP
-//! from one loaded, immutable [`FlatIndex`].
+//! from a loaded, immutable — but hot-swappable — [`FlatIndex`] snapshot.
 //!
 //! The served representation is the *flat* one: [`Server::bind`] freezes a
 //! freshly built [`WcIndex`] into an `Arc<FlatIndex>` (and
 //! [`Server::bind_flat`] accepts an already-frozen handle, e.g. one decoded
 //! straight from a `WCIF` snapshot or produced by
 //! `DynamicWcIndex::freeze`), so every query runs over the contiguous
-//! struct-of-arrays arena instead of per-vertex heap allocations. The `Arc`
-//! is what a future hot-reload needs: swapping in a new frozen index never
-//! invalidates the one in-flight queries hold.
+//! struct-of-arrays arena instead of per-vertex heap allocations.
 //!
-//! Connection handling follows the scoped-thread pattern of
-//! [`wcsd_core::parallel`]: the accept loop runs inside a
-//! [`std::thread::scope`] and spawns one handler thread per connection, so
-//! every handler borrows the shared index directly (the index is immutable;
-//! only the result cache shards and the statistics counters are shared
-//! mutable state).
+//! Connection handling is a single-threaded event-loop reactor (the
+//! private `reactor` module): nonblocking sockets multiplexed through a small
+//! `poll(2)` wrapper, per-connection read/parse/execute/write state
+//! machines, and a bounded worker pool for `BATCH` fan-out (through
+//! [`wcsd_core::parallel::par_distances`]) and `RELOAD` snapshot decoding.
+//! Concurrent connections therefore scale with file descriptors, not
+//! threads, and an idle server sleeps in `poll` instead of busy-polling
+//! `accept`.
 //!
-//! `BATCH` requests are scheduled server-side: cache hits are answered
-//! immediately and only the misses are fanned out across
-//! [`wcsd_core::parallel::par_distances`] worker threads, then inserted back
-//! into the cache.
+//! The served index lives in a swappable slot guarded by one mutex: a
+//! `RELOAD <path>` request decodes a new snapshot off-loop, installs it with
+//! a generation bump, and replies once the swap is visible. In-flight
+//! queries and batches keep the `Arc` they captured — every reply is
+//! consistent with exactly one snapshot — and the result cache stays
+//! coherent because its keys carry the generation (see [`crate::cache`]).
 //!
-//! Shutdown is cooperative: `SHUTDOWN` flips an atomic flag; the nonblocking
-//! accept loop and the handler threads (via a short read timeout) poll the
-//! flag, so `run` returns once every connection has drained.
+//! Shutdown is cooperative: `SHUTDOWN` flips an atomic flag; the reactor
+//! observes it on its next iteration, best-effort flushes pending replies,
+//! and `run` returns once the worker pool drains.
 
 use crate::cache::ResultCache;
-use crate::protocol::{self, Request};
-use std::io::{BufRead, BufReader, BufWriter, Write};
+use crate::protocol;
+use crate::reactor::{self, Reactor};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::mpsc;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use wcsd_core::{parallel, FlatIndex, WcIndex};
+use wcsd_core::{FlatIndex, WcIndex};
 use wcsd_graph::{Quality, VertexId};
 
-/// How often parked connection handlers wake up to poll the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(100);
+/// Upper bound on how long one connection's pending output may sit without
+/// the socket accepting a single byte. A client that stops reading its
+/// replies (so the kernel send buffer fills) gets its connection dropped
+/// after this long instead of pinning server memory forever.
+pub(crate) const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
 
-/// How often the nonblocking accept loop polls for new connections (and the
-/// shutdown flag). Shorter than [`POLL_INTERVAL`] because this bounds the
-/// latency a freshly connected client sees on its first request; the idle
-/// cost is ~100 no-op accepts per second.
-const ACCEPT_POLL_INTERVAL: Duration = Duration::from_millis(10);
+/// Longest text request line the server accepts. Every legal request fits in
+/// a few dozen bytes; this bounds the memory a client streaming
+/// newline-free bytes can pin (the line-size analogue of
+/// [`protocol::MAX_BATCH`]).
+pub(crate) const MAX_LINE: usize = 64 * 1024;
 
-/// Upper bound on one socket write. A client that stops reading its replies
-/// (so the kernel send buffer fills) gets its connection dropped after this
-/// long instead of pinning a handler thread forever — which would also block
-/// the scope join in [`Server::run`] past a `SHUTDOWN`.
-const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
-
-/// Server tuning knobs. `Default` picks a kernel-assigned port, one batch
-/// worker per core, and a 64Ki-entry cache over 16 shards.
+/// Server tuning knobs. `Default` picks a kernel-assigned port, one
+/// intra-batch thread per core, two batch workers, and a 64Ki-entry cache
+/// over 16 shards.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// TCP port to listen on (0 = kernel-assigned; see
     /// [`Server::local_addr`]). The server always binds loopback.
     pub port: u16,
-    /// Worker threads for server-side `BATCH` evaluation.
+    /// Worker threads *inside* one `BATCH` evaluation
+    /// ([`wcsd_core::parallel::par_distances`] fan-out).
     pub batch_threads: usize,
+    /// Concurrently executing jobs (batches/reloads). Bounds the pool the
+    /// reactor offloads to.
+    pub batch_workers: usize,
     /// Total result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
     /// Number of independent cache shards.
@@ -71,6 +76,7 @@ impl Default for ServerConfig {
         Self {
             port: 0,
             batch_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            batch_workers: 2,
             cache_capacity: 64 * 1024,
             cache_shards: 16,
         }
@@ -81,14 +87,25 @@ impl Default for ServerConfig {
 /// command and the summary returned by [`Server::run`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerSnapshot {
-    /// Vertices covered by the served index.
+    /// Vertices covered by the currently served snapshot.
     pub vertices: usize,
-    /// Label entries in the served index.
+    /// Label entries in the currently served snapshot.
     pub entries: usize,
+    /// Generation of the served snapshot (1 at startup, +1 per reload).
+    pub generation: u64,
     /// Milliseconds since the server started.
     pub uptime_ms: u64,
     /// Connections accepted so far.
     pub connections: u64,
+    /// Connections currently open.
+    pub live_connections: u64,
+    /// Connections that negotiated the text protocol (counted at the first
+    /// byte, so `connections` can exceed the protocol sum).
+    pub text_connections: u64,
+    /// Connections that negotiated the binary protocol.
+    pub binary_connections: u64,
+    /// Snapshot reloads served so far.
+    pub reloads: u64,
     /// Point requests answered (`QUERY` and `WITHIN`; `WITHIN` bypasses the
     /// result cache, so this can exceed `cache_hits + cache_misses`).
     pub queries: u64,
@@ -116,12 +133,19 @@ impl ServerSnapshot {
     /// Renders the single-line `STATS` reply.
     pub fn encode(&self) -> String {
         format!(
-            "STATS vertices={} entries={} uptime_ms={} connections={} queries={} batches={} \
-             batch_queries={} cache_hits={} cache_misses={} hit_rate={:.4}",
+            "STATS vertices={} entries={} generation={} uptime_ms={} connections={} \
+             live_connections={} text_connections={} binary_connections={} reloads={} \
+             queries={} batches={} batch_queries={} cache_hits={} cache_misses={} \
+             hit_rate={:.4}",
             self.vertices,
             self.entries,
+            self.generation,
             self.uptime_ms,
             self.connections,
+            self.live_connections,
+            self.text_connections,
+            self.binary_connections,
+            self.reloads,
             self.queries,
             self.batches,
             self.batch_queries,
@@ -138,8 +162,13 @@ impl ServerSnapshot {
         let mut snap = Self {
             vertices: 0,
             entries: 0,
+            generation: 0,
             uptime_ms: 0,
             connections: 0,
+            live_connections: 0,
+            text_connections: 0,
+            binary_connections: 0,
+            reloads: 0,
             queries: 0,
             batches: 0,
             batch_queries: 0,
@@ -154,8 +183,13 @@ impl ServerSnapshot {
             match key {
                 "vertices" => snap.vertices = parse(value)? as usize,
                 "entries" => snap.entries = parse(value)? as usize,
+                "generation" => snap.generation = parse(value)?,
                 "uptime_ms" => snap.uptime_ms = parse(value)?,
                 "connections" => snap.connections = parse(value)?,
+                "live_connections" => snap.live_connections = parse(value)?,
+                "text_connections" => snap.text_connections = parse(value)?,
+                "binary_connections" => snap.binary_connections = parse(value)?,
+                "reloads" => snap.reloads = parse(value)?,
                 "queries" => snap.queries = parse(value)?,
                 "batches" => snap.batches = parse(value)?,
                 "batch_queries" => snap.batch_queries = parse(value)?,
@@ -169,27 +203,63 @@ impl ServerSnapshot {
     }
 }
 
-/// Shared state every connection handler borrows.
-struct Shared {
-    index: Arc<FlatIndex>,
-    cache: ResultCache,
-    batch_threads: usize,
-    started: Instant,
-    shutdown: AtomicBool,
-    connections: AtomicU64,
-    queries: AtomicU64,
-    batches: AtomicU64,
-    batch_queries: AtomicU64,
+/// The swappable serving slot: the epoch tags cache keys and is reported as
+/// the `STATS` generation; both change together under one lock, so a worker
+/// can never pair a snapshot with another generation's cache entries.
+pub(crate) struct SnapshotSlot {
+    pub(crate) epoch: u64,
+    pub(crate) index: Arc<FlatIndex>,
+}
+
+/// Shared state the reactor and the worker pool both borrow.
+pub(crate) struct Shared {
+    pub(crate) slot: Mutex<SnapshotSlot>,
+    pub(crate) cache: ResultCache,
+    pub(crate) batch_threads: usize,
+    pub(crate) batch_workers: usize,
+    pub(crate) started: Instant,
+    pub(crate) shutdown: AtomicBool,
+    pub(crate) connections: AtomicU64,
+    pub(crate) live_connections: AtomicU64,
+    pub(crate) text_connections: AtomicU64,
+    pub(crate) binary_connections: AtomicU64,
+    pub(crate) reloads: AtomicU64,
+    pub(crate) queries: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batch_queries: AtomicU64,
 }
 
 impl Shared {
-    fn snapshot(&self) -> ServerSnapshot {
-        let stats = self.index.stats();
+    /// The snapshot being served right now, with its cache epoch.
+    pub(crate) fn current(&self) -> (u64, Arc<FlatIndex>) {
+        let slot = self.slot.lock().expect("snapshot slot poisoned");
+        (slot.epoch, Arc::clone(&slot.index))
+    }
+
+    /// Installs a new snapshot, bumping the generation. In-flight holders of
+    /// the previous `Arc` are unaffected. Returns the new generation.
+    pub(crate) fn install(&self, index: Arc<FlatIndex>) -> u64 {
+        let mut slot = self.slot.lock().expect("snapshot slot poisoned");
+        slot.epoch += 1;
+        slot.index = index;
+        self.reloads.fetch_add(1, Ordering::Relaxed);
+        slot.epoch
+    }
+
+    /// Point-in-time counter snapshot.
+    pub(crate) fn snapshot(&self) -> ServerSnapshot {
+        let (epoch, index) = self.current();
+        let stats = index.stats();
         ServerSnapshot {
             vertices: stats.num_vertices,
             entries: stats.total_entries,
+            generation: epoch,
             uptime_ms: self.started.elapsed().as_millis() as u64,
             connections: self.connections.load(Ordering::Relaxed),
+            live_connections: self.live_connections.load(Ordering::Relaxed),
+            text_connections: self.text_connections.load(Ordering::Relaxed),
+            binary_connections: self.binary_connections.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
             queries: self.queries.load(Ordering::Relaxed),
             batches: self.batches.load(Ordering::Relaxed),
             batch_queries: self.batch_queries.load(Ordering::Relaxed),
@@ -198,25 +268,37 @@ impl Shared {
         }
     }
 
-    /// Answers one query through the cache.
-    fn cached_distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<u32> {
-        let key = (s, t, w);
+    /// Answers one query through the epoch-tagged cache against a pinned
+    /// snapshot.
+    pub(crate) fn cached_distance(
+        &self,
+        epoch: u64,
+        index: &FlatIndex,
+        s: VertexId,
+        t: VertexId,
+        w: Quality,
+    ) -> Option<u32> {
+        let key = (epoch, s, t, w);
         if let Some(answer) = self.cache.get(&key) {
             return answer;
         }
-        let answer = self.index.distance(s, t, w);
+        let answer = index.distance(s, t, w);
         self.cache.insert(key, answer);
         answer
     }
+}
 
-    fn check_range(&self, s: VertexId, t: VertexId) -> Result<(), String> {
-        let n = self.index.num_vertices();
-        for v in [s, t] {
-            if v as usize >= n {
-                return Err(format!("vertex {v} out of range (index covers 0..{n})"));
-            }
-        }
-        Ok(())
+/// Loads a snapshot file for `RELOAD`: `WCIF` decodes straight to the flat
+/// form, `WCIX` is decoded nested and frozen. No graph cross-check happens
+/// here — `RELOAD` is an admin verb and the operator owns the pairing.
+pub(crate) fn load_flat_snapshot(path: &str) -> Result<FlatIndex, String> {
+    let data = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if data.starts_with(wcsd_core::flat::WCIF_MAGIC) {
+        FlatIndex::decode(&data).map_err(|e| format!("corrupt snapshot {path}: {e}"))
+    } else {
+        WcIndex::decode(&data)
+            .map(|index| FlatIndex::from_index(&index))
+            .map_err(|e| format!("corrupt snapshot {path}: {e}"))
     }
 }
 
@@ -225,6 +307,8 @@ impl Shared {
 pub struct Server {
     listener: TcpListener,
     local_addr: SocketAddr,
+    wake_rx: TcpStream,
+    wake_tx: reactor::WakeSender,
     shared: Shared,
 }
 
@@ -241,16 +325,24 @@ impl Server {
     pub fn bind_flat(index: Arc<FlatIndex>, config: ServerConfig) -> std::io::Result<Self> {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let local_addr = listener.local_addr()?;
+        let (wake_rx, wake_tx) = reactor::wake_pair()?;
         Ok(Self {
             listener,
             local_addr,
+            wake_rx,
+            wake_tx,
             shared: Shared {
-                index,
+                slot: Mutex::new(SnapshotSlot { epoch: 1, index }),
                 cache: ResultCache::new(config.cache_capacity, config.cache_shards),
                 batch_threads: config.batch_threads.max(1),
+                batch_workers: config.batch_workers.max(1),
                 started: Instant::now(),
                 shutdown: AtomicBool::new(false),
                 connections: AtomicU64::new(0),
+                live_connections: AtomicU64::new(0),
+                text_connections: AtomicU64::new(0),
+                binary_connections: AtomicU64::new(0),
+                reloads: AtomicU64::new(0),
                 queries: AtomicU64::new(0),
                 batches: AtomicU64::new(0),
                 batch_queries: AtomicU64::new(0),
@@ -263,246 +355,29 @@ impl Server {
         self.local_addr
     }
 
-    /// Accepts and serves connections until a client sends `SHUTDOWN`.
-    /// Returns the final counter snapshot once every connection has drained.
+    /// Serves connections until a client sends `SHUTDOWN`: spawns the
+    /// bounded worker pool, then runs the reactor on the calling thread.
+    /// Returns the final counter snapshot once the pool has drained.
     pub fn run(self) -> ServerSnapshot {
-        let shared = &self.shared;
-        // A nonblocking accept loop polled on the same cadence as the
-        // handlers: shutdown is observed within one POLL_INTERVAL no matter
-        // what, without relying on a wake-up connection getting through.
-        let nonblocking = self.listener.set_nonblocking(true).is_ok();
-        std::thread::scope(|scope| loop {
-            if shared.shutdown.load(Ordering::SeqCst) {
-                break;
+        let Server { listener, wake_rx, wake_tx, shared, .. } = self;
+        let shared = &shared;
+        let (job_tx, job_rx) = mpsc::channel();
+        let (done_tx, done_rx) = mpsc::channel();
+        let job_rx = Mutex::new(job_rx);
+        std::thread::scope(|scope| {
+            for _ in 0..shared.batch_workers {
+                let done_tx = done_tx.clone();
+                let wake = wake_tx.clone();
+                let job_rx = &job_rx;
+                scope.spawn(move || reactor::worker(shared, job_rx, done_tx, wake));
             }
-            match self.listener.accept() {
-                Ok((stream, _peer)) => {
-                    shared.connections.fetch_add(1, Ordering::Relaxed);
-                    scope.spawn(move || {
-                        // A failed handler only drops its own connection.
-                        let _ = handle_connection(stream, shared);
-                    });
-                }
-                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(ACCEPT_POLL_INTERVAL);
-                }
-                // Transient accept errors (e.g. a connection reset while
-                // queued) must not kill the server. If the listener could not
-                // be made nonblocking the error may repeat immediately, so
-                // pace the retries either way.
-                Err(_) => std::thread::sleep(if nonblocking {
-                    Duration::from_millis(1)
-                } else {
-                    ACCEPT_POLL_INTERVAL
-                }),
-            }
+            drop(done_tx);
+            // The reactor owns the job sender: when `run` returns it drops,
+            // the workers' `recv` disconnects, and the scope joins.
+            Reactor::new(shared, listener, wake_rx, job_tx, done_rx).run();
         });
         shared.snapshot()
     }
-}
-
-/// Outcome of one buffered line read under the shutdown-polling regime.
-enum LineRead {
-    /// A complete newline-terminated request line.
-    Line,
-    /// The peer closed the connection (possibly mid-line).
-    Closed,
-    /// The server is shutting down.
-    Shutdown,
-    /// The peer streamed more than [`MAX_LINE`] bytes without a newline.
-    TooLong,
-}
-
-/// Longest request line the server accepts. Every legal request fits in a few
-/// dozen bytes; this bounds the memory a client streaming newline-free bytes
-/// can pin in a handler (the line-size analogue of [`protocol::MAX_BATCH`]).
-const MAX_LINE: usize = 64 * 1024;
-
-/// Reads one line, waking every [`POLL_INTERVAL`] to poll the shutdown flag.
-/// A partial line followed by a disconnect is reported as [`LineRead::Closed`]
-/// and never processed.
-///
-/// Reading happens at the byte level (`read_until` into `buf`) rather than
-/// through `read_line`, because `read_line` discards everything it appended
-/// in a call that errors with partially-invalid UTF-8 — a read timeout
-/// landing mid-way through a multi-byte sequence would silently drop bytes
-/// already consumed from the socket and corrupt the framing. The completed
-/// line is converted lossily into `line` instead.
-fn read_request_line(
-    reader: &mut BufReader<TcpStream>,
-    buf: &mut Vec<u8>,
-    line: &mut String,
-    shared: &Shared,
-) -> LineRead {
-    use std::io::Read;
-    buf.clear();
-    loop {
-        // Cap each attempt at the remaining line budget; `Take` wraps the
-        // BufReader itself, so already-buffered bytes are not lost.
-        let budget = (MAX_LINE + 1).saturating_sub(buf.len());
-        match (&mut *reader).take(budget as u64).read_until(b'\n', buf) {
-            Ok(0) => return LineRead::Closed,
-            Ok(_) if buf.ends_with(b"\n") => {
-                line.clear();
-                line.push_str(&String::from_utf8_lossy(buf));
-                return LineRead::Line;
-            }
-            // read_until stops without a newline either because the budget
-            // ran out or at EOF (the peer disconnected mid-line).
-            Ok(_) if buf.len() > MAX_LINE => return LineRead::TooLong,
-            Ok(_) => return LineRead::Closed,
-            Err(e)
-                if e.kind() == std::io::ErrorKind::WouldBlock
-                    || e.kind() == std::io::ErrorKind::TimedOut =>
-            {
-                // Bytes read before the timeout stay appended to `buf`;
-                // retrying resumes exactly where the read stopped.
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return LineRead::Shutdown;
-                }
-            }
-            Err(_) => return LineRead::Closed,
-        }
-    }
-}
-
-fn handle_connection(stream: TcpStream, shared: &Shared) -> std::io::Result<()> {
-    // Accepted sockets can inherit the listener's nonblocking mode on some
-    // platforms; force blocking so the timeout-based polling below applies.
-    stream.set_nonblocking(false)?;
-    stream.set_read_timeout(Some(POLL_INTERVAL))?;
-    stream.set_write_timeout(Some(WRITE_TIMEOUT))?;
-    let mut writer = BufWriter::new(stream.try_clone()?);
-    let mut reader = BufReader::new(stream);
-    let mut buf = Vec::new();
-    let mut line = String::new();
-    loop {
-        match read_request_line(&mut reader, &mut buf, &mut line, shared) {
-            LineRead::Line => {}
-            LineRead::TooLong => {
-                // The rest of the oversized line is unread, so framing is
-                // lost: report and drop the connection.
-                writeln!(writer, "ERR request line exceeds {MAX_LINE} bytes")?;
-                writer.flush()?;
-                return Ok(());
-            }
-            LineRead::Closed | LineRead::Shutdown => return Ok(()),
-        }
-        if line.trim().is_empty() {
-            continue; // blank keep-alive lines are not an error
-        }
-        match protocol::parse_request(&line) {
-            Err(reason) => writeln!(writer, "ERR {reason}")?,
-            Ok(Request::Query { s, t, w }) => match shared.check_range(s, t) {
-                Err(reason) => writeln!(writer, "ERR {reason}")?,
-                Ok(()) => {
-                    shared.queries.fetch_add(1, Ordering::Relaxed);
-                    let answer = shared.cached_distance(s, t, w);
-                    writeln!(writer, "{}", protocol::encode_distance(answer))?;
-                }
-            },
-            Ok(Request::Within { s, t, w, d }) => match shared.check_range(s, t) {
-                Err(reason) => writeln!(writer, "ERR {reason}")?,
-                Ok(()) => {
-                    shared.queries.fetch_add(1, Ordering::Relaxed);
-                    let yes = shared.index.within(s, t, w, d);
-                    writeln!(writer, "{}", if yes { "TRUE" } else { "FALSE" })?;
-                }
-            },
-            Ok(Request::Batch { n }) => {
-                match read_batch_body(&mut reader, shared, n, &mut buf, &mut line) {
-                    BatchBody::Closed => return Ok(()),
-                    BatchBody::Invalid(reason) => writeln!(writer, "ERR {reason}")?,
-                    BatchBody::Queries(queries) => {
-                        shared.batches.fetch_add(1, Ordering::Relaxed);
-                        shared.batch_queries.fetch_add(queries.len() as u64, Ordering::Relaxed);
-                        let answers = answer_batch(shared, &queries);
-                        writeln!(writer, "OK {n}")?;
-                        for answer in answers {
-                            writeln!(writer, "{}", protocol::encode_distance(answer))?;
-                        }
-                    }
-                }
-            }
-            Ok(Request::Stats) => writeln!(writer, "{}", shared.snapshot().encode())?,
-            Ok(Request::Shutdown) => {
-                writeln!(writer, "BYE")?;
-                writer.flush()?;
-                // The nonblocking accept loop and every handler observe the
-                // flag within one POLL_INTERVAL.
-                shared.shutdown.store(true, Ordering::SeqCst);
-                return Ok(());
-            }
-        }
-        writer.flush()?;
-    }
-}
-
-/// Body of a `BATCH n` request after reading the follow-up lines.
-enum BatchBody {
-    Queries(Vec<(VertexId, VertexId, Quality)>),
-    Invalid(String),
-    Closed,
-}
-
-/// Reads the `n` body lines of a batch. All lines are consumed even when an
-/// early one is malformed, so one bad query poisons only this batch, not the
-/// framing of subsequent requests on the connection.
-fn read_batch_body(
-    reader: &mut BufReader<TcpStream>,
-    shared: &Shared,
-    n: usize,
-    buf: &mut Vec<u8>,
-    line: &mut String,
-) -> BatchBody {
-    let mut queries = Vec::with_capacity(n.min(4096));
-    let mut invalid: Option<String> = None;
-    for i in 0..n {
-        match read_request_line(reader, buf, line, shared) {
-            LineRead::Line => {}
-            // An over-long body line loses framing just like a disconnect:
-            // the whole batch (and connection) is abandoned.
-            LineRead::Closed | LineRead::Shutdown | LineRead::TooLong => return BatchBody::Closed,
-        }
-        if invalid.is_some() {
-            continue; // drain the remaining body lines
-        }
-        match protocol::parse_batch_line(line) {
-            Err(reason) => invalid = Some(format!("batch line {}: {reason}", i + 1)),
-            Ok((s, t, w)) => match shared.check_range(s, t) {
-                Err(reason) => invalid = Some(format!("batch line {}: {reason}", i + 1)),
-                Ok(()) => queries.push((s, t, w)),
-            },
-        }
-    }
-    match invalid {
-        Some(reason) => BatchBody::Invalid(reason),
-        None => BatchBody::Queries(queries),
-    }
-}
-
-/// Answers a batch: cache hits inline, misses fanned out across the batch
-/// worker threads, results re-inserted into the cache.
-fn answer_batch(shared: &Shared, queries: &[(VertexId, VertexId, Quality)]) -> Vec<Option<u32>> {
-    let mut answers: Vec<Option<Option<u32>>> = Vec::with_capacity(queries.len());
-    let mut misses: Vec<(VertexId, VertexId, Quality)> = Vec::new();
-    let mut miss_slots: Vec<usize> = Vec::new();
-    for (i, q) in queries.iter().enumerate() {
-        match shared.cache.get(q) {
-            Some(answer) => answers.push(Some(answer)),
-            None => {
-                answers.push(None);
-                misses.push(*q);
-                miss_slots.push(i);
-            }
-        }
-    }
-    let computed = parallel::par_distances(shared.index.as_ref(), &misses, shared.batch_threads);
-    for (slot, (query, answer)) in miss_slots.into_iter().zip(misses.iter().zip(computed)) {
-        shared.cache.insert(*query, answer);
-        answers[slot] = Some(answer);
-    }
-    answers.into_iter().map(|a| a.expect("every slot answered")).collect()
 }
 
 #[cfg(test)]
@@ -514,8 +389,13 @@ mod tests {
         let snap = ServerSnapshot {
             vertices: 144,
             entries: 2048,
+            generation: 3,
             uptime_ms: 1234,
-            connections: 3,
+            connections: 5,
+            live_connections: 2,
+            text_connections: 3,
+            binary_connections: 2,
+            reloads: 2,
             queries: 17,
             batches: 2,
             batch_queries: 40,
@@ -539,7 +419,13 @@ mod tests {
         let c = ServerConfig::default();
         assert_eq!(c.port, 0);
         assert!(c.batch_threads >= 1);
+        assert!(c.batch_workers >= 1);
         assert!(c.cache_capacity > 0);
         assert!(c.cache_shards > 0);
+    }
+
+    #[test]
+    fn load_flat_snapshot_reports_errors() {
+        assert!(load_flat_snapshot("/nonexistent/path.fidx").unwrap_err().contains("cannot read"));
     }
 }

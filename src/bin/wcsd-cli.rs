@@ -7,6 +7,7 @@
 //! wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]
 //! wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--dimacs]
 //! wcsd-cli client <host:port> <command> [args...]
+//! wcsd-cli reload <host:port> <index-file>
 //! ```
 //!
 //! `build --flat` writes the read-optimized `WCIF` snapshot (contiguous
@@ -18,8 +19,15 @@
 //!
 //! `serve` loads the graph and index once, then answers queries over a
 //! loopback TCP socket until a client sends `SHUTDOWN`; `client` sends one
-//! protocol command and prints the reply. The wire protocol is
-//! newline-delimited text (see `wcsd_server::protocol`):
+//! protocol command and prints the reply; `reload` hot-swaps the served
+//! snapshot for another index file without dropping connections (the path
+//! is resolved on the serving host — `reload` absolutizes it first, since
+//! CLI and server share a machine on the loopback deployment).
+//!
+//! ## Wire protocols
+//!
+//! The default wire protocol is newline-delimited text (see
+//! `wcsd_server::protocol`):
 //!
 //! ```text
 //! -> QUERY <s> <t> <w>        <- DIST <d> | INF
@@ -27,9 +35,30 @@
 //!    (then n "<s> <t> <w>" lines)
 //! -> WITHIN <s> <t> <w> <d>   <- TRUE | FALSE
 //! -> STATS                    <- STATS k=v k=v ...
+//! -> RELOAD <path>            <- RELOADED generation=<g> vertices=<n> entries=<m>
 //! -> SHUTDOWN                 <- BYE
 //! any malformed request       <- ERR <reason>
 //! ```
+//!
+//! A connection whose first two bytes are `0xBF 0x01` (magic + version)
+//! switches to the length-prefixed **binary protocol** (see
+//! `wcsd_server::binary`): every frame is a little-endian `u32` body length
+//! followed by the body, whose first byte is the opcode. Integers are
+//! little-endian `u32`; answers are a `(tag u8, d u32)` pair with tag 0 =
+//! unreachable:
+//!
+//! ```text
+//! requests                          replies
+//! 0x01 QUERY    s t w               0x81 DIST     tag d
+//! 0x02 BATCH    n, n x (s t w)      0x82 BATCH    n, n x (tag d)
+//! 0x03 WITHIN   s t w d             0x83 BOOL     u8
+//! 0x04 STATS                        0x84 STATS    utf-8 stats line
+//! 0x05 SHUTDOWN                     0x85 BYE
+//! 0x06 RELOAD   utf-8 path          0x86 RELOADED utf-8 reloaded line
+//!                                   0xFF ERR      utf-8 reason
+//! ```
+//!
+//! The `loadgen` binary (`--binary`) and `wcsd_server::Client` speak both.
 //!
 //! Examples:
 //!
@@ -37,6 +66,7 @@
 //! wcsd-cli serve road.edges road.idx --port 7979 --cache-size 65536
 //! wcsd-cli client 127.0.0.1:7979 query 17 93 3
 //! wcsd-cli client 127.0.0.1:7979 stats
+//! wcsd-cli reload 127.0.0.1:7979 road-v2.fidx
 //! wcsd-cli client 127.0.0.1:7979 shutdown
 //! ```
 //!
@@ -62,6 +92,7 @@ fn main() -> ExitCode {
             eprintln!("  wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]");
             eprintln!("  wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--dimacs]");
             eprintln!("  wcsd-cli client <host:port> <command> [args...]");
+            eprintln!("  wcsd-cli reload <host:port> <index-file>");
             ExitCode::FAILURE
         }
     }
@@ -199,13 +230,16 @@ fn run(args: &[String]) -> Result<(), String> {
                 return Err("client requires a command (query/within/stats/shutdown)".to_string());
             }
             // Only single-line request/reply commands are forwarded: BATCH
-            // needs a body the one-shot roundtrip cannot send, and forwarding
-            // a bare header would leave the server waiting forever.
+            // needs a body the one-shot roundtrip cannot send, and RELOAD
+            // needs its path resolved on this side (`wcsd-cli reload` does
+            // that; a raw forwarded path would resolve against the server's
+            // working directory instead).
             let verb = command[0].to_ascii_uppercase();
             if !["QUERY", "WITHIN", "STATS", "SHUTDOWN"].contains(&verb.as_str()) {
                 return Err(format!(
                     "unsupported client command {:?} (use query/within/stats/shutdown; \
-                     for batch traffic use the loadgen binary)",
+                     for batch traffic use the loadgen binary, for reload use \
+                     `wcsd-cli reload`)",
                     command[0]
                 ));
             }
@@ -217,6 +251,29 @@ fn run(args: &[String]) -> Result<(), String> {
             if reply.starts_with("ERR ") {
                 return Err(wcsd::server::protocol::server_error(&reply));
             }
+            Ok(())
+        }
+        Some("reload") => {
+            let [_, addr, index_path] = positional[..] else {
+                return Err("reload requires <host:port> <index-file>".to_string());
+            };
+            // The server resolves the path on *its* filesystem; absolutize
+            // (and existence-check) on this side first, since the loopback
+            // deployment shares a machine but rarely a working directory.
+            let absolute = std::fs::canonicalize(index_path)
+                .map_err(|e| format!("cannot resolve {index_path}: {e}"))?;
+            let absolute =
+                absolute.to_str().ok_or_else(|| format!("non-UTF-8 path {absolute:?}"))?;
+            // The binary protocol frames arbitrary paths (the text verb
+            // cannot carry whitespace), so the admin front end speaks it.
+            let mut client =
+                Client::connect_retry_with(addr.as_str(), Duration::from_secs(5), Protocol::Binary)
+                    .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            let info = client.reload(absolute)?;
+            println!(
+                "reloaded {index_path}: now serving generation {} ({} vertices, {} entries)",
+                info.generation, info.vertices, info.entries
+            );
             Ok(())
         }
         _ => Err("missing or unknown subcommand".to_string()),

@@ -33,5 +33,5 @@ pub mod prelude {
     };
     pub use wcsd_graph::{Graph, GraphBuilder, Quality, QualityDomain, VertexId};
     pub use wcsd_order::OrderingStrategy;
-    pub use wcsd_server::{Client, Server, ServerConfig};
+    pub use wcsd_server::{Client, Protocol, Server, ServerConfig};
 }
