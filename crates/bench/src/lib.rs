@@ -17,6 +17,7 @@
 //! | (ours) parallel construction speedup | `exp6_parallel_build` | — |
 //! | (ours) flat vs. nested query engine | `exp7_flat_query` | `flat_query` |
 //! | (ours) server throughput/latency | `loadgen` | — |
+//! | (ours) update freshness & decremental repair | `exp9_freshness` | — |
 //! | everything above in one run | `exp_all` | — |
 //!
 //! Binaries accept a scale argument (`tiny`, `small`, `medium`, `large`) so
@@ -31,6 +32,7 @@
 
 pub mod cliargs;
 pub mod datasets;
+pub mod freshness;
 pub mod loadgen;
 pub mod measure;
 pub mod report;
@@ -38,6 +40,7 @@ pub mod workload;
 
 pub use cliargs::{parse_exp_args, ExpArgs};
 pub use datasets::{Dataset, DatasetKind, Scale};
+pub use freshness::{EdgeUpdate, FeedConfig, FeedResult};
 pub use loadgen::{LoadgenConfig, LoadgenResult};
 pub use measure::{BuildSpeedupResult, FlatQueryResult, IndexingResult, MethodKind, QueryResult};
 pub use workload::QueryWorkload;

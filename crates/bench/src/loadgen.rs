@@ -80,7 +80,8 @@ pub struct LoadgenResult {
     pub errors: usize,
     /// Wall-clock duration of the traffic phase in seconds.
     pub elapsed_seconds: f64,
-    /// Queries answered per second across all connections.
+    /// Successfully completed queries per second across all connections
+    /// (errored requests are excluded from the numerator).
     pub throughput_qps: f64,
     /// Median request latency in microseconds (per `BATCH` when batching;
     /// queueing-inclusive in open-loop mode).
@@ -220,7 +221,10 @@ pub fn run_against(
         reachable: answers.iter().filter(|a| a.is_some()).count(),
         errors,
         elapsed_seconds: elapsed,
-        throughput_qps: if elapsed > 0.0 { queries.len() as f64 / elapsed } else { 0.0 },
+        // Throughput counts completed queries only; a run with failures must
+        // not report the failed requests as served load (`errors` stays
+        // visible in the summary line and the JSON record).
+        throughput_qps: if elapsed > 0.0 { (queries.len() - errors) as f64 / elapsed } else { 0.0 },
         p50_us: percentile(&latencies, 0.50),
         p90_us: percentile(&latencies, 0.90),
         p99_us: percentile(&latencies, 0.99),
@@ -288,13 +292,16 @@ fn drive_connection(
     out
 }
 
-/// Nearest-rank percentile of an ascending-sorted sample (0 when empty).
-fn percentile(sorted: &[f64], q: f64) -> f64 {
+/// Nearest-rank percentile of an ascending-sorted sample (0 when empty):
+/// the smallest value with at least `q` of the sample at or below it,
+/// `sorted[⌈q·len⌉ - 1]`. (The former `.round()` on `(len-1)·q` rounded
+/// upward — p50 of 100 samples returned the 51st value.)
+pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
-    let rank = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[rank.min(sorted.len() - 1)]
+    let rank = (q * sorted.len() as f64).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Renders a short human-readable summary of a run.
@@ -432,8 +439,11 @@ mod tests {
         assert_eq!(percentile(&[], 0.5), 0.0);
         assert_eq!(percentile(&[3.0], 0.99), 3.0);
         let sorted: Vec<f64> = (1..=100).map(f64::from).collect();
-        assert_eq!(percentile(&sorted, 0.50), 51.0); // nearest rank on 0..=99
+        assert_eq!(percentile(&sorted, 0.50), 50.0); // ⌈0.50·100⌉ = rank 50
+        assert_eq!(percentile(&sorted, 0.90), 90.0);
         assert_eq!(percentile(&sorted, 0.99), 99.0);
         assert_eq!(percentile(&sorted, 1.0), 100.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.50), 1.0);
+        assert_eq!(percentile(&[1.0, 2.0], 0.51), 2.0);
     }
 }

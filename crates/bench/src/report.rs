@@ -176,7 +176,9 @@ pub fn to_json<T: JsonRecord>(results: &[T]) -> String {
     out
 }
 
-pub(crate) fn json_string(s: &str) -> String {
+/// Quotes and escapes `s` as a JSON string literal; the helper for
+/// [`JsonRecord`] implementations (including those in experiment binaries).
+pub fn json_string(s: &str) -> String {
     let mut out = String::with_capacity(s.len() + 2);
     out.push('"');
     for c in s.chars() {

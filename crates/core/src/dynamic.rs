@@ -3,26 +3,32 @@
 //! The paper's future-work section sketches the intended approach: compute the
 //! set of affected vertices and update only the affected entries, using the
 //! existing index instead of re-running full constrained BFS traversals. This
-//! module implements that sketch for **edge insertions** (the easy direction:
-//! new edges only create new paths, so existing entries stay sound and the
-//! index just needs new entries for the paths that now exist) and falls back
-//! to a full rebuild for **edge deletions** (where existing entries can become
-//! stale).
+//! module implements that sketch in both directions:
 //!
-//! Insertion resumes one pruned constrained search per hub, seeded *through*
-//! the new edge from the Pareto frontier of (distance, quality) pairs the
-//! current index certifies between the hub and the edge's endpoints — the
-//! natural generalisation of the resumed-BFS technique used for dynamic
-//! pruned landmark labeling. After an insertion the index remains sound and
-//! complete; it may temporarily contain non-minimal entries, which
-//! [`DynamicWcIndex::rebuild`] removes.
+//! * **Insertions** resume one pruned constrained search per hub, seeded
+//!   *through* the new edge from the Pareto frontier of (distance, quality)
+//!   pairs the current index certifies between the hub and the edge's
+//!   endpoints — the natural generalisation of the resumed-BFS technique used
+//!   for dynamic pruned landmark labeling. New edges only create new paths,
+//!   so existing entries stay sound; the index may temporarily carry
+//!   non-minimal entries, which [`DynamicWcIndex::rebuild`] removes.
+//! * **Deletions** run the decremental repair of [`crate::decremental`]: the
+//!   affected hubs of the deleted edge — the vertices with some shortest
+//!   constrained path through it — are identified on the pre-deletion graph,
+//!   their entries dropped everywhere, and the construction sweep re-run from
+//!   just those hubs in rank order. On a delete-only history the repaired
+//!   labels are bit-identical to a fresh build under the same vertex order.
+//!   When the affected set exceeds [`DynamicWcIndex::repair_threshold`] times
+//!   the vertex count, a full [`DynamicWcIndex::rebuild`] is cheaper and is
+//!   used instead.
 //!
-//! Rebuilds (explicit or deletion-triggered) reuse the [`IndexBuilder`] the
+//! Rebuilds (explicit or threshold-triggered) reuse the [`IndexBuilder`] the
 //! dynamic index was created with, so configuring it with
 //! [`IndexBuilder::threads`] makes every full-rebuild fallback run on the
 //! multi-threaded builder of [`crate::parallel_build`].
 
 use crate::build::IndexBuilder;
+use crate::decremental::{self, RepairStats};
 use crate::flat::FlatIndex;
 use crate::index::WcIndex;
 use crate::label::LabelEntry;
@@ -32,6 +38,10 @@ use std::collections::BinaryHeap;
 use std::sync::Arc;
 use wcsd_graph::{Distance, Graph, GraphBuilder, Quality, VertexId};
 
+/// Fraction of the vertex count above which an affected set triggers a full
+/// rebuild instead of a decremental repair.
+const DEFAULT_REPAIR_THRESHOLD: f64 = 0.75;
+
 /// A WC-INDEX paired with its graph, supporting edge insertions and deletions.
 #[derive(Debug, Clone)]
 pub struct DynamicWcIndex {
@@ -40,6 +50,8 @@ pub struct DynamicWcIndex {
     index: WcIndex,
     builder: IndexBuilder,
     rebuild_count: usize,
+    repair_threshold: f64,
+    last_repair: Option<RepairStats>,
     /// Cached frozen serve representation; invalidated by every update and
     /// re-frozen lazily by [`Self::freeze`].
     flat: Option<Arc<FlatIndex>>,
@@ -50,7 +62,16 @@ impl DynamicWcIndex {
     pub fn new(g: &Graph, builder: IndexBuilder) -> Self {
         let edges: Vec<_> = g.edges().map(|e| (e.u, e.v, e.quality)).collect();
         let index = builder.build(g);
-        Self { edges, graph: g.clone(), index, builder, rebuild_count: 0, flat: None }
+        Self {
+            edges,
+            graph: g.clone(),
+            index,
+            builder,
+            rebuild_count: 0,
+            repair_threshold: DEFAULT_REPAIR_THRESHOLD,
+            last_repair: None,
+            flat: None,
+        }
     }
 
     /// The current graph.
@@ -76,10 +97,30 @@ impl DynamicWcIndex {
         self.flat.get_or_insert_with(|| Arc::new(FlatIndex::from_index(&self.index))).clone()
     }
 
-    /// How many full rebuilds have been performed (deletions and explicit
-    /// [`Self::rebuild`] calls).
+    /// How many full rebuilds have been performed (threshold fallbacks and
+    /// explicit [`Self::rebuild`] calls).
     pub fn rebuild_count(&self) -> usize {
         self.rebuild_count
+    }
+
+    /// The affected-set fraction above which [`Self::remove_edge`] falls back
+    /// to a full rebuild.
+    pub fn repair_threshold(&self) -> f64 {
+        self.repair_threshold
+    }
+
+    /// Sets the fallback threshold: a deletion whose affected hubs number
+    /// more than `threshold * num_vertices` is handled by [`Self::rebuild`]
+    /// instead of the decremental repair. `1.0` (or more) never falls back;
+    /// `0.0` always rebuilds.
+    pub fn set_repair_threshold(&mut self, threshold: f64) {
+        self.repair_threshold = threshold;
+    }
+
+    /// Statistics of the most recent decremental repair, or `None` if the
+    /// last deletion fell back to a rebuild (or none happened yet).
+    pub fn last_repair(&self) -> Option<RepairStats> {
+        self.last_repair
     }
 
     /// Answers a `w`-constrained distance query on the current graph.
@@ -98,8 +139,18 @@ impl DynamicWcIndex {
             if existing >= q {
                 return false;
             }
+            // Quality upgrade: replace the stale tuple in place instead of
+            // appending next to it, so the edge list cannot grow without
+            // bound under repeated upgrades.
+            let pos = self
+                .edges
+                .iter()
+                .position(|&(u, v, _)| (u == a && v == b) || (u == b && v == a))
+                .expect("graph and edge list agree on edge existence");
+            self.edges[pos] = (a, b, q);
+        } else {
+            self.edges.push((a, b, q));
         }
-        self.edges.push((a, b, q));
         self.graph =
             rebuild_graph(&self.edges, self.graph.num_vertices().max(a.max(b) as usize + 1));
         self.incremental_insert(a, b, q);
@@ -107,18 +158,33 @@ impl DynamicWcIndex {
         true
     }
 
-    /// Removes the undirected edge `(a, b)`. Deletions can invalidate existing
-    /// label entries, so the index is rebuilt from scratch (the paper leaves a
-    /// cheaper decremental algorithm as future work). Returns `false` if the
-    /// edge did not exist.
+    /// Removes the undirected edge `(a, b)` and repairs the index
+    /// decrementally: the affected hubs of the edge are identified on the
+    /// pre-deletion graph and re-swept in rank order (see
+    /// [`crate::decremental`]); everything else is left untouched. If the
+    /// affected set exceeds [`Self::repair_threshold`] times the vertex
+    /// count, a full [`Self::rebuild`] is performed instead. Returns `false`
+    /// if the edge did not exist.
     pub fn remove_edge(&mut self, a: VertexId, b: VertexId) -> bool {
-        let before = self.edges.len();
-        self.edges.retain(|&(u, v, _)| !((u == a && v == b) || (u == b && v == a)));
-        if self.edges.len() == before {
+        let n = self.graph.num_vertices();
+        if a as usize >= n || b as usize >= n {
             return false;
         }
+        let Some(q) = self.graph.edge_quality(a, b) else {
+            return false;
+        };
+        let affected = decremental::affected_hubs(&self.graph, a, b, q);
+        self.edges.retain(|&(u, v, _)| !((u == a && v == b) || (u == b && v == a)));
         self.graph = rebuild_graph(&self.edges, self.graph.num_vertices());
-        self.rebuild();
+        self.flat = None;
+        let budget = self.repair_threshold * self.graph.num_vertices() as f64;
+        if affected.len() as f64 > budget {
+            self.rebuild();
+        } else {
+            let mode = self.builder.config().mode;
+            self.last_repair =
+                Some(decremental::repair(&mut self.index, &self.graph, mode, &affected));
+        }
         true
     }
 
@@ -126,6 +192,7 @@ impl DynamicWcIndex {
     pub fn rebuild(&mut self) {
         self.index = self.builder.build(&self.graph);
         self.rebuild_count += 1;
+        self.last_repair = None;
         self.flat = None;
     }
 
@@ -302,15 +369,68 @@ mod tests {
     }
 
     #[test]
-    fn deletion_falls_back_to_rebuild() {
+    fn deletion_repairs_without_rebuild() {
         let g = paper_figure3();
         let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::default());
+        dyn_idx.set_repair_threshold(1.0);
         assert!(dyn_idx.remove_edge(3, 4));
         assert!(!dyn_idx.remove_edge(3, 4), "already removed");
-        assert_eq!(dyn_idx.rebuild_count(), 1);
+        assert!(!dyn_idx.remove_edge(3, 99), "out of range is a no-op");
+        assert_eq!(dyn_idx.rebuild_count(), 0, "deletion must repair, not rebuild");
+        let stats = dyn_idx.last_repair().expect("repair ran");
+        assert!(stats.affected_hubs > 0);
+        assert!(stats.removed_entries > 0);
         assert_full_agreement(&dyn_idx);
         // v4 now only reaches the rest through v5.
         assert_eq!(dyn_idx.distance(0, 4, 1), Some(3));
+    }
+
+    #[test]
+    fn repaired_labels_match_fresh_build_bit_for_bit() {
+        let g = erdos_renyi(40, 0.08, &QualityAssigner::uniform(4), 5);
+        let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::default());
+        dyn_idx.set_repair_threshold(1.0);
+        let order = dyn_idx.index().order().clone();
+        let mut removed = 0;
+        for e in g.edges().take(60).collect::<Vec<_>>() {
+            if e.u % 3 == 0 && dyn_idx.remove_edge(e.u, e.v) {
+                removed += 1;
+            }
+        }
+        assert!(removed > 0, "the sweep must delete something");
+        assert_eq!(dyn_idx.rebuild_count(), 0);
+        let fresh = IndexBuilder::default().build_with_order(dyn_idx.graph(), order);
+        for v in 0..g.num_vertices() as VertexId {
+            assert_eq!(dyn_idx.index().labels(v), fresh.labels(v), "L(v{v}) diverged");
+        }
+    }
+
+    #[test]
+    fn threshold_zero_forces_rebuild_fallback() {
+        let g = paper_figure3();
+        let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::default());
+        dyn_idx.set_repair_threshold(0.0);
+        assert_eq!(dyn_idx.repair_threshold(), 0.0);
+        assert!(dyn_idx.remove_edge(3, 4));
+        assert_eq!(dyn_idx.rebuild_count(), 1, "threshold 0 must always rebuild");
+        assert!(dyn_idx.last_repair().is_none());
+        assert_full_agreement(&dyn_idx);
+    }
+
+    #[test]
+    fn quality_upgrade_replaces_edge_tuple() {
+        let g = paper_figure3();
+        let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::default());
+        let before = dyn_idx.edges.len();
+        // Repeated upgrades of the same edge must not grow the edge list.
+        assert!(dyn_idx.insert_edge(0, 1, 4));
+        assert!(dyn_idx.insert_edge(1, 0, 5));
+        assert_eq!(dyn_idx.edges.len(), before, "upgrades must replace, not append");
+        assert_eq!(dyn_idx.graph().edge_quality(0, 1), Some(5));
+        // A genuinely new edge still appends exactly one tuple.
+        assert!(dyn_idx.insert_edge(0, 4, 2));
+        assert_eq!(dyn_idx.edges.len(), before + 1);
+        assert_full_agreement(&dyn_idx);
     }
 
     #[test]
@@ -334,6 +454,7 @@ mod tests {
     fn threaded_builder_drives_rebuild_fallback() {
         let g = paper_figure3();
         let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::default().threads(4));
+        dyn_idx.set_repair_threshold(0.0);
         assert!(dyn_idx.remove_edge(3, 4), "deletion falls back to a (parallel) rebuild");
         assert_eq!(dyn_idx.rebuild_count(), 1);
         assert_full_agreement(&dyn_idx);

@@ -109,6 +109,23 @@ impl WcIndex {
         self.labels[v as usize].insert_sorted(entry);
     }
 
+    /// All label sets, indexed by vertex; the construction engine reads this
+    /// slice during decremental re-sweeps.
+    pub(crate) fn labels_all(&self) -> &[LabelSet] {
+        &self.labels
+    }
+
+    /// Drops every entry whose hub is flagged in `drop_hub` from every label
+    /// set (self labels stay), returning the total number of removed entries.
+    /// Used by the decremental repair.
+    pub(crate) fn remove_entries_of_hubs(&mut self, drop_hub: &[bool]) -> usize {
+        self.labels
+            .iter_mut()
+            .enumerate()
+            .map(|(v, set)| set.remove_hub_entries(drop_hub, v as VertexId))
+            .sum()
+    }
+
     /// Answers `Q(s, t, w)`: the `w`-constrained distance between `s` and `t`,
     /// or `None` if no `w`-path connects them.
     ///

@@ -111,6 +111,15 @@ impl LabelSet {
         }
     }
 
+    /// Removes every entry whose hub is flagged in `drop_hub`, except the
+    /// owner's self label, returning how many entries were dropped. Used by
+    /// the decremental repair to clear the affected hubs before re-sweeping.
+    pub(crate) fn remove_hub_entries(&mut self, drop_hub: &[bool], owner: VertexId) -> usize {
+        let before = self.entries.len();
+        self.entries.retain(|e| e.hub == owner || !drop_hub[e.hub as usize]);
+        before - self.entries.len()
+    }
+
     /// The contiguous slice of entries whose hub is `hub` (`L[u][hub]`), or an
     /// empty slice if the hub does not occur.
     pub fn hub_group(&self, hub: VertexId) -> &[LabelEntry] {

@@ -32,7 +32,8 @@
 //! * [`weighted::WeightedWcIndex`] — the constrained-Dijkstra extension for
 //!   weighted graphs (Section V).
 //! * [`dynamic::DynamicWcIndex`] — incremental edge insertions (the paper's
-//!   future-work sketch) with full-rebuild deletions.
+//!   future-work sketch) and decremental deletions via the affected-hub
+//!   repair of [`decremental`], with a configurable full-rebuild fallback.
 //!
 //! ## Quickstart
 //!
@@ -54,6 +55,7 @@
 #![forbid(unsafe_code)]
 
 pub mod build;
+pub mod decremental;
 pub mod directed;
 pub mod dynamic;
 pub mod flat;

@@ -8,7 +8,16 @@
 //! wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--dimacs]
 //! wcsd-cli client <host:port> <command> [args...]
 //! wcsd-cli reload <host:port> <index-file>
+//! wcsd-cli feed <graph-file> <updates-file> <snapshot-dir> [--addr H:P] [--batch N] [--threads N] [--ordering ...] [--repair-threshold F] [--json PATH] [--dimacs]
 //! ```
+//!
+//! `feed` is the streaming-freshness front end: it builds a dynamic index
+//! over the graph, applies an edge-update stream (`add u v q` / `remove u v`
+//! lines; deletions use the decremental label repair), writes one
+//! generation-numbered `WCIF` snapshot per `--batch` updates into
+//! `<snapshot-dir>`, and — with `--addr` — hot-swaps each snapshot into the
+//! running server via `RELOAD`, reporting the update-to-servable freshness
+//! latency (`--json` additionally writes the machine-readable record).
 //!
 //! `build --flat` writes the read-optimized `WCIF` snapshot (contiguous
 //! struct-of-arrays arena; loads with a validated bulk copy, no per-vertex
@@ -67,6 +76,7 @@
 //! wcsd-cli client 127.0.0.1:7979 query 17 93 3
 //! wcsd-cli client 127.0.0.1:7979 stats
 //! wcsd-cli reload 127.0.0.1:7979 road-v2.fidx
+//! wcsd-cli feed road.edges road.updates /tmp/snapshots --addr 127.0.0.1:7979 --batch 32
 //! wcsd-cli client 127.0.0.1:7979 shutdown
 //! ```
 //!
@@ -93,13 +103,23 @@ fn main() -> ExitCode {
             eprintln!("  wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--dimacs]");
             eprintln!("  wcsd-cli client <host:port> <command> [args...]");
             eprintln!("  wcsd-cli reload <host:port> <index-file>");
+            eprintln!("  wcsd-cli feed <graph-file> <updates-file> <snapshot-dir> [--addr H:P] [--batch N] [--threads N] [--ordering degree|tree|hybrid] [--repair-threshold F] [--json PATH] [--dimacs]");
             ExitCode::FAILURE
         }
     }
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 4] = ["--ordering", "--port", "--threads", "--cache-size"];
+const VALUE_FLAGS: [&str; 8] = [
+    "--ordering",
+    "--port",
+    "--threads",
+    "--cache-size",
+    "--addr",
+    "--batch",
+    "--repair-threshold",
+    "--json",
+];
 
 fn run(args: &[String]) -> Result<(), String> {
     let use_dimacs = args.iter().any(|a| a == "--dimacs");
@@ -274,6 +294,59 @@ fn run(args: &[String]) -> Result<(), String> {
                 "reloaded {index_path}: now serving generation {} ({} vertices, {} entries)",
                 info.generation, info.vertices, info.entries
             );
+            Ok(())
+        }
+        Some("feed") => {
+            let [_, graph_path, updates_path, snapshot_dir] = positional[..] else {
+                return Err("feed requires <graph-file> <updates-file> <snapshot-dir>".to_string());
+            };
+            let graph = read_graph_file(graph_path, use_dimacs)?;
+            let text = std::fs::read_to_string(updates_path)
+                .map_err(|e| format!("cannot read {updates_path}: {e}"))?;
+            let updates = wcsd_bench::freshness::parse_update_stream(&text)?;
+            let threads: usize = flag_value(args, "--threads")?.unwrap_or(1);
+            let start = std::time::Instant::now();
+            let builder = IndexBuilder::new().ordering(ordering).threads(threads);
+            let mut dyn_idx = wcsd::core::dynamic::DynamicWcIndex::new(&graph, builder);
+            if let Some(threshold) = flag_value::<f64>(args, "--repair-threshold")? {
+                dyn_idx.set_repair_threshold(threshold);
+            }
+            println!(
+                "built initial index for {} vertices / {} edges in {:.2?}; feeding {} updates",
+                graph.num_vertices(),
+                graph.num_edges(),
+                start.elapsed(),
+                updates.len()
+            );
+            let config = wcsd_bench::freshness::FeedConfig {
+                batch_size: flag_value(args, "--batch")?.unwrap_or(16),
+                addr: flag_value(args, "--addr")?,
+                connect_timeout: Duration::from_secs(10),
+            };
+            let dataset = std::path::Path::new(graph_path)
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .unwrap_or(graph_path);
+            let (result, snapshots) = wcsd_bench::freshness::run_feed(
+                dataset,
+                &mut dyn_idx,
+                &updates,
+                std::path::Path::new(snapshot_dir),
+                &config,
+            )?;
+            println!("{}", wcsd_bench::freshness::summary(&result));
+            if let Some(last) = snapshots.last() {
+                println!(
+                    "{} snapshot(s) in {snapshot_dir}, latest {}",
+                    snapshots.len(),
+                    last.display()
+                );
+            }
+            if let Some(json_path) = flag_value::<String>(args, "--json")? {
+                std::fs::write(&json_path, wcsd_bench::report::to_json(&[result]))
+                    .map_err(|e| format!("cannot write {json_path}: {e}"))?;
+                println!("wrote JSON record -> {json_path}");
+            }
             Ok(())
         }
         _ => Err("missing or unknown subcommand".to_string()),

@@ -17,6 +17,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use wcsd::prelude::*;
 use wcsd_baselines::online::constrained_bfs;
+use wcsd_core::dynamic::DynamicWcIndex;
 use wcsd_core::path::PathIndex;
 use wcsd_graph::Graph;
 
@@ -216,6 +217,93 @@ fn within_agrees_with_distance() {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Random mixed insert/delete sequences: the decremental repair never falls
+/// back to a rebuild (threshold 1.0), and afterwards every query
+/// implementation agrees with a from-scratch rebuild under the same vertex
+/// order *and* with the BFS oracle.
+#[test]
+fn dynamic_mixed_updates_match_rebuild() {
+    for seed in 0..CASES {
+        let g = random_graph(seed, 18, 50, 4);
+        let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::wc_index_plus());
+        dyn_idx.set_repair_threshold(1.0);
+        let order = dyn_idx.index().order().clone();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xD1CE_D1CE);
+        let n = g.num_vertices() as u32;
+        for _ in 0..10 {
+            if rng.gen_bool(0.5) {
+                dyn_idx.insert_edge(rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..5));
+            } else {
+                let edges: Vec<_> = dyn_idx.graph().edges().collect();
+                if let Some(e) = edges.get(rng.gen_range(0..edges.len().max(1))) {
+                    dyn_idx.remove_edge(e.u, e.v);
+                } else {
+                    // Empty graph: deleting a non-edge must be a no-op.
+                    assert!(!dyn_idx.remove_edge(0, 1.min(n - 1)));
+                }
+            }
+        }
+        assert_eq!(dyn_idx.rebuild_count(), 0, "seed {seed}: repair must never rebuild");
+
+        let rebuilt = IndexBuilder::wc_index_plus().build_with_order(dyn_idx.graph(), order);
+        let levels = dyn_idx.graph().distinct_qualities();
+        for s in 0..n {
+            for t in 0..n {
+                for &w in &levels {
+                    let oracle = constrained_bfs(dyn_idx.graph(), s, t, w);
+                    assert_eq!(rebuilt.distance(s, t, w), oracle, "seed {seed}: Q({s},{t},{w})");
+                    for imp in [QueryImpl::PairScan, QueryImpl::HubBucket, QueryImpl::Merge] {
+                        assert_eq!(
+                            dyn_idx.index().distance_with(s, t, w, imp),
+                            oracle,
+                            "seed {seed}: repaired {imp:?} Q({s},{t},{w})"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Delete-only sequences leave labels bit-identical to a fresh build under
+/// the same vertex order, and every repair invalidates the frozen snapshot.
+#[test]
+fn dynamic_deletions_are_bit_identical_and_invalidate_freeze() {
+    for seed in 0..CASES {
+        let g = random_graph(seed, 18, 55, 4);
+        let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::wc_index_plus());
+        dyn_idx.set_repair_threshold(1.0);
+        let order = dyn_idx.index().order().clone();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0DE1_E7ED);
+        for _ in 0..4 {
+            let edges: Vec<_> = dyn_idx.graph().edges().collect();
+            if edges.is_empty() {
+                break;
+            }
+            let e = edges[rng.gen_range(0..edges.len())];
+            let frozen = dyn_idx.freeze();
+            assert!(dyn_idx.remove_edge(e.u, e.v), "seed {seed}: edge existed");
+            let refrozen = dyn_idx.freeze();
+            assert!(
+                !std::sync::Arc::ptr_eq(&frozen, &refrozen),
+                "seed {seed}: repair must invalidate the frozen snapshot"
+            );
+            // The re-frozen snapshot answers exactly like the live index.
+            let w = rng.gen_range(1..5);
+            assert_eq!(refrozen.distance(e.u, e.v, w), dyn_idx.distance(e.u, e.v, w));
+        }
+        assert_eq!(dyn_idx.rebuild_count(), 0, "seed {seed}");
+        let fresh = IndexBuilder::wc_index_plus().build_with_order(dyn_idx.graph(), order);
+        for v in 0..dyn_idx.graph().num_vertices() as u32 {
+            assert_eq!(
+                dyn_idx.index().labels(v),
+                fresh.labels(v),
+                "seed {seed}: L(v{v}) diverged from the fresh build"
+            );
         }
     }
 }

@@ -714,3 +714,77 @@ fn client_read_timeout_prevents_hang() {
     // The holder thread exits on its own schedule; don't block the suite.
     drop(hold);
 }
+
+/// The full freshness pipeline end to end: a live server, a feed run that
+/// applies mixed updates through the decremental repair, writes
+/// generation-numbered snapshots, and hot-swaps each one via `RELOAD` — after
+/// which the served answers match the live dynamic index, the generation
+/// advanced once per batch, and a deleted edge's answer actually changed on
+/// the wire.
+#[test]
+fn feed_pipeline_updates_are_servable() {
+    use wcsd_bench::freshness::{run_feed, EdgeUpdate, FeedConfig};
+    use wcsd_core::dynamic::DynamicWcIndex;
+
+    let g = test_graph();
+    let mut dyn_idx = DynamicWcIndex::new(&g, IndexBuilder::wc_index_plus());
+    dyn_idx.set_repair_threshold(1.0);
+    let server =
+        Server::bind_flat(dyn_idx.freeze(), ServerConfig::default()).expect("bind ephemeral port");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    // Pick a served edge and remember its pre-deletion wire answer.
+    let e = g.edges().next().expect("test graph has edges");
+    let mut probe = Client::connect(&*addr).unwrap();
+    let before = probe.query(e.u, e.v, e.quality).unwrap();
+    assert_eq!(before, Some(1), "an edge answers its own quality level in one hop");
+
+    // A vertex not adjacent to 0, so the add below is a genuine new edge.
+    let far = (1..90u32).rev().find(|&v| g.edge_quality(0, v).is_none()).expect("non-neighbor");
+    let updates = vec![
+        EdgeUpdate::Add { u: 0, v: far, q: 4 },
+        EdgeUpdate::Remove { u: e.u, v: e.v },
+        EdgeUpdate::Add {
+            u: 5,
+            v: (6..90u32).rev().find(|&v| g.edge_quality(5, v).is_none()).expect("non-neighbor"),
+            q: 2,
+        },
+        EdgeUpdate::Remove { u: 0, v: far },
+    ];
+    let dir = std::env::temp_dir().join(format!("wcsd-feed-e2e-{}", std::process::id()));
+    let config = FeedConfig { batch_size: 2, addr: Some(addr.clone()), ..Default::default() };
+    let (result, snapshots) =
+        run_feed("ba-90", &mut dyn_idx, &updates, &dir, &config).expect("feed run");
+
+    assert_eq!(result.batches, 2);
+    assert_eq!(result.adds, 2);
+    assert_eq!(result.removes, 2);
+    assert_eq!(result.rebuild_fallbacks, 0, "threshold 1.0 never falls back");
+    assert_eq!(result.repairs, 2);
+    assert!(result.affected_hubs > 0);
+    assert_eq!(result.final_generation, 3, "startup generation 1 + one reload per batch");
+    assert!(result.freshness_p50_us > 0.0);
+    assert!(result.freshness_p50_us <= result.freshness_max_us);
+    assert_eq!(snapshots.len(), 2);
+
+    // The deleted edge's answer changed on the wire, and the served snapshot
+    // now agrees with the live dynamic index everywhere.
+    let after = probe.query(e.u, e.v, e.quality).unwrap();
+    assert_ne!(after, before, "deletion must be servable after the reload");
+    assert_eq!(after, dyn_idx.distance(e.u, e.v, e.quality));
+    for s in (0..90).step_by(3) {
+        for t in (0..90).step_by(4) {
+            for w in 1..=4 {
+                assert_eq!(probe.query(s, t, w), Ok(dyn_idx.distance(s, t, w)), "Q({s},{t},{w})");
+            }
+        }
+    }
+    let stats = probe.stats().unwrap();
+    assert_eq!(stats.generation, 3);
+    assert_eq!(stats.reloads, 2);
+
+    probe.shutdown().unwrap();
+    handle.join().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
