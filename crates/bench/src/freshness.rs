@@ -275,6 +275,14 @@ pub fn run_feed(
         apply_us += applied.as_secs_f64() * 1e6;
         snapshot_us += (snapshotted - applied).as_secs_f64() * 1e6;
         reload_us += (served - snapshotted).as_secs_f64() * 1e6;
+        record_feed_generation(
+            applied,
+            snapshotted - applied,
+            served - snapshotted,
+            client.is_some(),
+            result.final_generation,
+            served,
+        );
         freshness_us.push(served.as_secs_f64() * 1e6);
         snapshots.push(path);
         result.batches += 1;
@@ -291,6 +299,39 @@ pub fn run_feed(
     result.freshness_p90_us = percentile(&freshness_us, 0.90);
     result.freshness_max_us = freshness_us.last().copied().unwrap_or(0.0);
     Ok((result, snapshots))
+}
+
+/// Records one feed generation's phase split into the process-global metrics
+/// registry as `wcsd_feed_phase_us{phase=apply|snapshot|reload}` (reload only
+/// when feeding a live server), plus a `feed_generation` trace event whose
+/// duration is the generation's update-to-servable freshness latency.
+fn record_feed_generation(
+    apply: Duration,
+    snapshot: Duration,
+    reload: Duration,
+    online: bool,
+    generation: u64,
+    freshness: Duration,
+) {
+    let obs = wcsd_obs::global();
+    let phase = |name: &'static str, took: Duration| {
+        obs.histogram_with(
+            "wcsd_feed_phase_us",
+            &[("phase", name)],
+            "Feed pipeline phase latency per generation in microseconds",
+        )
+        .record_duration(took);
+    };
+    phase("apply", apply);
+    phase("snapshot", snapshot);
+    if online {
+        phase("reload", reload);
+    }
+    obs.tracer().record(
+        "feed_generation",
+        &format!("generation={generation}"),
+        u64::try_from(freshness.as_micros()).unwrap_or(u64::MAX),
+    );
 }
 
 #[cfg(test)]

@@ -26,6 +26,7 @@ use crate::report::{json_string, JsonRecord};
 use crate::workload::QueryWorkload;
 use std::time::{Duration, Instant};
 use wcsd_graph::Distance;
+use wcsd_obs::scrape::Scrape;
 use wcsd_server::{Client, Protocol};
 
 /// Load-generator knobs.
@@ -94,6 +95,20 @@ pub struct LoadgenResult {
     pub max_us: f64,
     /// Server-side result-cache hit rate after the run (from `STATS`).
     pub cache_hit_rate: f64,
+    /// Server-side requests executed on this run's protocol during the run,
+    /// from a `METRICS` scrape before and after the traffic (0 when the
+    /// server has metrics disabled). On the text protocol this includes the
+    /// harness's own `STATS`/`METRICS` bookkeeping requests.
+    pub server_requests: u64,
+    /// Server-side `execute`-phase p50 in microseconds over the run's
+    /// scrape delta (bucket upper bound; 0 with metrics disabled).
+    pub server_execute_p50_us: f64,
+    /// Server-side `execute`-phase p99 in microseconds over the run's
+    /// scrape delta.
+    pub server_execute_p99_us: f64,
+    /// Server-side `execute`-phase mean in microseconds over the run's
+    /// scrape delta (exact: histogram sum over count).
+    pub server_execute_mean_us: f64,
 }
 
 impl JsonRecord for LoadgenResult {
@@ -118,6 +133,10 @@ impl JsonRecord for LoadgenResult {
             ("p99_us", f(self.p99_us)),
             ("max_us", f(self.max_us)),
             ("cache_hit_rate", format!("{:.4}", self.cache_hit_rate)),
+            ("server_requests", self.server_requests.to_string()),
+            ("server_execute_p50_us", f(self.server_execute_p50_us)),
+            ("server_execute_p99_us", f(self.server_execute_p99_us)),
+            ("server_execute_mean_us", f(self.server_execute_mean_us)),
         ]
     }
 }
@@ -178,6 +197,11 @@ pub fn run_against(
             .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
         workers.push((client, items));
     }
+    // Scrape the server's metrics before the traffic starts so the run can
+    // report the server-side latency distribution as a delta. Best-effort:
+    // a server with metrics disabled still produces a (flat) scrape, and a
+    // scrape failure degrades to zeros rather than failing the run.
+    let scrape_before = scrape_server(addr, config.connect_timeout);
     let start = Instant::now();
     let mut outputs: Vec<WorkerOutput> = Vec::with_capacity(connections);
     std::thread::scope(|scope| {
@@ -210,6 +234,10 @@ pub fn run_against(
         .stats()?
         .hit_rate();
 
+    let scrape_after = scrape_server(addr, config.connect_timeout);
+    let (server_requests, server_execute_p50_us, server_execute_p99_us, server_execute_mean_us) =
+        server_side_delta(config.protocol, scrape_before.as_ref(), scrape_after.as_ref());
+
     let result = LoadgenResult {
         dataset: dataset.to_string(),
         protocol: config.protocol.label().to_string(),
@@ -230,8 +258,42 @@ pub fn run_against(
         p99_us: percentile(&latencies, 0.99),
         max_us: latencies.last().copied().unwrap_or(0.0),
         cache_hit_rate,
+        server_requests,
+        server_execute_p50_us,
+        server_execute_p99_us,
+        server_execute_mean_us,
     };
     Ok((result, answers))
+}
+
+/// Fetches and parses one `METRICS` scrape over a fresh text connection.
+/// `None` when the server is unreachable or predates the `METRICS` verb.
+fn scrape_server(addr: &str, timeout: Duration) -> Option<Scrape> {
+    let mut client = Client::connect_retry(addr, timeout).ok()?;
+    let text = client.metrics(false).ok()?;
+    Some(Scrape::parse(&text))
+}
+
+/// `(requests, execute p50/p99/mean µs)` for `protocol` between two scrapes.
+/// Zeros when either scrape is missing or the server records no histograms
+/// (metrics disabled).
+fn server_side_delta(
+    protocol: Protocol,
+    before: Option<&Scrape>,
+    after: Option<&Scrape>,
+) -> (u64, f64, f64, f64) {
+    let (Some(before), Some(after)) = (before, after) else {
+        return (0, 0.0, 0.0, 0.0);
+    };
+    let proto = format!("proto=\"{}\"", protocol.label());
+    let requests = (after.sum_matching("wcsd_requests_total", &[&proto])
+        - before.sum_matching("wcsd_requests_total", &[&proto]))
+    .max(0.0) as u64;
+    let filter = [proto.as_str(), "phase=\"execute\""];
+    let hist = after
+        .histogram("wcsd_request_phase_us", &filter)
+        .delta(&before.histogram("wcsd_request_phase_us", &filter));
+    (requests, hist.quantile(0.50), hist.quantile(0.99), hist.mean())
 }
 
 /// One connection worker: sends its items as individual queries or batches
@@ -296,7 +358,10 @@ fn drive_connection(
 /// the smallest value with at least `q` of the sample at or below it,
 /// `sorted[⌈q·len⌉ - 1]`. (The former `.round()` on `(len-1)·q` rounded
 /// upward — p50 of 100 samples returned the 51st value.)
-pub(crate) fn percentile(sorted: &[f64], q: f64) -> f64 {
+/// [`wcsd_obs::HistogramSnapshot::quantile`] implements the same rank rule
+/// over its buckets, which is what lets server-side scraped quantiles sit
+/// next to client-side exact ones in one report.
+pub fn percentile(sorted: &[f64], q: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
@@ -314,7 +379,8 @@ pub fn summary(result: &LoadgenResult) -> String {
     format!(
         "{}: {} queries ({} protocol, {pacing}) over {} connections (batch {}) in {:.3}s \
          -> {:.0} q/s, latency p50/p90/p99/max {:.1}/{:.1}/{:.1}/{:.1} µs, {} reachable, \
-         {} errors, cache hit rate {:.1}%",
+         {} errors, cache hit rate {:.1}%, server execute p50/p99 {:.1}/{:.1} µs \
+         over {} requests",
         result.dataset,
         result.queries,
         result.protocol,
@@ -328,7 +394,10 @@ pub fn summary(result: &LoadgenResult) -> String {
         result.max_us,
         result.reachable,
         result.errors,
-        100.0 * result.cache_hit_rate
+        100.0 * result.cache_hit_rate,
+        result.server_execute_p50_us,
+        result.server_execute_p99_us,
+        result.server_requests
     )
 }
 
@@ -362,6 +431,10 @@ mod tests {
             assert_eq!(result.protocol, protocol.label());
             assert!(result.throughput_qps > 0.0);
             assert!(result.p50_us <= result.p99_us && result.p99_us <= result.max_us);
+            // The server ran with metrics on, so the scrape delta must have
+            // seen this pass's requests on its protocol.
+            assert!(result.server_requests > 0, "scrape delta saw no requests");
+            assert!(result.server_execute_p50_us <= result.server_execute_p99_us);
             for (&(s, t, w), answer) in workload.queries().iter().zip(&answers) {
                 assert_eq!(*answer, reference.distance(s, t, w), "Q({s},{t},{w})");
             }
@@ -424,6 +497,10 @@ mod tests {
             p99_us: 30.0,
             max_us: 40.0,
             cache_hit_rate: 0.25,
+            server_requests: 100,
+            server_execute_p50_us: 7.0,
+            server_execute_p99_us: 31.0,
+            server_execute_mean_us: 9.5,
         };
         let json = to_json(&[result]);
         assert!(json.contains("\"throughput_qps\": 200.000"));
@@ -432,6 +509,9 @@ mod tests {
         assert!(json.contains("\"protocol\": \"binary\""));
         assert!(json.contains("\"mode\": \"open\""));
         assert!(json.contains("\"target_qps\": 500.000"));
+        assert!(json.contains("\"server_requests\": 100"));
+        assert!(json.contains("\"server_execute_p50_us\": 7.000"));
+        assert!(json.contains("\"server_execute_mean_us\": 9.500"));
     }
 
     #[test]
@@ -445,5 +525,30 @@ mod tests {
         assert_eq!(percentile(&sorted, 1.0), 100.0);
         assert_eq!(percentile(&[1.0, 2.0], 0.50), 1.0);
         assert_eq!(percentile(&[1.0, 2.0], 0.51), 2.0);
+    }
+
+    /// The obs histogram's bucketed quantile must agree exactly with this
+    /// crate's `percentile` whenever the samples land on bucket boundaries —
+    /// the contract that lets server-side and client-side quantiles share
+    /// one report.
+    #[test]
+    fn histogram_quantile_matches_percentile_on_exact_values() {
+        let hist = wcsd_obs::Histogram::new();
+        // All values are exact bucket upper bounds (0..16 unit buckets, then
+        // the four sub-bucket edges of the next two octaves), so bucketing
+        // loses nothing and the two quantile rules must agree exactly.
+        let values: Vec<u64> = (0..16).chain([19, 23, 27, 31, 39, 47, 55, 63]).collect();
+        for &v in &values {
+            hist.record(v);
+        }
+        let snap = hist.snapshot();
+        let sorted: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        for q in [0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0] {
+            assert_eq!(
+                snap.quantile(q) as f64,
+                percentile(&sorted, q),
+                "quantile({q}) diverged from the reference percentile"
+            );
+        }
     }
 }

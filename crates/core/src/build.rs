@@ -47,6 +47,7 @@ use crate::index::WcIndex;
 use crate::label::{LabelEntry, LabelSet};
 use crate::parallel_build::{self, BatchJob};
 use std::sync::Mutex;
+use std::time::Instant;
 use wcsd_graph::{Distance, Graph, Quality, VertexId, INF_QUALITY};
 use wcsd_order::{OrderingStrategy, VertexOrder};
 
@@ -149,7 +150,9 @@ impl IndexBuilder {
 
     /// Builds the index for `g` with a freshly computed vertex order.
     pub fn build(&self, g: &Graph) -> WcIndex {
+        let t_order = Instant::now();
         let order = self.config.ordering.compute(g);
+        record_build_phase("order", t_order.elapsed());
         self.build_with_order(g, order)
     }
 
@@ -160,15 +163,44 @@ impl IndexBuilder {
             g.num_vertices(),
             "vertex order must cover every vertex of the graph"
         );
+        let t_total = Instant::now();
         let threads = parallel_build::effective_threads(self.config.threads);
         let mut job = UndirectedJob::new(g, &order, self.config.mode, threads);
         parallel_build::run_batched(&mut job, threads);
+        record_build_phase("sweep", t_total.elapsed());
+        let t_finalize = Instant::now();
         let mut labels = job.labels;
         for set in &mut labels {
             set.finalize();
         }
-        WcIndex::from_parts(labels, order)
+        let index = WcIndex::from_parts(labels, order);
+        record_build_phase("finalize", t_finalize.elapsed());
+        let obs = wcsd_obs::global();
+        obs.counter("wcsd_builds_total", "Index builds completed").inc();
+        obs.tracer().record(
+            "build",
+            &format!(
+                "vertices={} entries={} threads={threads}",
+                index.num_vertices(),
+                index.total_entries()
+            ),
+            u64::try_from(t_total.elapsed().as_micros()).unwrap_or(u64::MAX),
+        );
+        index
     }
+}
+
+/// Records one construction phase into the process-global metrics registry
+/// as `wcsd_build_phase_us{phase=...}`. Construction is offline work, so the
+/// samples are unconditional — there is no hot path to protect.
+fn record_build_phase(phase: &'static str, took: std::time::Duration) {
+    wcsd_obs::global()
+        .histogram_with(
+            "wcsd_build_phase_us",
+            &[("phase", phase)],
+            "Index construction phase latency in microseconds",
+        )
+        .record_duration(took);
 }
 
 /// The [`BatchJob`] instance behind [`IndexBuilder`]: unweighted undirected

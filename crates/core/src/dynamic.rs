@@ -36,6 +36,7 @@ use crate::query;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Arc;
+use std::time::Instant;
 use wcsd_graph::{Distance, Graph, GraphBuilder, Quality, VertexId};
 
 /// Fraction of the vertex count above which an affected set triggers a full
@@ -173,7 +174,9 @@ impl DynamicWcIndex {
         let Some(q) = self.graph.edge_quality(a, b) else {
             return false;
         };
+        let t_scan = Instant::now();
         let affected = decremental::affected_hubs(&self.graph, a, b, q);
+        record_repair_phase("scan", t_scan.elapsed());
         self.edges.retain(|&(u, v, _)| !((u == a && v == b) || (u == b && v == a)));
         self.graph = rebuild_graph(&self.edges, self.graph.num_vertices());
         self.flat = None;
@@ -182,8 +185,36 @@ impl DynamicWcIndex {
             self.rebuild();
         } else {
             let mode = self.builder.config().mode;
-            self.last_repair =
-                Some(decremental::repair(&mut self.index, &self.graph, mode, &affected));
+            let t_resweep = Instant::now();
+            let stats = decremental::repair(&mut self.index, &self.graph, mode, &affected);
+            let resweep = t_resweep.elapsed();
+            record_repair_phase("resweep", resweep);
+            let obs = wcsd_obs::global();
+            obs.counter("wcsd_repairs_total", "Decremental repairs performed").inc();
+            obs.gauge(
+                "wcsd_repair_affected_hubs",
+                "Affected hubs in the most recent decremental repair",
+            )
+            .set(stats.affected_hubs as i64);
+            obs.gauge(
+                "wcsd_repair_removed_entries",
+                "Label entries dropped by the most recent decremental repair",
+            )
+            .set(stats.removed_entries as i64);
+            obs.gauge(
+                "wcsd_repair_reinserted_entries",
+                "Label entries re-inserted by the most recent decremental repair",
+            )
+            .set(stats.reinserted_entries as i64);
+            obs.tracer().record(
+                "repair",
+                &format!(
+                    "affected_hubs={} removed={} reinserted={}",
+                    stats.affected_hubs, stats.removed_entries, stats.reinserted_entries
+                ),
+                u64::try_from((t_scan.elapsed()).as_micros()).unwrap_or(u64::MAX),
+            );
+            self.last_repair = Some(stats);
         }
         true
     }
@@ -191,6 +222,9 @@ impl DynamicWcIndex {
     /// Rebuilds the index from scratch, restoring minimality.
     pub fn rebuild(&mut self) {
         self.index = self.builder.build(&self.graph);
+        wcsd_obs::global()
+            .counter("wcsd_rebuilds_total", "Full index rebuilds (explicit or threshold fallback)")
+            .inc();
         self.rebuild_count += 1;
         self.last_repair = None;
         self.flat = None;
@@ -266,6 +300,20 @@ impl DynamicWcIndex {
         // crate-internal accessor.
         self.index.insert_label_entry(v, entry);
     }
+}
+
+/// Records one decremental-repair phase into the process-global metrics
+/// registry as `wcsd_repair_phase_us{phase=...}`: `scan` is the affected-hub
+/// identification on the pre-deletion graph, `resweep` the label drop plus
+/// per-hub construction sweeps.
+fn record_repair_phase(phase: &'static str, took: std::time::Duration) {
+    wcsd_obs::global()
+        .histogram_with(
+            "wcsd_repair_phase_us",
+            &[("phase", phase)],
+            "Decremental repair phase latency in microseconds",
+        )
+        .record_duration(took);
 }
 
 /// Pareto frontier of `(distance, quality)` pairs the index certifies between

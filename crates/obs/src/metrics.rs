@@ -1,0 +1,444 @@
+//! Lock-free metric primitives: [`Counter`], [`Gauge`], and the log-scale
+//! [`Histogram`] with its mergeable [`HistogramSnapshot`] readout.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+
+/// A monotonically increasing counter. All operations are relaxed atomics:
+/// counters are statistics, not synchronization, and every reader takes a
+/// point-in-time value.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// Creates a counter at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Increments by `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// An instantaneous level that can move both ways (live connections, busy
+/// workers, index generation).
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// Creates a gauge at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the gauge to an absolute value.
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Increments by one.
+    #[inline]
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Decrements by one.
+    #[inline]
+    pub fn dec(&self) {
+        self.value.fetch_sub(1, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// Number of buckets in a [`Histogram`]: 16 exact unit buckets for values
+/// 0..16, then 4 sub-buckets per power-of-two octave up to `u64::MAX`.
+pub const NUM_BUCKETS: usize = 256;
+
+/// Maps a value to its bucket index.
+///
+/// Values 0..16 get an exact bucket each. For larger values the bucket is
+/// determined by the position of the most significant bit (the octave) and
+/// the next two bits below it (4 sub-buckets per octave), giving a worst-case
+/// relative error of 25 % on the bucket upper bound — plenty for latency
+/// attribution while keeping the whole histogram at 256 atomics (2 KiB).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < 16 {
+        return v as usize;
+    }
+    let msb = 63 - v.leading_zeros() as usize; // >= 4
+    let sub = ((v >> (msb - 2)) & 3) as usize;
+    16 + (msb - 4) * 4 + sub
+}
+
+/// Inclusive upper bound of a bucket: the largest value that maps to `idx`.
+fn bucket_upper(idx: usize) -> u64 {
+    if idx < 16 {
+        return idx as u64;
+    }
+    let o = idx - 16;
+    let msb = o / 4 + 4;
+    let sub = (o % 4) as u128;
+    // Largest v with this msb and sub-bucket: next sub-bucket boundary - 1.
+    let upper = ((5 + sub) << (msb - 2)) - 1;
+    if upper > u64::MAX as u128 {
+        u64::MAX
+    } else {
+        upper as u64
+    }
+}
+
+/// A fixed-bucket log-scale histogram of `u64` samples (microseconds, in this
+/// workspace). Recording is three relaxed atomic operations and never locks;
+/// readout takes a [`HistogramSnapshot`] whose total count is *derived from
+/// the buckets*, so `count` and the bucket vector can never disagree — the
+/// property the `METRICS`-vs-`STATS` reconciliation test leans on.
+#[derive(Debug)]
+pub struct Histogram {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one sample.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// Records a duration, saturating to whole microseconds.
+    #[inline]
+    pub fn record_duration(&self, d: std::time::Duration) {
+        self.record(u64::try_from(d.as_micros()).unwrap_or(u64::MAX));
+    }
+
+    /// Takes a point-in-time snapshot. Under concurrent recording the
+    /// snapshot is a consistent *set of buckets as loaded*; its count is the
+    /// sum of those loads, so it is internally coherent by construction.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut buckets = [0u64; NUM_BUCKETS];
+        let mut count = 0u64;
+        for (slot, b) in buckets.iter_mut().zip(self.buckets.iter()) {
+            let v = b.load(Ordering::Relaxed);
+            *slot = v;
+            count += v;
+        }
+        HistogramSnapshot {
+            buckets,
+            count,
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total samples recorded so far (derived from buckets).
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().map(|b| b.load(Ordering::Relaxed)).sum()
+    }
+}
+
+/// A point-in-time copy of a [`Histogram`], supporting merge and quantile
+/// readout.
+#[derive(Clone, Debug)]
+pub struct HistogramSnapshot {
+    buckets: [u64; NUM_BUCKETS],
+    count: u64,
+    sum: u64,
+    max: u64,
+}
+
+impl Default for HistogramSnapshot {
+    fn default() -> Self {
+        Self { buckets: [0; NUM_BUCKETS], count: 0, sum: 0, max: 0 }
+    }
+}
+
+impl HistogramSnapshot {
+    /// Total number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all recorded samples.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Largest recorded sample (0 when empty).
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded samples, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Per-bucket counts paired with their inclusive upper bounds, skipping
+    /// empty buckets.
+    pub fn nonzero_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|(_, &c)| c > 0).map(|(i, &c)| (bucket_upper(i), c))
+    }
+
+    /// Nearest-rank quantile using the same ceil rank rule as
+    /// `wcsd_bench::loadgen::percentile` (`sorted[⌈q·len⌉ - 1]`): the answer
+    /// is the upper bound of the bucket holding that rank, clamped to the
+    /// observed maximum. For samples that *are* bucket upper bounds the
+    /// readout is exact.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return bucket_upper(i).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merges another snapshot into this one. Merging is associative and
+    /// commutative: buckets and sums add, maxima take the max.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Reference implementation of the workspace percentile rule
+    /// (`wcsd_bench::loadgen::percentile`).
+    fn percentile(sorted: &[u64], q: f64) -> u64 {
+        let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+        sorted[rank - 1]
+    }
+
+    #[test]
+    fn exact_buckets_below_sixteen() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn bucket_mapping_is_monotone_and_bounded() {
+        // Walk every bucket boundary: upper(i) must map back to bucket i,
+        // upper(i)+1 must map to bucket i+1, and relative error of the upper
+        // bound vs. any member value stays <= 25 %.
+        let mut prev_upper = 0u64;
+        for i in 0..NUM_BUCKETS {
+            let u = bucket_upper(i);
+            assert_eq!(bucket_index(u), i, "upper({i}) = {u} maps elsewhere");
+            if i > 0 {
+                assert!(u > prev_upper, "uppers not strictly increasing at {i}");
+                let lower = prev_upper + 1;
+                assert_eq!(bucket_index(lower), i, "lower edge of bucket {i}");
+                // Worst-case member is the lower edge.
+                if lower >= 16 {
+                    let rel = (u - lower) as f64 / lower as f64;
+                    assert!(rel <= 0.25, "bucket {i}: rel error {rel}");
+                }
+            }
+            prev_upper = u;
+            if u == u64::MAX {
+                break;
+            }
+        }
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+        assert_eq!(bucket_upper(NUM_BUCKETS - 1), u64::MAX);
+    }
+
+    #[test]
+    fn quantiles_exact_on_bucket_edges() {
+        // Record values that are exactly bucket upper bounds: the histogram
+        // quantile must equal the exact nearest-rank percentile.
+        let h = Histogram::new();
+        let mut values: Vec<u64> = (0..80).map(bucket_upper).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        values.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.5, 0.9, 0.95, 0.99, 1.0] {
+            assert_eq!(snap.quantile(q), percentile(&values, q), "quantile mismatch at q={q}");
+        }
+        assert_eq!(snap.count(), values.len() as u64);
+        assert_eq!(snap.sum(), values.iter().sum::<u64>());
+        assert_eq!(snap.max(), *values.last().unwrap());
+    }
+
+    #[test]
+    fn quantiles_match_percentile_edges_fixture() {
+        // Mirror of wcsd_bench's percentile_edges test: 1..=100, all values
+        // below 16 or on small-bucket boundaries have <= 25 % error; for the
+        // exact range 1..=15 the histogram is lossless.
+        let h = Histogram::new();
+        for v in 1..=15u64 {
+            h.record(v);
+        }
+        let snap = h.snapshot();
+        let sorted: Vec<u64> = (1..=15).collect();
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(snap.quantile(q), percentile(&sorted, q));
+        }
+    }
+
+    #[test]
+    fn quantile_bounded_by_relative_error() {
+        let h = Histogram::new();
+        let values: Vec<u64> = (0..5000u64).map(|i| i * i % 100_000 + 1).collect();
+        for &v in &values {
+            h.record(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        let snap = h.snapshot();
+        for q in [0.5, 0.9, 0.99] {
+            let exact = percentile(&sorted, q);
+            let approx = snap.quantile(q);
+            assert!(approx >= exact, "bucket upper bound must not undershoot");
+            let rel = (approx - exact) as f64 / exact.max(1) as f64;
+            assert!(rel <= 0.25, "q={q}: exact {exact}, approx {approx}");
+        }
+        assert_eq!(snap.quantile(1.0), *sorted.last().unwrap());
+    }
+
+    #[test]
+    fn merge_is_associative_and_commutative() {
+        let parts: Vec<HistogramSnapshot> = (0..3)
+            .map(|k| {
+                let h = Histogram::new();
+                for i in 0..100u64 {
+                    h.record(i * 37 + k * 1009);
+                }
+                h.snapshot()
+            })
+            .collect();
+
+        // (a + b) + c
+        let mut left = parts[0].clone();
+        left.merge(&parts[1]);
+        left.merge(&parts[2]);
+        // a + (b + c), built in a different order
+        let mut bc = parts[2].clone();
+        bc.merge(&parts[1]);
+        let mut right = bc;
+        right.merge(&parts[0]);
+
+        assert_eq!(left.count(), right.count());
+        assert_eq!(left.sum(), right.sum());
+        assert_eq!(left.max(), right.max());
+        for q in [0.5, 0.9, 0.99] {
+            assert_eq!(left.quantile(q), right.quantile(q));
+        }
+        let lb: Vec<_> = left.nonzero_buckets().collect();
+        let rb: Vec<_> = right.nonzero_buckets().collect();
+        assert_eq!(lb, rb);
+    }
+
+    #[test]
+    fn concurrent_record_fuzz() {
+        use std::sync::Arc;
+        let h = Arc::new(Histogram::new());
+        const THREADS: u64 = 8;
+        const PER_THREAD: u64 = 10_000;
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let h = Arc::clone(&h);
+                s.spawn(move || {
+                    for i in 0..PER_THREAD {
+                        h.record(t * 7919 + i % 4096);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), THREADS * PER_THREAD);
+        let bucket_total: u64 = snap.nonzero_buckets().map(|(_, c)| c).sum();
+        assert_eq!(bucket_total, snap.count(), "count must derive from buckets");
+        let expected_sum: u64 =
+            (0..THREADS).flat_map(|t| (0..PER_THREAD).map(move |i| t * 7919 + i % 4096)).sum();
+        assert_eq!(snap.sum(), expected_sum);
+    }
+
+    #[test]
+    fn counter_and_gauge_basics() {
+        let c = Counter::new();
+        c.inc();
+        c.add(41);
+        assert_eq!(c.get(), 42);
+
+        let g = Gauge::new();
+        g.set(5);
+        g.inc();
+        g.dec();
+        g.dec();
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn record_duration_saturates() {
+        let h = Histogram::new();
+        h.record_duration(std::time::Duration::from_micros(1500));
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.sum(), 1500);
+    }
+}

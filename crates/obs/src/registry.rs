@@ -1,0 +1,346 @@
+//! The named metric [`Registry`] and its Prometheus text exposition.
+//!
+//! The registry is a lookup table, not a hot path: callers resolve an `Arc`
+//! handle once (typically at startup) and record through it directly. The
+//! registry lock is only taken on registration and on render.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+
+use crate::metrics::{Counter, Gauge, Histogram};
+use crate::trace::Tracer;
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+impl Metric {
+    fn kind(&self) -> &'static str {
+        match self {
+            Metric::Counter(_) => "counter",
+            Metric::Gauge(_) => "gauge",
+            Metric::Histogram(_) => "histogram",
+        }
+    }
+}
+
+struct Family {
+    help: String,
+    /// Series keyed by their label set rendered as `k="v",k2="v2"` (empty
+    /// string for the unlabeled series). BTreeMap keeps render output stable.
+    series: BTreeMap<String, Metric>,
+}
+
+/// A named collection of metrics with Prometheus text rendering.
+///
+/// Families are keyed by metric name; each family holds one or more series
+/// distinguished by labels. Registering the same (name, labels) twice
+/// returns the same handle; registering the same name with a different
+/// metric kind panics — that is a programming error, caught in tests.
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+    tracer: Tracer,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let families = self.families.lock().unwrap();
+        f.debug_struct("Registry").field("families", &families.len()).finish()
+    }
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Renders a label set as `k="v",k2="v2"`. Values are escaped per the
+/// Prometheus text format (backslash, double-quote, newline).
+fn label_string(labels: &[(&str, &str)]) -> String {
+    let mut out = String::new();
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(k);
+        out.push_str("=\"");
+        for c in v.chars() {
+            match c {
+                '\\' => out.push_str("\\\\"),
+                '"' => out.push_str("\\\""),
+                '\n' => out.push_str("\\n"),
+                c => out.push(c),
+            }
+        }
+        out.push('"');
+    }
+    out
+}
+
+impl Registry {
+    /// Creates an empty registry with a default-capacity tracer.
+    pub fn new() -> Self {
+        Self { families: Mutex::new(BTreeMap::new()), tracer: Tracer::new(256) }
+    }
+
+    /// The registry's event tracer (slow-query log, phase spans).
+    pub fn tracer(&self) -> &Tracer {
+        &self.tracer
+    }
+
+    fn get_or_insert(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        make: impl FnOnce() -> Metric,
+    ) -> Metric {
+        let mut families = self.families.lock().unwrap();
+        let family = families
+            .entry(name.to_string())
+            .or_insert_with(|| Family { help: help.to_string(), series: BTreeMap::new() });
+        let key = label_string(labels);
+        let metric = family.series.entry(key).or_insert_with(make);
+        match metric {
+            Metric::Counter(c) => Metric::Counter(Arc::clone(c)),
+            Metric::Gauge(g) => Metric::Gauge(Arc::clone(g)),
+            Metric::Histogram(h) => Metric::Histogram(Arc::clone(h)),
+        }
+    }
+
+    /// Gets or creates an unlabeled counter.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, &[], help)
+    }
+
+    /// Gets or creates a counter with labels.
+    pub fn counter_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Counter> {
+        match self.get_or_insert(name, labels, help, || Metric::Counter(Arc::new(Counter::new()))) {
+            Metric::Counter(c) => c,
+            m => panic!("metric {name} already registered as {}", m.kind()),
+        }
+    }
+
+    /// Registers an externally owned counter (e.g. the result cache's hit
+    /// counter) so it appears in the exposition without double-counting.
+    pub fn register_counter(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+        counter: Arc<Counter>,
+    ) {
+        let c2 = Arc::clone(&counter);
+        match self.get_or_insert(name, labels, help, move || Metric::Counter(c2)) {
+            Metric::Counter(_) => {}
+            m => panic!("metric {name} already registered as {}", m.kind()),
+        }
+    }
+
+    /// Gets or creates an unlabeled gauge.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.gauge_with(name, &[], help)
+    }
+
+    /// Gets or creates a gauge with labels.
+    pub fn gauge_with(&self, name: &str, labels: &[(&str, &str)], help: &str) -> Arc<Gauge> {
+        match self.get_or_insert(name, labels, help, || Metric::Gauge(Arc::new(Gauge::new()))) {
+            Metric::Gauge(g) => g,
+            m => panic!("metric {name} already registered as {}", m.kind()),
+        }
+    }
+
+    /// Gets or creates an unlabeled histogram.
+    pub fn histogram(&self, name: &str, help: &str) -> Arc<Histogram> {
+        self.histogram_with(name, &[], help)
+    }
+
+    /// Gets or creates a histogram with labels.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+        help: &str,
+    ) -> Arc<Histogram> {
+        match self
+            .get_or_insert(name, labels, help, || Metric::Histogram(Arc::new(Histogram::new())))
+        {
+            Metric::Histogram(h) => h,
+            m => panic!("metric {name} already registered as {}", m.kind()),
+        }
+    }
+
+    /// Renders the whole registry in Prometheus text exposition format.
+    ///
+    /// Histograms emit cumulative `_bucket{le="..."}` lines for their
+    /// non-empty buckets plus the mandatory `+Inf` bucket, then `_sum` and
+    /// `_count`. Counts are derived from the bucket snapshot, so within one
+    /// render `_count` always equals the `+Inf` bucket.
+    pub fn render(&self) -> String {
+        let families = self.families.lock().unwrap();
+        let mut out = String::new();
+        for (name, family) in families.iter() {
+            let kind = family.series.values().next().map(Metric::kind).unwrap_or("untyped");
+            out.push_str(&format!("# HELP {name} {}\n", family.help));
+            out.push_str(&format!("# TYPE {name} {kind}\n"));
+            for (labels, metric) in family.series.iter() {
+                match metric {
+                    Metric::Counter(c) => {
+                        push_sample(&mut out, name, labels, &[], &c.get().to_string());
+                    }
+                    Metric::Gauge(g) => {
+                        push_sample(&mut out, name, labels, &[], &g.get().to_string());
+                    }
+                    Metric::Histogram(h) => {
+                        let snap = h.snapshot();
+                        let mut cum = 0u64;
+                        let bucket_name = format!("{name}_bucket");
+                        for (upper, count) in snap.nonzero_buckets() {
+                            cum += count;
+                            push_sample(
+                                &mut out,
+                                &bucket_name,
+                                labels,
+                                &[("le", &upper.to_string())],
+                                &cum.to_string(),
+                            );
+                        }
+                        push_sample(
+                            &mut out,
+                            &bucket_name,
+                            labels,
+                            &[("le", "+Inf")],
+                            &snap.count().to_string(),
+                        );
+                        push_sample(
+                            &mut out,
+                            &format!("{name}_sum"),
+                            labels,
+                            &[],
+                            &snap.sum().to_string(),
+                        );
+                        push_sample(
+                            &mut out,
+                            &format!("{name}_count"),
+                            labels,
+                            &[],
+                            &snap.count().to_string(),
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Appends one sample line, merging the series label string with any extra
+/// labels (the histogram `le`).
+fn push_sample(out: &mut String, name: &str, labels: &str, extra: &[(&str, &str)], value: &str) {
+    out.push_str(name);
+    if !labels.is_empty() || !extra.is_empty() {
+        out.push('{');
+        out.push_str(labels);
+        for (k, v) in extra {
+            if !labels.is_empty() {
+                out.push(',');
+            }
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(v);
+            out.push('"');
+        }
+        out.push('}');
+    }
+    out.push(' ');
+    out.push_str(value);
+    out.push('\n');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn golden_render() {
+        let r = Registry::new();
+        let c = r.counter_with(
+            "wcsd_requests_total",
+            &[("proto", "text"), ("verb", "query")],
+            "Requests by protocol and verb",
+        );
+        c.add(3);
+        let g = r.gauge("wcsd_live_connections", "Currently open connections");
+        g.set(2);
+        let h = r.histogram_with(
+            "wcsd_request_phase_us",
+            &[("phase", "execute")],
+            "Request phase latency in microseconds",
+        );
+        h.record(5);
+        h.record(5);
+        h.record(17);
+
+        let text = r.render();
+        let expected = "\
+# HELP wcsd_live_connections Currently open connections
+# TYPE wcsd_live_connections gauge
+wcsd_live_connections 2
+# HELP wcsd_request_phase_us Request phase latency in microseconds
+# TYPE wcsd_request_phase_us histogram
+wcsd_request_phase_us_bucket{phase=\"execute\",le=\"5\"} 2
+wcsd_request_phase_us_bucket{phase=\"execute\",le=\"19\"} 3
+wcsd_request_phase_us_bucket{phase=\"execute\",le=\"+Inf\"} 3
+wcsd_request_phase_us_sum{phase=\"execute\"} 27
+wcsd_request_phase_us_count{phase=\"execute\"} 3
+# HELP wcsd_requests_total Requests by protocol and verb
+# TYPE wcsd_requests_total counter
+wcsd_requests_total{proto=\"text\",verb=\"query\"} 3
+";
+        assert_eq!(text, expected);
+    }
+
+    #[test]
+    fn same_handle_for_same_series() {
+        let r = Registry::new();
+        let a = r.counter("x_total", "help");
+        let b = r.counter("x_total", "other help ignored");
+        a.inc();
+        assert_eq!(b.get(), 1);
+        assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_mismatch_panics() {
+        let r = Registry::new();
+        let _ = r.counter("x_total", "help");
+        let _ = r.gauge("x_total", "help");
+    }
+
+    #[test]
+    fn external_counter_registration() {
+        let r = Registry::new();
+        let owned = Arc::new(Counter::new());
+        owned.add(7);
+        r.register_counter("wcsd_cache_hits_total", &[], "Cache hits", Arc::clone(&owned));
+        assert!(r.render().contains("wcsd_cache_hits_total 7"));
+        // Re-registration keeps the original handle.
+        r.register_counter("wcsd_cache_hits_total", &[], "Cache hits", Arc::new(Counter::new()));
+        owned.inc();
+        assert!(r.render().contains("wcsd_cache_hits_total 8"));
+    }
+
+    #[test]
+    fn label_escaping() {
+        let r = Registry::new();
+        let c = r.counter_with("esc_total", &[("path", "a\"b\\c")], "escapes");
+        c.inc();
+        let text = r.render();
+        assert!(text.contains("esc_total{path=\"a\\\"b\\\\c\"} 1"));
+    }
+}

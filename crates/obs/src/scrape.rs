@@ -1,0 +1,271 @@
+//! A minimal parser for the Prometheus text exposition format, enough to
+//! diff two `METRICS` scrapes: the load generator scrapes the server before
+//! and after a run and reports the server-side latency distribution next to
+//! the client-observed one.
+//!
+//! The parser understands the subset this workspace's [`crate::Registry`]
+//! emits: `# `-prefixed comment lines, and `name{labels} value` samples with
+//! integer or float values. It is intentionally not a general Prometheus
+//! client.
+
+use std::collections::BTreeMap;
+
+/// A parsed scrape: a flat map from the full series string (name plus label
+/// block, exactly as rendered) to its sample value.
+#[derive(Clone, Debug, Default)]
+pub struct Scrape {
+    samples: BTreeMap<String, f64>,
+}
+
+/// A histogram reconstructed from `_bucket`/`_sum`/`_count` samples.
+#[derive(Clone, Debug, Default)]
+pub struct ScrapedHistogram {
+    /// `(upper_bound, cumulative_count)` pairs in ascending bound order;
+    /// the `+Inf` bucket is the last entry with `f64::INFINITY`.
+    pub buckets: Vec<(f64, u64)>,
+    /// Sum of all recorded samples.
+    pub sum: f64,
+    /// Total sample count.
+    pub count: u64,
+}
+
+impl Scrape {
+    /// Parses a text exposition document. Unparseable lines are skipped —
+    /// scraping must degrade, not fail, when pointed at a newer server.
+    pub fn parse(text: &str) -> Self {
+        let mut samples = BTreeMap::new();
+        for line in text.lines() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            // The value is everything after the last space; the series
+            // string (possibly containing spaces inside label values) is
+            // everything before it.
+            let Some(split) = line.rfind(' ') else {
+                continue;
+            };
+            let (series, value) = line.split_at(split);
+            let Ok(value) = value.trim().parse::<f64>() else {
+                continue;
+            };
+            samples.insert(series.to_string(), value);
+        }
+        Self { samples }
+    }
+
+    /// Number of parsed samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// True when no samples parsed.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Looks up a single sample by its exact series string, e.g.
+    /// `wcsd_requests_total{proto="text",verb="query"}`.
+    pub fn value(&self, series: &str) -> Option<f64> {
+        self.samples.get(series).copied()
+    }
+
+    /// Sums every series of `name` whose label block contains all of
+    /// `label_filter` as substrings (e.g. `&["proto=\"text\""]`). For an
+    /// unlabeled metric pass an empty filter.
+    pub fn sum_matching(&self, name: &str, label_filter: &[&str]) -> f64 {
+        self.samples
+            .iter()
+            .filter(|(series, _)| series_matches(series, name, label_filter))
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Reconstructs a histogram family member. `label_filter` must pin the
+    /// series tightly enough that only one logical histogram matches (e.g.
+    /// `&["phase=\"execute\"", "proto=\"text\""]`); if several match, their
+    /// buckets merge, which is only meaningful for identical bucket bounds.
+    pub fn histogram(&self, name: &str, label_filter: &[&str]) -> ScrapedHistogram {
+        let bucket_name = format!("{name}_bucket");
+        let mut by_bound: BTreeMap<u64, (f64, u64)> = BTreeMap::new();
+        let mut inf = 0u64;
+        for (series, &value) in &self.samples {
+            if series_matches(series, &bucket_name, label_filter) {
+                match le_of(series) {
+                    Some(f64::INFINITY) => inf += value as u64,
+                    Some(bound) => {
+                        let entry = by_bound.entry(bound.to_bits()).or_insert((bound, 0));
+                        entry.1 += value as u64;
+                    }
+                    None => {}
+                }
+            }
+        }
+        let mut buckets: Vec<(f64, u64)> = by_bound.into_values().collect();
+        buckets.sort_by(|a, b| a.0.total_cmp(&b.0));
+        buckets.push((f64::INFINITY, inf));
+        ScrapedHistogram {
+            buckets,
+            sum: self.sum_matching(&format!("{name}_sum"), label_filter),
+            count: self.sum_matching(&format!("{name}_count"), label_filter) as u64,
+        }
+    }
+
+    /// Computes `self - earlier` per series. Series absent in `earlier`
+    /// count from zero; series absent in `self` are dropped (they can no
+    /// longer be attributed).
+    pub fn delta(&self, earlier: &Scrape) -> Scrape {
+        let mut samples = BTreeMap::new();
+        for (series, &value) in &self.samples {
+            let before = earlier.value(series).unwrap_or(0.0);
+            samples.insert(series.clone(), value - before);
+        }
+        Scrape { samples }
+    }
+}
+
+impl ScrapedHistogram {
+    /// Nearest-rank quantile over the cumulative buckets, mirroring
+    /// [`crate::HistogramSnapshot::quantile`]: the answer is the upper bound
+    /// of the bucket holding rank `⌈q·count⌉`. Returns 0 for an empty
+    /// histogram; a rank landing in the `+Inf` bucket returns the largest
+    /// finite bound (the scrape does not carry the observed max).
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut last_finite = 0.0f64;
+        for &(bound, cum) in &self.buckets {
+            if bound.is_finite() {
+                last_finite = bound;
+            }
+            if cum >= rank {
+                return if bound.is_finite() { bound } else { last_finite };
+            }
+        }
+        last_finite
+    }
+
+    /// Mean of recorded samples, 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Subtracts an earlier scrape of the same histogram bucket-by-bucket.
+    /// Buckets are cumulative, so the earlier count at a bound the earlier
+    /// scrape never rendered (its bucket was empty then) is the cumulative
+    /// count of the largest earlier bound below it, not zero.
+    pub fn delta(&self, earlier: &ScrapedHistogram) -> ScrapedHistogram {
+        let cum_at = |bound: f64| -> u64 {
+            let mut cum = 0;
+            for &(b, c) in &earlier.buckets {
+                if b <= bound {
+                    cum = c;
+                } else {
+                    break;
+                }
+            }
+            cum
+        };
+        let buckets = self.buckets.iter().map(|&(b, c)| (b, c.saturating_sub(cum_at(b)))).collect();
+        ScrapedHistogram {
+            buckets,
+            sum: self.sum - earlier.sum,
+            count: self.count.saturating_sub(earlier.count),
+        }
+    }
+}
+
+/// True when `series` is metric `name` and its label block contains every
+/// filter fragment.
+fn series_matches(series: &str, name: &str, label_filter: &[&str]) -> bool {
+    let rest = match series.strip_prefix(name) {
+        Some(rest) => rest,
+        None => return false,
+    };
+    match rest.chars().next() {
+        None => label_filter.is_empty(),
+        Some('{') => label_filter.iter().all(|f| rest.contains(f)),
+        Some(_) => false, // longer metric name sharing the prefix
+    }
+}
+
+/// Extracts the `le` bound from a `_bucket` series string.
+fn le_of(series: &str) -> Option<f64> {
+    let start = series.find("le=\"")? + 4;
+    let end = series[start..].find('"')? + start;
+    let raw = &series[start..end];
+    if raw == "+Inf" {
+        Some(f64::INFINITY)
+    } else {
+        raw.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Registry;
+
+    #[test]
+    fn roundtrip_with_registry_render() {
+        let r = Registry::new();
+        r.counter_with("req_total", &[("verb", "query")], "h").add(5);
+        r.counter_with("req_total", &[("verb", "stats")], "h").add(2);
+        r.gauge("live", "h").set(3);
+        let h = r.histogram_with("lat_us", &[("proto", "text")], "h");
+        for v in [1u64, 1, 5, 17, 100] {
+            h.record(v);
+        }
+
+        let scrape = Scrape::parse(&r.render());
+        assert_eq!(scrape.value("req_total{verb=\"query\"}"), Some(5.0));
+        assert_eq!(scrape.sum_matching("req_total", &[]), 7.0);
+        assert_eq!(scrape.value("live"), Some(3.0));
+
+        let hist = scrape.histogram("lat_us", &["proto=\"text\""]);
+        assert_eq!(hist.count, 5);
+        assert_eq!(hist.sum, 124.0);
+        assert_eq!(hist.buckets.last().unwrap().1, 5); // +Inf
+        assert_eq!(hist.quantile(0.5), 5.0);
+    }
+
+    #[test]
+    fn delta_between_scrapes() {
+        let r = Registry::new();
+        let c = r.counter("ops_total", "h");
+        let h = r.histogram("lat_us", "h");
+        c.add(2);
+        h.record(10);
+        let before = Scrape::parse(&r.render());
+        c.add(3);
+        h.record(10);
+        h.record(200);
+        let after = Scrape::parse(&r.render());
+
+        let d = after.delta(&before);
+        assert_eq!(d.value("ops_total"), Some(3.0));
+        let hd = after.histogram("lat_us", &[]).delta(&before.histogram("lat_us", &[]));
+        assert_eq!(hd.count, 2);
+        assert_eq!(hd.sum, 210.0);
+        assert_eq!(hd.quantile(1.0), hd.buckets[hd.buckets.len() - 2].0);
+    }
+
+    #[test]
+    fn prefix_name_does_not_match() {
+        let text = "foo_total 1\nfoo_total_extra 9\n";
+        let s = Scrape::parse(text);
+        assert_eq!(s.sum_matching("foo_total", &[]), 1.0);
+    }
+
+    #[test]
+    fn skips_garbage_lines() {
+        let s = Scrape::parse("# HELP x h\nnot-a-sample\nx 4\nbad value here nan\n");
+        assert_eq!(s.value("x"), Some(4.0));
+    }
+}

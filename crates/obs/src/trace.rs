@@ -1,0 +1,203 @@
+//! A bounded ring-buffer event tracer with scoped [`Span`] timers.
+//!
+//! Events are cheap structured records — a name, a free-form detail string,
+//! a start offset, and a duration — kept in a fixed-capacity ring so the
+//! tracer can run forever without growing. The server's slow-query log is a
+//! stream of `slow_query` events on its registry's tracer, retrievable as
+//! JSON via `METRICS?recent`.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::json_escape;
+
+/// One recorded trace event.
+#[derive(Clone, Debug)]
+pub struct TraceEvent {
+    /// Event name (e.g. `slow_query`, `reload`, `repair`).
+    pub name: String,
+    /// Free-form detail (e.g. the query, the snapshot path).
+    pub detail: String,
+    /// Microseconds since the tracer was created when the event started.
+    pub at_us: u64,
+    /// Event duration in microseconds.
+    pub duration_us: u64,
+}
+
+impl TraceEvent {
+    /// Renders the event as a JSON object.
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"name\":\"{}\",\"detail\":\"{}\",\"at_us\":{},\"duration_us\":{}}}",
+            json_escape(&self.name),
+            json_escape(&self.detail),
+            self.at_us,
+            self.duration_us
+        )
+    }
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct Tracer {
+    epoch: Instant,
+    capacity: usize,
+    events: Mutex<VecDeque<TraceEvent>>,
+    dropped: std::sync::atomic::AtomicU64,
+}
+
+impl Tracer {
+    /// Creates a tracer holding at most `capacity` events; older events are
+    /// evicted (and counted as dropped) when the ring is full.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            epoch: Instant::now(),
+            capacity: capacity.max(1),
+            events: Mutex::new(VecDeque::with_capacity(capacity.max(1))),
+            dropped: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Records a completed event with an explicit duration.
+    pub fn record(&self, name: &str, detail: &str, duration_us: u64) {
+        let at_us = u64::try_from(self.epoch.elapsed().as_micros())
+            .unwrap_or(u64::MAX)
+            .saturating_sub(duration_us);
+        let mut events = self.events.lock().unwrap();
+        if events.len() == self.capacity {
+            events.pop_front();
+            self.dropped.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        events.push_back(TraceEvent {
+            name: name.to_string(),
+            detail: detail.to_string(),
+            at_us,
+            duration_us,
+        });
+    }
+
+    /// Starts a scoped timer; the event is recorded when the returned
+    /// [`Span`] drops (or sooner via [`Span::finish`]).
+    pub fn span(&self, name: &str, detail: &str) -> Span<'_> {
+        Span {
+            tracer: self,
+            name: name.to_string(),
+            detail: detail.to_string(),
+            start: Instant::now(),
+            done: false,
+        }
+    }
+
+    /// The most recent events, oldest first.
+    pub fn recent(&self) -> Vec<TraceEvent> {
+        self.events.lock().unwrap().iter().cloned().collect()
+    }
+
+    /// Number of events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Dumps the buffered events as a JSON document:
+    /// `{"dropped":N,"events":[...]}`.
+    pub fn dump_json(&self) -> String {
+        let events = self.recent();
+        let mut out = String::with_capacity(64 + events.len() * 96);
+        out.push_str(&format!("{{\"dropped\":{},\"events\":[", self.dropped()));
+        for (i, e) in events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&e.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A scoped phase timer; records one event on drop.
+#[derive(Debug)]
+pub struct Span<'a> {
+    tracer: &'a Tracer,
+    name: String,
+    detail: String,
+    start: Instant,
+    done: bool,
+}
+
+impl Span<'_> {
+    /// Finishes the span early, optionally replacing the detail string with
+    /// information only known at completion.
+    pub fn finish(mut self, detail: Option<&str>) {
+        if let Some(d) = detail {
+            self.detail = d.to_string();
+        }
+        self.record_now();
+    }
+
+    fn record_now(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        let duration_us = u64::try_from(self.start.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.tracer.record(&self.name, &self.detail, duration_us);
+    }
+}
+
+impl Drop for Span<'_> {
+    fn drop(&mut self) {
+        self.record_now();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let t = Tracer::new(3);
+        for i in 0..5 {
+            t.record("e", &format!("n{i}"), i);
+        }
+        let recent = t.recent();
+        assert_eq!(recent.len(), 3);
+        assert_eq!(recent[0].detail, "n2");
+        assert_eq!(recent[2].detail, "n4");
+        assert_eq!(t.dropped(), 2);
+    }
+
+    #[test]
+    fn span_records_on_drop() {
+        let t = Tracer::new(8);
+        {
+            let _s = t.span("phase", "work");
+        }
+        let recent = t.recent();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].name, "phase");
+    }
+
+    #[test]
+    fn span_finish_replaces_detail() {
+        let t = Tracer::new(8);
+        let s = t.span("reload", "starting");
+        s.finish(Some("generation=4"));
+        let recent = t.recent();
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent[0].detail, "generation=4");
+    }
+
+    #[test]
+    fn dump_json_shape() {
+        let t = Tracer::new(4);
+        t.record("slow_query", "QUERY 1 2 0.5", 1234);
+        let json = t.dump_json();
+        assert!(json.starts_with("{\"dropped\":0,\"events\":["));
+        assert!(json.contains("\"name\":\"slow_query\""));
+        assert!(json.contains("\"duration_us\":1234"));
+        assert!(json.ends_with("]}"));
+    }
+}

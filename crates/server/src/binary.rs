@@ -28,6 +28,7 @@
 //! 0x04 STATS                             (1 byte)
 //! 0x05 SHUTDOWN                          (1 byte)
 //! 0x06 RELOAD    utf-8 path             (1 + len bytes)
+//! 0x07 METRICS   mode u8 (0=full, 1=recent)   (2 bytes)
 //! ```
 //!
 //! Reply bodies:
@@ -38,6 +39,7 @@
 //! 0x83 BOOL      u8
 //! 0x84 STATS     utf-8 "STATS k=v ..." line (same as the text reply)
 //! 0x86 RELOADED  utf-8 "RELOADED generation=.. vertices=.. entries=.." line
+//! 0x87 METRICS   utf-8 payload (Prometheus text, or JSON for recent)
 //! 0x85 BYE
 //! 0xFF ERR       utf-8 reason
 //! ```
@@ -66,6 +68,7 @@ const OP_WITHIN: u8 = 0x03;
 const OP_STATS: u8 = 0x04;
 const OP_SHUTDOWN: u8 = 0x05;
 const OP_RELOAD: u8 = 0x06;
+const OP_METRICS: u8 = 0x07;
 
 const RE_DIST: u8 = 0x81;
 const RE_BATCH: u8 = 0x82;
@@ -73,6 +76,7 @@ const RE_BOOL: u8 = 0x83;
 const RE_STATS: u8 = 0x84;
 const RE_BYE: u8 = 0x85;
 const RE_RELOADED: u8 = 0x86;
+const RE_METRICS: u8 = 0x87;
 const RE_ERR: u8 = 0xFF;
 
 // The frame cap must fit a maximum-size BATCH request (checked at compile
@@ -111,6 +115,11 @@ pub enum BinRequest {
     },
     /// Counter snapshot.
     Stats,
+    /// Prometheus scrape (`recent` = the trace-event dump instead).
+    Metrics {
+        /// `true` for the recent trace events (slow-query log).
+        recent: bool,
+    },
     /// Swap the served snapshot (server-side path).
     Reload {
         /// Path to the snapshot on the server's filesystem.
@@ -147,6 +156,10 @@ pub fn encode_request(req: &BinRequest, out: &mut Vec<u8>) {
             put_u32(out, *d);
         }
         BinRequest::Stats => out.push(OP_STATS),
+        BinRequest::Metrics { recent } => {
+            out.push(OP_METRICS);
+            out.push(u8::from(*recent));
+        }
         BinRequest::Reload { path } => {
             out.push(OP_RELOAD);
             out.extend_from_slice(path.as_bytes());
@@ -192,6 +205,11 @@ pub fn decode_request(body: &[u8]) -> Result<BinRequest, String> {
             Ok(BinRequest::Within { s: f[0], t: f[1], w: f[2], d: f[3] })
         }
         OP_STATS => expect_empty(rest, "STATS").map(|()| BinRequest::Stats),
+        OP_METRICS => match rest {
+            [0] => Ok(BinRequest::Metrics { recent: false }),
+            [1] => Ok(BinRequest::Metrics { recent: true }),
+            _ => Err("malformed METRICS frame".to_string()),
+        },
         OP_SHUTDOWN => expect_empty(rest, "SHUTDOWN").map(|()| BinRequest::Shutdown),
         OP_RELOAD => {
             let path = std::str::from_utf8(rest)
@@ -227,6 +245,10 @@ pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
         Reply::Stats(line) => {
             out.push(RE_STATS);
             out.extend_from_slice(line.as_bytes());
+        }
+        Reply::Metrics(payload) => {
+            out.push(RE_METRICS);
+            out.extend_from_slice(payload.as_bytes());
         }
         Reply::Reloaded(info) => {
             out.push(RE_RELOADED);
@@ -264,6 +286,7 @@ pub fn decode_reply(body: &[u8]) -> Result<Reply, String> {
             _ => Err("malformed BOOL reply".to_string()),
         },
         RE_STATS => utf8(rest, "STATS reply").map(Reply::Stats),
+        RE_METRICS => utf8(rest, "METRICS reply").map(Reply::Metrics),
         RE_RELOADED => ReloadInfo::decode(&utf8(rest, "RELOADED reply")?).map(Reply::Reloaded),
         RE_BYE => expect_empty(rest, "BYE reply").map(|()| Reply::Bye),
         RE_ERR => utf8(rest, "ERR reply").map(Reply::Err),
@@ -369,6 +392,8 @@ mod tests {
             BinRequest::Batch { queries: vec![] },
             BinRequest::Within { s: 9, t: 8, w: 7, d: 6 },
             BinRequest::Stats,
+            BinRequest::Metrics { recent: false },
+            BinRequest::Metrics { recent: true },
             BinRequest::Reload { path: "/tmp/with space.fidx".into() },
             BinRequest::Shutdown,
         ];
@@ -392,6 +417,7 @@ mod tests {
             Reply::Bool(true),
             Reply::Bool(false),
             Reply::Stats("STATS vertices=3 entries=9".into()),
+            Reply::Metrics("# TYPE wcsd_queries_total counter\nwcsd_queries_total 4\n".into()),
             Reply::Reloaded(ReloadInfo { generation: 2, vertices: 90, entries: 512 }),
             Reply::Bye,
             Reply::Err("no such vertex".into()),
@@ -415,6 +441,8 @@ mod tests {
         assert!(decode_request(&[OP_QUERY, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 0, 9]).is_err());
         assert!(decode_request(&[OP_BATCH, 2, 0, 0, 0, 1, 2, 3]).is_err()); // body mismatch
         assert!(decode_request(&[OP_STATS, 1]).is_err()); // trailing payload
+        assert!(decode_request(&[OP_METRICS]).is_err()); // missing mode byte
+        assert!(decode_request(&[OP_METRICS, 2]).is_err()); // unknown mode
         assert!(decode_request(&[OP_RELOAD]).is_err()); // empty path
         assert!(decode_reply(&[RE_BOOL, 7]).is_err());
         assert!(decode_reply(&[RE_DIST, 2, 0, 0, 0, 0]).is_err()); // bad tag

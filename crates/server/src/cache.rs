@@ -15,9 +15,9 @@
 //! naturally. Swapping a snapshot is O(1) with respect to the cache.
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use wcsd_graph::{Distance, Quality, VertexId};
+use wcsd_obs::Counter;
 
 /// Cache key: the snapshot generation that computed the answer plus one
 /// point query. Tagging the generation into the key is what keeps the cache
@@ -136,8 +136,11 @@ impl Shard {
 /// ```
 pub struct ResultCache {
     shards: Vec<Mutex<Shard>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
+    // `Arc<Counter>` rather than bare atomics so the server can register the
+    // very same counters into its metric registry: `STATS` and `METRICS`
+    // then read one set of atomics and can never disagree on cache totals.
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
 }
 
 impl ResultCache {
@@ -152,8 +155,8 @@ impl ResultCache {
             shards: (0..shards)
                 .map(|i| Mutex::new(Shard::new(base + usize::from(i < extra))))
                 .collect(),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
         }
     }
 
@@ -182,11 +185,11 @@ impl ResultCache {
         drop(shard);
         match found {
             Some(v) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(v)
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -213,12 +216,22 @@ impl ResultCache {
 
     /// Lookups answered from the cache so far.
     pub fn hits(&self) -> u64 {
-        self.hits.load(Ordering::Relaxed)
+        self.hits.get()
     }
 
     /// Lookups that fell through to the index so far.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.misses.get()
+    }
+
+    /// The live hit counter, shareable with a metric registry.
+    pub fn hit_counter(&self) -> Arc<Counter> {
+        Arc::clone(&self.hits)
+    }
+
+    /// The live miss counter, shareable with a metric registry.
+    pub fn miss_counter(&self) -> Arc<Counter> {
+        Arc::clone(&self.misses)
     }
 
     /// Fraction of lookups answered from the cache (0 when idle).

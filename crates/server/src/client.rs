@@ -236,6 +236,37 @@ impl Client {
         ServerSnapshot::decode(&line)
     }
 
+    /// Fetches the server's metrics: the Prometheus text exposition, or
+    /// (with `recent`) the trace ring — slow-query log plus reload events —
+    /// as a JSON document.
+    pub fn metrics(&mut self, recent: bool) -> Result<String, String> {
+        match self.protocol {
+            Protocol::Text => {
+                self.send_line(&Request::Metrics { recent }.encode())?;
+                // The reply is the protocol's one sized text payload:
+                // `METRICS <len>\n` followed by exactly `len` bytes.
+                let header = self.recv_line()?;
+                let len: usize = header
+                    .strip_prefix("METRICS ")
+                    .and_then(|rest| rest.trim().parse().ok())
+                    .ok_or_else(|| protocol::server_error(&header))?;
+                if len > binary::MAX_FRAME {
+                    return Err(format!(
+                        "metrics payload of {len} bytes exceeds maximum {}",
+                        binary::MAX_FRAME
+                    ));
+                }
+                let mut body = vec![0u8; len];
+                self.reader.read_exact(&mut body).map_err(|e| format!("receive failed: {e}"))?;
+                String::from_utf8(body).map_err(|_| "metrics payload is not UTF-8".to_string())
+            }
+            Protocol::Binary => match self.exchange(&BinRequest::Metrics { recent })? {
+                Reply::Metrics(payload) => Ok(payload),
+                other => Err(unexpected(&other)),
+            },
+        }
+    }
+
     /// Asks the server to swap in the snapshot at `path` (a path on the
     /// *server's* filesystem); returns once the new snapshot is live.
     pub fn reload(&mut self, path: &str) -> Result<ReloadInfo, String> {

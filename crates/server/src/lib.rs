@@ -25,6 +25,12 @@
 //! * [`cache::ResultCache`] — a sharded LRU result cache keyed on
 //!   `(generation, s, t, w)` with lock-free hit/miss accounting; the
 //!   generation tag keeps it coherent across hot reloads.
+//! * `metrics` *(private module)* — the observability surface behind the
+//!   `METRICS` verb: per-verb request counters, per-phase latency
+//!   histograms, reload phase timings, and the slow-query trace log, all
+//!   recorded into a [`wcsd_obs::Registry`] and rendered as Prometheus text
+//!   exposition. Counter/histogram reconciliation is by construction (every
+//!   request-level sample lands on the reactor thread).
 //! * [`client::Client`] — a small blocking client speaking either wire
 //!   protocol, used by the CLI, the bench load generator, and the
 //!   integration tests.
@@ -57,6 +63,7 @@
 pub mod binary;
 pub mod cache;
 pub mod client;
+mod metrics;
 pub mod protocol;
 mod reactor;
 pub mod server;

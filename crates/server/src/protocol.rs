@@ -11,6 +11,7 @@
 //! BATCH <n>                    followed by n lines "<s> <t> <w>"
 //! WITHIN <s> <t> <w> <d>       bounded reachability predicate
 //! STATS                        server + cache counters
+//! METRICS [recent]             Prometheus scrape / recent trace events
 //! RELOAD <path>                swap in a new index snapshot (admin)
 //! SHUTDOWN                     stop accepting and drain
 //! ```
@@ -27,11 +28,19 @@
 //! OK <n>                       BATCH header, followed by n DIST/INF lines
 //! TRUE | FALSE                 answer to WITHIN
 //! STATS k=v k=v ...            answer to STATS (single line)
+//! METRICS <len>                answer to METRICS, followed by exactly
+//!                              <len> payload bytes (multi-line Prometheus
+//!                              text, or a JSON event dump for `recent`)
 //! RELOADED generation=<g> vertices=<n> entries=<m>
 //!                              answer to RELOAD after the swap
 //! BYE                          answer to SHUTDOWN
 //! ERR <reason>                 any malformed or out-of-range request
 //! ```
+//!
+//! `METRICS` is the one sized reply in the text protocol: its payload is
+//! inherently multi-line, so it is length-prefixed instead of
+//! newline-framed. `METRICS recent` (also accepted spelled `METRICS?recent`)
+//! returns the server's recent trace events — the slow-query log — as JSON.
 
 use wcsd_graph::{Distance, Quality, VertexId};
 
@@ -69,6 +78,12 @@ pub enum Request {
     },
     /// `STATS` — report server counters.
     Stats,
+    /// `METRICS [recent]` — Prometheus text scrape, or the recent trace
+    /// events (slow-query log) as JSON.
+    Metrics {
+        /// `true` for the `recent` trace-event dump.
+        recent: bool,
+    },
     /// `RELOAD path` — swap the served snapshot for the one at `path` (a
     /// path on the *server's* filesystem).
     Reload {
@@ -87,6 +102,8 @@ impl Request {
             Self::Batch { n } => format!("BATCH {n}"),
             Self::Within { s, t, w, d } => format!("WITHIN {s} {t} {w} {d}"),
             Self::Stats => "STATS".to_string(),
+            Self::Metrics { recent: false } => "METRICS".to_string(),
+            Self::Metrics { recent: true } => "METRICS recent".to_string(),
             Self::Reload { path } => format!("RELOAD {path}"),
             Self::Shutdown => "SHUTDOWN".to_string(),
         }
@@ -118,6 +135,16 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             Request::Within { s, t, w, d }
         }
         "STATS" => Request::Stats,
+        "METRICS" => {
+            let recent = match it.next() {
+                None => false,
+                Some(arg) if arg.eq_ignore_ascii_case("recent") => true,
+                Some(arg) => return Err(format!("invalid argument <mode>: {arg:?}")),
+            };
+            Request::Metrics { recent }
+        }
+        // Scrape-config-friendly spelling: the whole thing as one token.
+        "METRICS?RECENT" => Request::Metrics { recent: true },
         "RELOAD" => {
             let path = it.next().ok_or_else(|| "missing argument <path>".to_string())?;
             Request::Reload { path: path.to_string() }
@@ -205,6 +232,9 @@ pub enum Reply {
     /// Answer to `STATS`: the already-rendered `STATS k=v ...` line, so this
     /// module needs no knowledge of the counter set.
     Stats(String),
+    /// Answer to `METRICS`: the already-rendered payload (Prometheus text
+    /// exposition, or the JSON trace dump for `METRICS recent`).
+    Metrics(String),
     /// Answer to `RELOAD` after the snapshot swap.
     Reloaded(ReloadInfo),
     /// Answer to `SHUTDOWN`.
@@ -232,6 +262,12 @@ impl Reply {
             Self::Stats(line) => {
                 out.extend_from_slice(line.as_bytes());
                 out.push(b'\n');
+            }
+            Self::Metrics(payload) => {
+                // Length-prefixed: the payload is multi-line, so the client
+                // reads the header line, then exactly `len` payload bytes.
+                out.extend_from_slice(format!("METRICS {}\n", payload.len()).as_bytes());
+                out.extend_from_slice(payload.as_bytes());
             }
             Self::Reloaded(info) => {
                 out.extend_from_slice(info.encode().as_bytes());
@@ -296,6 +332,10 @@ mod tests {
         assert_eq!(parse_request("BATCH 0"), Ok(Request::Batch { n: 0 }));
         assert_eq!(parse_request("WITHIN 1 2 3 4"), Ok(Request::Within { s: 1, t: 2, w: 3, d: 4 }));
         assert_eq!(parse_request("STATS"), Ok(Request::Stats));
+        assert_eq!(parse_request("METRICS"), Ok(Request::Metrics { recent: false }));
+        assert_eq!(parse_request("METRICS recent"), Ok(Request::Metrics { recent: true }));
+        assert_eq!(parse_request("metrics RECENT"), Ok(Request::Metrics { recent: true }));
+        assert_eq!(parse_request("METRICS?recent"), Ok(Request::Metrics { recent: true }));
         assert_eq!(parse_request("  shutdown  "), Ok(Request::Shutdown));
     }
 
@@ -306,6 +346,8 @@ mod tests {
             Request::Batch { n: 128 },
             Request::Within { s: 0, t: 1, w: 1, d: 5 },
             Request::Stats,
+            Request::Metrics { recent: false },
+            Request::Metrics { recent: true },
             Request::Shutdown,
         ] {
             assert_eq!(parse_request(&req.encode()), Ok(req));
@@ -323,6 +365,8 @@ mod tests {
         assert!(parse_request("BATCH").is_err());
         assert!(parse_request(&format!("BATCH {}", MAX_BATCH + 1)).is_err());
         assert!(parse_request("STATS now").is_err());
+        assert!(parse_request("METRICS soon").is_err());
+        assert!(parse_request("METRICS recent extra").is_err());
     }
 
     #[test]
@@ -377,5 +421,12 @@ mod tests {
             String::from_utf8(out).unwrap(),
             "DIST 4\nINF\nOK 2\nDIST 1\nINF\nTRUE\nBYE\nERR nope\n"
         );
+    }
+
+    #[test]
+    fn metrics_reply_is_length_prefixed() {
+        let mut out = Vec::new();
+        Reply::Metrics("a 1\nb 2\n".into()).encode_text(&mut out);
+        assert_eq!(String::from_utf8(out).unwrap(), "METRICS 8\na 1\nb 2\n");
     }
 }

@@ -34,6 +34,10 @@
 //! semantics against nonblocking sockets.
 
 use crate::binary::{self, BinRequest};
+use crate::metrics::{
+    PHASE_EXECUTE, PHASE_PARSE, PHASE_QUEUE, PHASE_WRITE, PROTO_BINARY, PROTO_TEXT, VERB_BATCH,
+    VERB_METRICS, VERB_QUERY, VERB_RELOAD, VERB_SHUTDOWN, VERB_STATS, VERB_WITHIN,
+};
 use crate::protocol::{self, ReloadInfo, Reply, Request};
 use crate::server::{load_flat_snapshot, Shared, MAX_LINE, WRITE_TIMEOUT};
 use std::io::{Read, Write};
@@ -176,6 +180,11 @@ pub(crate) enum Job {
         index: Arc<FlatIndex>,
         /// The batch body.
         queries: Vec<Query>,
+        /// Protocol index of the submitting connection (metric attribution).
+        proto: usize,
+        /// Submission time when timing is enabled; the worker derives the
+        /// queue/execute split from it and ships both back in `Done`.
+        submitted: Option<Instant>,
     },
     /// A `RELOAD`: read + decode + validate a snapshot off the reactor
     /// thread. The reactor performs the actual swap on completion, so
@@ -187,6 +196,10 @@ pub(crate) enum Job {
         gen: u64,
         /// Snapshot path on the server's filesystem.
         path: String,
+        /// Protocol index of the submitting connection (metric attribution).
+        proto: usize,
+        /// Submission time when timing is enabled.
+        submitted: Option<Instant>,
     },
 }
 
@@ -198,8 +211,15 @@ pub(crate) enum Done {
         conn: usize,
         /// Slot generation at submission time.
         gen: u64,
+        /// Protocol index of the submitting connection.
+        proto: usize,
         /// In-order answers, or why the batch was rejected.
         result: Result<Vec<Option<u32>>, String>,
+        /// `(queue_us, execute_us)` measured on the worker, present when
+        /// timing is enabled. The reactor records these into the phase
+        /// histograms at completion, keeping every histogram mutation on
+        /// the reactor thread (see [`crate::metrics`]).
+        timing: Option<(u64, u64)>,
     },
     /// A decoded snapshot (or the load error) for a submitted reload.
     Reload {
@@ -207,8 +227,13 @@ pub(crate) enum Done {
         conn: usize,
         /// Slot generation at submission time.
         gen: u64,
+        /// Protocol index of the submitting connection.
+        proto: usize,
         /// The decoded snapshot, ready to install.
         result: Result<FlatIndex, String>,
+        /// `(queue_us, decode_us)` measured on the worker; the reactor adds
+        /// the swap time it measures itself.
+        timing: Option<(u64, u64)>,
     },
 }
 
@@ -259,19 +284,50 @@ pub(crate) fn worker(
             Err(_) => return, // a worker panicked while holding the lock
         };
         let Ok(job) = job else { return };
+        shared.metrics.workers_busy.inc();
         let completion = match job {
-            Job::Batch { conn, gen, epoch, index, queries } => {
+            Job::Batch { conn, gen, epoch, index, queries, proto, submitted } => {
+                let started = submitted.map(|_| Instant::now());
                 let result = run_batch(shared, epoch, &index, &queries);
-                Done::Batch { conn, gen, result }
+                let timing = job_timing(submitted, started);
+                Done::Batch { conn, gen, proto, result, timing }
             }
-            Job::Reload { conn, gen, path } => {
-                Done::Reload { conn, gen, result: load_flat_snapshot(&path) }
+            Job::Reload { conn, gen, path, proto, submitted } => {
+                let started = submitted.map(|_| Instant::now());
+                let result = load_flat_snapshot(&path);
+                let timing = job_timing(submitted, started);
+                Done::Reload { conn, gen, proto, result, timing }
             }
         };
+        shared.metrics.workers_busy.dec();
         if done.send(completion).is_err() {
             return; // reactor gone: shutdown finished without us
         }
         wake.wake();
+    }
+}
+
+/// `(queue_us, run_us)` for a worker job, when timing was enabled at
+/// submission. `started` is sampled once at pickup so the queue wait and the
+/// run share one boundary instant.
+fn job_timing(submitted: Option<Instant>, started: Option<Instant>) -> Option<(u64, u64)> {
+    submitted
+        .zip(started)
+        .map(|(sub, start)| (dur_us(start.saturating_duration_since(sub)), dur_us(start.elapsed())))
+}
+
+/// Saturating microseconds of a duration.
+fn dur_us(d: Duration) -> u64 {
+    u64::try_from(d.as_micros()).unwrap_or(u64::MAX)
+}
+
+/// Maps a connection's wire mode to a metrics protocol index. `Detect`
+/// counts as text: the only replies a connection can emit before the mode is
+/// known are text-encoded errors.
+fn proto_idx(mode: Mode) -> usize {
+    match mode {
+        Mode::Binary => PROTO_BINARY,
+        Mode::Text | Mode::Detect => PROTO_TEXT,
     }
 }
 
@@ -547,8 +603,8 @@ impl<'a> Reactor<'a> {
                 Ok((stream, _peer)) => {
                     let _ = stream.set_nonblocking(true);
                     stream.set_nodelay(true).ok();
-                    self.shared.connections.fetch_add(1, Ordering::Relaxed);
-                    self.shared.live_connections.fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.connections.inc();
+                    self.shared.metrics.live_connections.inc();
                     self.next_gen += 1;
                     let conn = Conn::new(stream, self.next_gen);
                     match self.free.pop() {
@@ -577,39 +633,74 @@ impl<'a> Reactor<'a> {
     }
 
     /// Applies one worker completion: reloads install their snapshot here,
-    /// so swaps are serialized on the reactor thread.
+    /// so swaps are serialized on the reactor thread. Verb counters and
+    /// phase samples for offloaded requests land here too — on the reactor
+    /// thread, with the durations the worker measured — which is what keeps
+    /// every `METRICS` payload self-consistent (see [`crate::metrics`]).
     fn apply_completion(&mut self, done: Done) {
+        // Copy the `&Shared` out so the metrics borrow does not pin `self`
+        // (delivery below needs `&mut self`).
+        let shared = self.shared;
+        let m = &shared.metrics;
         match done {
-            Done::Batch { conn, gen, result } => {
+            Done::Batch { conn, gen, proto, result, timing } => {
+                m.finish_offloaded(proto, VERB_BATCH, timing);
                 let reply = match result {
                     Ok(answers) => {
                         // Counted here, not at submission, so STATS counts
                         // only batches that validated and were answered —
                         // matching the parse-failure path, which never
                         // reaches the pool at all.
-                        self.shared.batches.fetch_add(1, Ordering::Relaxed);
-                        self.shared
-                            .batch_queries
-                            .fetch_add(answers.len() as u64, Ordering::Relaxed);
+                        m.batches.inc();
+                        m.batch_queries.add(answers.len() as u64);
                         Reply::Batch(answers)
                     }
-                    Err(reason) => Reply::Err(reason),
+                    Err(reason) => {
+                        m.errors[proto].inc();
+                        Reply::Err(reason)
+                    }
                 };
                 self.deliver(conn, gen, reply);
             }
-            Done::Reload { conn, gen, result } => {
+            Done::Reload { conn, gen, proto, result, timing } => {
                 let reply = match result {
                     Ok(flat) => {
                         let stats = flat.stats();
+                        let swap_t0 = m.timer();
                         let generation = self.shared.install(Arc::new(flat));
+                        let swap_us = swap_t0.map(|t| dur_us(t.elapsed())).unwrap_or(0);
+                        if let Some((queue_us, decode_us)) = timing {
+                            m.phase_us(proto, PHASE_QUEUE, queue_us);
+                            m.phase_us(proto, PHASE_EXECUTE, decode_us + swap_us);
+                            if m.enabled {
+                                m.reload_decode_us.record(decode_us);
+                                m.reload_swap_us.record(swap_us);
+                                m.registry.tracer().record(
+                                    "reload",
+                                    &format!(
+                                        "generation={generation} vertices={} entries={}",
+                                        stats.num_vertices, stats.total_entries
+                                    ),
+                                    decode_us + swap_us,
+                                );
+                            }
+                        }
                         Reply::Reloaded(ReloadInfo {
                             generation,
                             vertices: stats.num_vertices as u64,
                             entries: stats.total_entries as u64,
                         })
                     }
-                    Err(reason) => Reply::Err(reason),
+                    Err(reason) => {
+                        m.errors[proto].inc();
+                        if let Some((queue_us, decode_us)) = timing {
+                            m.phase_us(proto, PHASE_QUEUE, queue_us);
+                            m.phase_us(proto, PHASE_EXECUTE, decode_us);
+                        }
+                        Reply::Err(reason)
+                    }
                 };
+                m.verbs[proto][VERB_RELOAD].inc();
                 self.deliver(conn, gen, reply);
             }
         }
@@ -639,7 +730,15 @@ impl<'a> Reactor<'a> {
         }
         if alive {
             self.process(&mut conn, slot);
-            alive = conn.flush();
+            if conn.has_output() {
+                // The write phase is sampled per flush *with pending bytes*,
+                // not per request — pipelined replies share one flush.
+                let t0 = self.shared.metrics.timer();
+                alive = conn.flush();
+                self.shared.metrics.phase(proto_idx(conn.mode), PHASE_WRITE, t0);
+            } else {
+                alive = conn.flush();
+            }
         }
         // A half-closed peer is served to completion: buffered complete
         // requests were just processed above, a pending job still owes a
@@ -659,7 +758,7 @@ impl<'a> Reactor<'a> {
             // The conn was taken out of its slot above, so dropping it here
             // closes the socket; only the bookkeeping is left to do.
             drop(conn);
-            self.shared.live_connections.fetch_sub(1, Ordering::Relaxed);
+            self.shared.metrics.live_connections.dec();
             self.free.push(slot);
         }
     }
@@ -717,8 +816,9 @@ impl<'a> Reactor<'a> {
                         let version = conn.input()[1];
                         conn.consume(2);
                         conn.mode = Mode::Binary;
-                        self.shared.binary_connections.fetch_add(1, Ordering::Relaxed);
+                        self.shared.metrics.proto_connections[PROTO_BINARY].inc();
                         if version != binary::VERSION {
+                            self.shared.metrics.errors[PROTO_BINARY].inc();
                             conn.push_reply(&Reply::Err(format!(
                                 "unsupported binary protocol version {version} (expected {})",
                                 binary::VERSION
@@ -727,7 +827,7 @@ impl<'a> Reactor<'a> {
                         }
                     } else {
                         conn.mode = Mode::Text;
-                        self.shared.text_connections.fetch_add(1, Ordering::Relaxed);
+                        self.shared.metrics.proto_connections[PROTO_TEXT].inc();
                     }
                 }
                 Mode::Text => {
@@ -772,13 +872,18 @@ impl<'a> Reactor<'a> {
                     }
                     // Decode straight from the buffer (a max-size batch body
                     // is ~12 MB — no copy); the parsed request owns its data.
+                    let t_parse = self.shared.metrics.timer();
                     let req = binary::decode_request(&input[4..4 + len]);
+                    self.shared.metrics.phase(PROTO_BINARY, PHASE_PARSE, t_parse);
                     conn.consume(4 + len);
                     match req {
                         // Framing is still intact after a bad body, so a
                         // malformed frame poisons one request, not the
                         // connection.
-                        Err(reason) => conn.push_reply(&Reply::Err(reason)),
+                        Err(reason) => {
+                            self.shared.metrics.errors[PROTO_BINARY].inc();
+                            conn.push_reply(&Reply::Err(reason));
+                        }
                         Ok(req) => self.dispatch_binary(conn, slot, req),
                     }
                 }
@@ -790,6 +895,7 @@ impl<'a> Reactor<'a> {
     /// connection: the rest of the line is unread (or deliberately
     /// unparsed), so framing is lost either way.
     fn overlong_line(&mut self, conn: &mut Conn) {
+        self.shared.metrics.errors[PROTO_TEXT].inc();
         conn.push_reply(&Reply::Err(format!("request line exceeds {MAX_LINE} bytes")));
         conn.close_after_flush = true;
     }
@@ -810,7 +916,13 @@ impl<'a> Reactor<'a> {
             }
             if seen == expect {
                 match invalid {
-                    Some(reason) => conn.push_reply(&Reply::Err(reason)),
+                    Some(reason) => {
+                        // Never executed, so no verb count or phase sample —
+                        // only the error counter (matching binary decode
+                        // failures, where the verb is unknowable).
+                        self.shared.metrics.errors[PROTO_TEXT].inc();
+                        conn.push_reply(&Reply::Err(reason));
+                    }
                     None => self.submit_batch(conn, slot, queries),
                 }
             } else {
@@ -821,21 +933,43 @@ impl<'a> Reactor<'a> {
         if line.trim().is_empty() {
             return; // blank keep-alive lines are not an error
         }
-        match protocol::parse_request(line) {
-            Err(reason) => conn.push_reply(&Reply::Err(reason)),
+        let shared = self.shared;
+        let m = &shared.metrics;
+        let t_parse = m.timer();
+        let parsed = protocol::parse_request(line);
+        m.phase(PROTO_TEXT, PHASE_PARSE, t_parse);
+        match parsed {
+            Err(reason) => {
+                m.errors[PROTO_TEXT].inc();
+                conn.push_reply(&Reply::Err(reason));
+            }
             Ok(Request::Query { s, t, w }) => {
+                let t0 = m.timer();
                 let reply = self.exec_query(s, t, w);
+                if matches!(reply, Reply::Err(_)) {
+                    m.errors[PROTO_TEXT].inc();
+                }
+                m.finish_request(PROTO_TEXT, VERB_QUERY, t0, || format!("QUERY {s} {t} {w}"));
                 conn.push_reply(&reply);
             }
             Ok(Request::Within { s, t, w, d }) => {
+                let t0 = m.timer();
                 let reply = self.exec_within(s, t, w, d);
+                if matches!(reply, Reply::Err(_)) {
+                    m.errors[PROTO_TEXT].inc();
+                }
+                m.finish_request(PROTO_TEXT, VERB_WITHIN, t0, || format!("WITHIN {s} {t} {w} {d}"));
                 conn.push_reply(&reply);
             }
             Ok(Request::Batch { n: 0 }) => {
-                self.shared.batches.fetch_add(1, Ordering::Relaxed);
+                let t0 = m.timer();
+                m.batches.inc();
+                m.finish_request(PROTO_TEXT, VERB_BATCH, t0, || "BATCH 0".to_string());
                 conn.push_reply(&Reply::Batch(Vec::new()));
             }
             Ok(Request::Batch { n }) => {
+                // Verb counted when the body completes (see `apply_completion`
+                // and the invalid-body arm above).
                 conn.state = ConnState::TextBatch {
                     expect: n,
                     seen: 0,
@@ -844,34 +978,80 @@ impl<'a> Reactor<'a> {
                 };
             }
             Ok(Request::Stats) => {
-                conn.push_reply(&Reply::Stats(self.shared.snapshot().encode()));
+                let t0 = m.timer();
+                let reply = Reply::Stats(shared.snapshot().encode());
+                m.finish_request(PROTO_TEXT, VERB_STATS, t0, || "STATS".to_string());
+                conn.push_reply(&reply);
+            }
+            Ok(Request::Metrics { recent }) => {
+                let t0 = m.timer();
+                let payload = metrics_payload(shared, recent);
+                // Counted *after* rendering: the in-flight METRICS request is
+                // absent from both its own counter and its own histogram, so
+                // the payload stays internally consistent.
+                m.finish_request(PROTO_TEXT, VERB_METRICS, t0, || "METRICS".to_string());
+                conn.push_reply(&Reply::Metrics(payload));
             }
             Ok(Request::Reload { path }) => self.submit_reload(conn, slot, path),
-            Ok(Request::Shutdown) => self.begin_shutdown(conn),
+            Ok(Request::Shutdown) => {
+                let t0 = m.timer();
+                self.begin_shutdown(conn);
+                m.finish_request(PROTO_TEXT, VERB_SHUTDOWN, t0, || "SHUTDOWN".to_string());
+            }
         }
     }
 
     /// One parsed binary request.
     fn dispatch_binary(&mut self, conn: &mut Conn, slot: usize, req: BinRequest) {
+        let shared = self.shared;
+        let m = &shared.metrics;
         match req {
             BinRequest::Query { s, t, w } => {
+                let t0 = m.timer();
                 let reply = self.exec_query(s, t, w);
+                if matches!(reply, Reply::Err(_)) {
+                    m.errors[PROTO_BINARY].inc();
+                }
+                m.finish_request(PROTO_BINARY, VERB_QUERY, t0, || format!("QUERY {s} {t} {w}"));
                 conn.push_reply(&reply);
             }
             BinRequest::Within { s, t, w, d } => {
+                let t0 = m.timer();
                 let reply = self.exec_within(s, t, w, d);
+                if matches!(reply, Reply::Err(_)) {
+                    m.errors[PROTO_BINARY].inc();
+                }
+                m.finish_request(PROTO_BINARY, VERB_WITHIN, t0, || {
+                    format!("WITHIN {s} {t} {w} {d}")
+                });
                 conn.push_reply(&reply);
             }
             BinRequest::Batch { queries } if queries.is_empty() => {
-                self.shared.batches.fetch_add(1, Ordering::Relaxed);
+                let t0 = m.timer();
+                m.batches.inc();
+                m.finish_request(PROTO_BINARY, VERB_BATCH, t0, || "BATCH 0".to_string());
                 conn.push_reply(&Reply::Batch(Vec::new()));
             }
             BinRequest::Batch { queries } => self.submit_batch(conn, slot, queries),
             BinRequest::Stats => {
-                conn.push_reply(&Reply::Stats(self.shared.snapshot().encode()));
+                let t0 = m.timer();
+                let reply = Reply::Stats(shared.snapshot().encode());
+                m.finish_request(PROTO_BINARY, VERB_STATS, t0, || "STATS".to_string());
+                conn.push_reply(&reply);
+            }
+            BinRequest::Metrics { recent } => {
+                let t0 = m.timer();
+                let payload = metrics_payload(shared, recent);
+                // Counted after rendering — see the text-protocol arm.
+                m.finish_request(PROTO_BINARY, VERB_METRICS, t0, || "METRICS".to_string());
+                conn.push_reply(&Reply::Metrics(payload));
             }
             BinRequest::Reload { path } => self.submit_reload(conn, slot, path),
-            BinRequest::Shutdown => self.begin_shutdown(conn),
+            BinRequest::Shutdown => {
+                let t0 = m.timer();
+                self.begin_shutdown(conn);
+                m.finish_request(PROTO_BINARY, VERB_SHUTDOWN, t0, || "SHUTDOWN".to_string());
+            }
         }
     }
 
@@ -881,7 +1061,7 @@ impl<'a> Reactor<'a> {
         if let Err(reason) = check_range(&index, s, t) {
             return Reply::Err(reason);
         }
-        self.shared.queries.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.queries.inc();
         Reply::Dist(self.shared.cached_distance(epoch, &index, s, t, w))
     }
 
@@ -892,27 +1072,39 @@ impl<'a> Reactor<'a> {
         if let Err(reason) = check_range(&index, s, t) {
             return Reply::Err(reason);
         }
-        self.shared.queries.fetch_add(1, Ordering::Relaxed);
+        self.shared.metrics.queries.inc();
         Reply::Bool(index.within(s, t, w, d))
     }
 
     /// Ships a batch to the worker pool, pinning the current snapshot.
     fn submit_batch(&mut self, conn: &mut Conn, slot: usize, queries: Vec<Query>) {
-        let (epoch, index) = self.shared.current();
+        let shared = self.shared;
+        let proto = proto_idx(conn.mode);
+        let (epoch, index) = shared.current();
+        let submitted = shared.metrics.timer();
         conn.state = ConnState::AwaitJob;
-        let job = Job::Batch { conn: slot, gen: conn.gen, epoch, index, queries };
+        let job = Job::Batch { conn: slot, gen: conn.gen, epoch, index, queries, proto, submitted };
         if self.jobs.send(job).is_err() {
             conn.state = ConnState::Ready;
+            // Rejected inline, so account it inline: the completion path
+            // that would normally count the verb will never run.
+            shared.metrics.errors[proto].inc();
+            shared.metrics.finish_request(proto, VERB_BATCH, submitted, || "BATCH".to_string());
             conn.push_reply(&Reply::Err("server is shutting down".to_string()));
         }
     }
 
     /// Ships a reload to the worker pool (file read + decode off-loop).
     fn submit_reload(&mut self, conn: &mut Conn, slot: usize, path: String) {
+        let shared = self.shared;
+        let proto = proto_idx(conn.mode);
+        let submitted = shared.metrics.timer();
         conn.state = ConnState::AwaitJob;
-        let job = Job::Reload { conn: slot, gen: conn.gen, path };
+        let job = Job::Reload { conn: slot, gen: conn.gen, path, proto, submitted };
         if self.jobs.send(job).is_err() {
             conn.state = ConnState::Ready;
+            shared.metrics.errors[proto].inc();
+            shared.metrics.finish_request(proto, VERB_RELOAD, submitted, || "RELOAD".to_string());
             conn.push_reply(&Reply::Err("server is shutting down".to_string()));
         }
     }
@@ -985,9 +1177,23 @@ impl<'a> Reactor<'a> {
     /// Frees a slot and its live-connection count.
     fn release(&mut self, slot: usize) {
         if self.conns[slot].take().is_some() {
-            self.shared.live_connections.fetch_sub(1, Ordering::Relaxed);
+            self.shared.metrics.live_connections.dec();
             self.free.push(slot);
         }
+    }
+}
+
+/// Renders one `METRICS` reply body: the Prometheus exposition, or (with
+/// `recent`) the trace ring — the slow-query log plus reload events — as one
+/// JSON document. Both end in a newline so the sized text reply stays
+/// line-friendly.
+fn metrics_payload(shared: &Shared, recent: bool) -> String {
+    if recent {
+        let mut json = shared.metrics.registry.tracer().dump_json();
+        json.push('\n');
+        json
+    } else {
+        shared.render_metrics()
     }
 }
 

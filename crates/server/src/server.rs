@@ -29,15 +29,17 @@
 //! and `run` returns once the worker pool drains.
 
 use crate::cache::ResultCache;
+use crate::metrics::ServerMetrics;
 use crate::protocol;
 use crate::reactor::{self, Reactor};
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::AtomicBool;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 use wcsd_core::{FlatIndex, WcIndex};
 use wcsd_graph::{Quality, VertexId};
+use wcsd_obs::Registry;
 
 /// Upper bound on how long one connection's pending output may sit without
 /// the socket accepting a single byte. A client that stops reading its
@@ -69,6 +71,19 @@ pub struct ServerConfig {
     pub cache_capacity: usize,
     /// Number of independent cache shards.
     pub cache_shards: usize,
+    /// Inline requests at least this slow (milliseconds) emit a structured
+    /// `slow_query` trace event, retrievable via `METRICS recent`. `None`
+    /// disables the slow-query log.
+    pub slow_query_ms: Option<u64>,
+    /// Whether phase histograms and trace spans are recorded. Counters stay
+    /// on regardless (they back `STATS`); turning this off is the no-op
+    /// baseline the instrumentation-overhead bench compares against.
+    pub metrics_enabled: bool,
+    /// Registry to expose through `METRICS`. `None` gives the server a
+    /// private registry (isolated tests, exact per-server reconciliation);
+    /// `wcsd-cli serve` passes [`wcsd_obs::global()`] so core build/repair
+    /// instrumentation from the same process shows up in one scrape.
+    pub registry: Option<Arc<Registry>>,
 }
 
 impl Default for ServerConfig {
@@ -79,6 +94,9 @@ impl Default for ServerConfig {
             batch_workers: 2,
             cache_capacity: 64 * 1024,
             cache_shards: 16,
+            slow_query_ms: None,
+            metrics_enabled: true,
+            registry: None,
         }
     }
 }
@@ -219,14 +237,9 @@ pub(crate) struct Shared {
     pub(crate) batch_workers: usize,
     pub(crate) started: Instant,
     pub(crate) shutdown: AtomicBool,
-    pub(crate) connections: AtomicU64,
-    pub(crate) live_connections: AtomicU64,
-    pub(crate) text_connections: AtomicU64,
-    pub(crate) binary_connections: AtomicU64,
-    pub(crate) reloads: AtomicU64,
-    pub(crate) queries: AtomicU64,
-    pub(crate) batches: AtomicU64,
-    pub(crate) batch_queries: AtomicU64,
+    /// All server counters/gauges/histograms. `STATS` reads the same atomics
+    /// `METRICS` renders, so the two views cannot disagree on totals.
+    pub(crate) metrics: ServerMetrics,
 }
 
 impl Shared {
@@ -239,33 +252,50 @@ impl Shared {
     /// Installs a new snapshot, bumping the generation. In-flight holders of
     /// the previous `Arc` are unaffected. Returns the new generation.
     pub(crate) fn install(&self, index: Arc<FlatIndex>) -> u64 {
+        let stats = index.stats();
         let mut slot = self.slot.lock().expect("snapshot slot poisoned");
         slot.epoch += 1;
         slot.index = index;
-        self.reloads.fetch_add(1, Ordering::Relaxed);
-        slot.epoch
+        let epoch = slot.epoch;
+        drop(slot);
+        self.metrics.reloads.inc();
+        self.metrics.generation.set(epoch as i64);
+        self.metrics.index_vertices.set(stats.num_vertices as i64);
+        self.metrics.index_entries.set(stats.total_entries as i64);
+        epoch
     }
 
-    /// Point-in-time counter snapshot.
+    /// Point-in-time counter snapshot. One read per atomic; the derived
+    /// hit rate is computed from this snapshot's own hit/miss values, never
+    /// from a second load.
     pub(crate) fn snapshot(&self) -> ServerSnapshot {
         let (epoch, index) = self.current();
         let stats = index.stats();
+        let m = &self.metrics;
         ServerSnapshot {
             vertices: stats.num_vertices,
             entries: stats.total_entries,
             generation: epoch,
             uptime_ms: self.started.elapsed().as_millis() as u64,
-            connections: self.connections.load(Ordering::Relaxed),
-            live_connections: self.live_connections.load(Ordering::Relaxed),
-            text_connections: self.text_connections.load(Ordering::Relaxed),
-            binary_connections: self.binary_connections.load(Ordering::Relaxed),
-            reloads: self.reloads.load(Ordering::Relaxed),
-            queries: self.queries.load(Ordering::Relaxed),
-            batches: self.batches.load(Ordering::Relaxed),
-            batch_queries: self.batch_queries.load(Ordering::Relaxed),
+            connections: m.connections.get(),
+            live_connections: m.live_connections.get().max(0) as u64,
+            text_connections: m.proto_connections[crate::metrics::PROTO_TEXT].get(),
+            binary_connections: m.proto_connections[crate::metrics::PROTO_BINARY].get(),
+            reloads: m.reloads.get(),
+            queries: m.queries.get(),
+            batches: m.batches.get(),
+            batch_queries: m.batch_queries.get(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
         }
+    }
+
+    /// Renders the full Prometheus exposition, refreshing the point-in-time
+    /// gauges first. Called on the reactor thread only, which is what makes
+    /// the counter/histogram reconciliation exact (see [`crate::metrics`]).
+    pub(crate) fn render_metrics(&self) -> String {
+        self.metrics.uptime_ms.set(self.started.elapsed().as_millis() as i64);
+        self.metrics.registry.render()
     }
 
     /// Answers one query through the epoch-tagged cache against a pinned
@@ -326,6 +356,34 @@ impl Server {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
         let local_addr = listener.local_addr()?;
         let (wake_rx, wake_tx) = reactor::wake_pair()?;
+        let registry = config.registry.clone().unwrap_or_else(|| Arc::new(Registry::new()));
+        let batch_workers = config.batch_workers.max(1);
+        let cache = ResultCache::new(config.cache_capacity, config.cache_shards);
+        let metrics = ServerMetrics::new(
+            registry,
+            config.metrics_enabled,
+            config.slow_query_ms,
+            batch_workers,
+            config.cache_capacity,
+        );
+        // The registry renders the cache's own live counters — one set of
+        // atomics behind both STATS and METRICS.
+        metrics.registry.register_counter(
+            "wcsd_cache_hits_total",
+            &[],
+            "Result-cache hits",
+            cache.hit_counter(),
+        );
+        metrics.registry.register_counter(
+            "wcsd_cache_misses_total",
+            &[],
+            "Result-cache misses",
+            cache.miss_counter(),
+        );
+        let stats = index.stats();
+        metrics.generation.set(1);
+        metrics.index_vertices.set(stats.num_vertices as i64);
+        metrics.index_entries.set(stats.total_entries as i64);
         Ok(Self {
             listener,
             local_addr,
@@ -333,19 +391,12 @@ impl Server {
             wake_tx,
             shared: Shared {
                 slot: Mutex::new(SnapshotSlot { epoch: 1, index }),
-                cache: ResultCache::new(config.cache_capacity, config.cache_shards),
+                cache,
                 batch_threads: config.batch_threads.max(1),
-                batch_workers: config.batch_workers.max(1),
+                batch_workers,
                 started: Instant::now(),
                 shutdown: AtomicBool::new(false),
-                connections: AtomicU64::new(0),
-                live_connections: AtomicU64::new(0),
-                text_connections: AtomicU64::new(0),
-                binary_connections: AtomicU64::new(0),
-                reloads: AtomicU64::new(0),
-                queries: AtomicU64::new(0),
-                batches: AtomicU64::new(0),
-                batch_queries: AtomicU64::new(0),
+                metrics,
             },
         })
     }
@@ -422,6 +473,9 @@ mod tests {
         assert!(c.batch_workers >= 1);
         assert!(c.cache_capacity > 0);
         assert!(c.cache_shards > 0);
+        assert!(c.metrics_enabled);
+        assert_eq!(c.slow_query_ms, None);
+        assert!(c.registry.is_none());
     }
 
     #[test]

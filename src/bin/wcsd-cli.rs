@@ -4,9 +4,11 @@
 //! ```text
 //! wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--threads N] [--flat] [--dimacs]
 //! wcsd-cli stats <graph-file> [--dimacs]
+//! wcsd-cli stats <host:port> [--json]
 //! wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]
-//! wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--dimacs]
+//! wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--slow-query-ms N] [--no-metrics] [--dimacs]
 //! wcsd-cli client <host:port> <command> [args...]
+//! wcsd-cli metrics <host:port> [--recent]
 //! wcsd-cli reload <host:port> <index-file>
 //! wcsd-cli feed <graph-file> <updates-file> <snapshot-dir> [--addr H:P] [--batch N] [--threads N] [--ordering ...] [--repair-threshold F] [--json PATH] [--dimacs]
 //! ```
@@ -33,6 +35,16 @@
 //! is resolved on the serving host — `reload` absolutizes it first, since
 //! CLI and server share a machine on the loopback deployment).
 //!
+//! `stats <host:port>` (address detected by the `:`) fetches a running
+//! server's counters and pretty-prints them, or emits one JSON object with
+//! `--json`. `metrics <host:port>` scrapes the full Prometheus text
+//! exposition — per-verb request counters, request-phase and reload-phase
+//! latency histograms, cache/worker gauges — and with `--recent` dumps the
+//! in-memory trace ring instead (reload/build/repair spans plus the
+//! slow-query log captured when `serve` ran with `--slow-query-ms`).
+//! `serve --no-metrics` disables histogram and trace recording (counters
+//! stay on; this is the no-op baseline used by the overhead bench).
+//!
 //! ## Wire protocols
 //!
 //! The default wire protocol is newline-delimited text (see
@@ -44,6 +56,8 @@
 //!    (then n "<s> <t> <w>" lines)
 //! -> WITHIN <s> <t> <w> <d>   <- TRUE | FALSE
 //! -> STATS                    <- STATS k=v k=v ...
+//! -> METRICS [recent]         <- METRICS <len>, then <len> payload bytes
+//!                                (Prometheus text; `recent`: trace JSON)
 //! -> RELOAD <path>            <- RELOADED generation=<g> vertices=<n> entries=<m>
 //! -> SHUTDOWN                 <- BYE
 //! any malformed request       <- ERR <reason>
@@ -64,6 +78,8 @@
 //! 0x04 STATS                        0x84 STATS    utf-8 stats line
 //! 0x05 SHUTDOWN                     0x85 BYE
 //! 0x06 RELOAD   utf-8 path          0x86 RELOADED utf-8 reloaded line
+//! 0x07 METRICS  mode u8             0x87 METRICS  utf-8 payload
+//!      (0 = full exposition, 1 = recent trace ring)
 //!                                   0xFF ERR      utf-8 reason
 //! ```
 //!
@@ -99,9 +115,11 @@ fn main() -> ExitCode {
             eprintln!("usage:");
             eprintln!("  wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--threads N] [--flat] [--dimacs]");
             eprintln!("  wcsd-cli stats <graph-file> [--dimacs]");
+            eprintln!("  wcsd-cli stats <host:port> [--json]");
             eprintln!("  wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]");
-            eprintln!("  wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--dimacs]");
+            eprintln!("  wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--slow-query-ms N] [--no-metrics] [--dimacs]");
             eprintln!("  wcsd-cli client <host:port> <command> [args...]");
+            eprintln!("  wcsd-cli metrics <host:port> [--recent]");
             eprintln!("  wcsd-cli reload <host:port> <index-file>");
             eprintln!("  wcsd-cli feed <graph-file> <updates-file> <snapshot-dir> [--addr H:P] [--batch N] [--threads N] [--ordering degree|tree|hybrid] [--repair-threshold F] [--json PATH] [--dimacs]");
             ExitCode::FAILURE
@@ -110,22 +128,43 @@ fn main() -> ExitCode {
 }
 
 /// Flags that consume the following argument as their value.
-const VALUE_FLAGS: [&str; 8] = [
-    "--ordering",
-    "--port",
-    "--threads",
-    "--cache-size",
-    "--addr",
-    "--batch",
-    "--repair-threshold",
-    "--json",
-];
+///
+/// Classification depends on the subcommand: `--json` takes a path for
+/// `feed` but is a boolean presence flag for the `stats` server mode, and a
+/// single global list would eat the positional after it.
+fn value_flags(args: &[String]) -> &'static [&'static str] {
+    const COMMON: &[&str] = &[
+        "--ordering",
+        "--port",
+        "--threads",
+        "--cache-size",
+        "--addr",
+        "--batch",
+        "--repair-threshold",
+        "--slow-query-ms",
+    ];
+    const WITH_JSON_PATH: &[&str] = &[
+        "--ordering",
+        "--port",
+        "--threads",
+        "--cache-size",
+        "--addr",
+        "--batch",
+        "--repair-threshold",
+        "--slow-query-ms",
+        "--json",
+    ];
+    match args.iter().find(|a| !a.starts_with("--")).map(|s| s.as_str()) {
+        Some("stats") | Some("metrics") => COMMON,
+        _ => WITH_JSON_PATH,
+    }
+}
 
 fn run(args: &[String]) -> Result<(), String> {
     let use_dimacs = args.iter().any(|a| a == "--dimacs");
     let use_flat = args.iter().any(|a| a == "--flat");
     let ordering = parse_ordering(args)?;
-    let positional = positional_args(args, &VALUE_FLAGS);
+    let positional = positional_args(args, value_flags(args));
 
     match positional.first().map(|s| s.as_str()) {
         Some("build") => {
@@ -160,8 +199,14 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some("stats") => {
             let [_, graph_path] = positional[..] else {
-                return Err("stats requires <graph-file>".to_string());
+                return Err("stats requires <graph-file> or <host:port>".to_string());
             };
+            // A `:` marks the argument as a server address (filenames with
+            // colons are not worth supporting here): fetch the live
+            // counters instead of analysing a graph file.
+            if graph_path.contains(':') {
+                return server_stats(graph_path, args.iter().any(|a| a == "--json"));
+            }
             let graph = read_graph_file(graph_path, use_dimacs)?;
             let deg = analysis::degree_stats(&graph);
             let comps = analysis::connected_components(&graph);
@@ -220,6 +265,14 @@ fn run(args: &[String]) -> Result<(), String> {
             if let Some(cache) = flag_value(args, "--cache-size")? {
                 config.cache_capacity = cache;
             }
+            // Observability wiring: requests at least this slow land in the
+            // trace ring (`wcsd-cli metrics --recent`); `--no-metrics` turns
+            // histogram/trace recording off (counters stay on for STATS).
+            config.slow_query_ms = flag_value(args, "--slow-query-ms")?;
+            config.metrics_enabled = !args.iter().any(|a| a == "--no-metrics");
+            // The process-global registry, so core build/repair phases from
+            // this process and the serving metrics share one METRICS scrape.
+            config.registry = Some(wcsd_obs::global().clone());
             let stats = index.stats();
             let server = Server::bind_flat(index, config.clone())
                 .map_err(|e| format!("cannot bind: {e}"))?;
@@ -270,6 +323,22 @@ fn run(args: &[String]) -> Result<(), String> {
             println!("{reply}");
             if reply.starts_with("ERR ") {
                 return Err(wcsd::server::protocol::server_error(&reply));
+            }
+            Ok(())
+        }
+        Some("metrics") => {
+            let [_, addr] = positional[..] else {
+                return Err("metrics requires <host:port>".to_string());
+            };
+            let recent = args.iter().any(|a| a == "--recent");
+            let mut client = Client::connect_retry(addr.as_str(), Duration::from_secs(5))
+                .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+            // Full scrape is Prometheus text exposition; `--recent` is the
+            // trace-ring JSON (reload spans, slow-query log).
+            let payload = client.metrics(recent)?;
+            print!("{payload}");
+            if !payload.ends_with('\n') {
+                println!();
             }
             Ok(())
         }
@@ -351,6 +420,55 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         _ => Err("missing or unknown subcommand".to_string()),
     }
+}
+
+/// `stats <host:port>`: fetches a running server's counter snapshot and
+/// prints it human-readably, or — with `--json` — as one JSON object (the
+/// field names match the `STATS` wire keys).
+fn server_stats(addr: &str, json: bool) -> Result<(), String> {
+    let mut client = Client::connect_retry(addr, Duration::from_secs(5))
+        .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let s = client.stats()?;
+    if json {
+        let fields: [(&str, String); 14] = [
+            ("vertices", s.vertices.to_string()),
+            ("entries", s.entries.to_string()),
+            ("generation", s.generation.to_string()),
+            ("uptime_ms", s.uptime_ms.to_string()),
+            ("connections", s.connections.to_string()),
+            ("live_connections", s.live_connections.to_string()),
+            ("text_connections", s.text_connections.to_string()),
+            ("binary_connections", s.binary_connections.to_string()),
+            ("reloads", s.reloads.to_string()),
+            ("queries", s.queries.to_string()),
+            ("batches", s.batches.to_string()),
+            ("batch_queries", s.batch_queries.to_string()),
+            ("cache_hits", s.cache_hits.to_string()),
+            ("cache_misses", s.cache_misses.to_string()),
+        ];
+        let body: Vec<String> = fields.iter().map(|(k, v)| format!("  \"{k}\": {v}")).collect();
+        println!("{{\n{}\n}}", body.join(",\n"));
+    } else {
+        println!(
+            "serving:             generation {} ({} vertices, {} entries)",
+            s.generation, s.vertices, s.entries
+        );
+        println!("uptime:              {:.1}s", s.uptime_ms as f64 / 1e3);
+        println!(
+            "connections:         {} total ({} live, {} text, {} binary)",
+            s.connections, s.live_connections, s.text_connections, s.binary_connections
+        );
+        println!("queries:             {}", s.queries);
+        println!("batches:             {} ({} batched queries)", s.batches, s.batch_queries);
+        println!("reloads:             {}", s.reloads);
+        println!(
+            "cache:               {} hits / {} misses ({:.1}% hit rate)",
+            s.cache_hits,
+            s.cache_misses,
+            100.0 * s.hit_rate()
+        );
+    }
+    Ok(())
 }
 
 fn parse_ordering(args: &[String]) -> Result<OrderingStrategy, String> {

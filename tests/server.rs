@@ -715,6 +715,155 @@ fn client_read_timeout_prevents_hang() {
     drop(hold);
 }
 
+/// `METRICS` end to end on both protocols: per-verb counters appear with the
+/// right values, the execute-phase histogram reconciles exactly with the verb
+/// counters inside every single payload — including payloads scraped while
+/// concurrent mixed-protocol load is in flight — and a quiesced scrape agrees
+/// with `STATS`.
+#[test]
+fn metrics_reconcile_with_stats_under_concurrent_load() {
+    use wcsd_obs::scrape::Scrape;
+
+    /// sum over verbs of `wcsd_requests_total{proto=..}` must equal the
+    /// execute-phase histogram count for that protocol in the same payload:
+    /// both are mutated only on the reactor thread, and the payload renders
+    /// before the in-flight METRICS request counts itself.
+    fn assert_reconciled(scrape: &Scrape, proto: &str, context: &str) {
+        let label = format!("proto=\"{proto}\"");
+        let verbs = scrape.sum_matching("wcsd_requests_total", &[&label]);
+        let execute =
+            scrape.histogram("wcsd_request_phase_us", &[&label, "phase=\"execute\""]).count;
+        assert_eq!(verbs as u64, execute, "{context}: proto={proto} verbs vs execute samples");
+    }
+
+    let g = test_graph();
+    let (addr, reference, handle) = start_server(&g);
+    let workload = QueryWorkload::uniform(&g, 80, 53);
+    let queries = workload.queries();
+
+    std::thread::scope(|scope| {
+        for worker in 0..4 {
+            let addr = &addr;
+            let reference = &reference;
+            scope.spawn(move || {
+                let proto = if worker % 2 == 0 { Protocol::Text } else { Protocol::Binary };
+                let mut client = Client::connect_with(&**addr, proto).expect("connect");
+                for round in 0..10 {
+                    for &(s, t, w) in queries {
+                        assert_eq!(client.query(s, t, w).unwrap(), reference.distance(s, t, w));
+                    }
+                    assert_eq!(client.batch(queries).unwrap().len(), queries.len());
+                    let (s, t, w) = queries[round % queries.len()];
+                    client.within(s, t, w, 3).unwrap();
+                }
+            });
+        }
+        // Mid-load scrapes: each payload must already reconcile on both
+        // protocols while the workers are hammering the reactor.
+        let mut observer = Client::connect(&*addr).expect("observer connect");
+        for i in 0..5 {
+            let scrape = Scrape::parse(&observer.metrics(false).expect("mid-load scrape"));
+            assert_reconciled(&scrape, "text", &format!("mid-load scrape {i}"));
+            assert_reconciled(&scrape, "binary", &format!("mid-load scrape {i}"));
+        }
+    });
+
+    // Quiesced: one final scrape, then STATS on the same connection.
+    let mut client = Client::connect(&*addr).unwrap();
+    let payload = client.metrics(false).expect("final scrape");
+    let scrape = Scrape::parse(&payload);
+    assert_reconciled(&scrape, "text", "quiesced scrape");
+    assert_reconciled(&scrape, "binary", "quiesced scrape");
+
+    // Every exercised verb shows up per protocol with the exact load counts:
+    // 2 workers per protocol x 10 rounds x (80 queries + 1 batch + 1 within).
+    for proto in ["text", "binary"] {
+        let verb = |v: &str| {
+            scrape
+                .value(&format!("wcsd_requests_total{{proto=\"{proto}\",verb=\"{v}\"}}"))
+                .unwrap_or(-1.0) as i64
+        };
+        assert_eq!(verb("query"), 1600, "proto={proto}");
+        assert_eq!(verb("batch"), 20, "proto={proto}");
+        assert_eq!(verb("within"), 20, "proto={proto}");
+    }
+
+    // The scrape agrees with STATS (no traffic ran in between): the snapshot
+    // and the registry read the same underlying counters.
+    let stats = client.stats().unwrap();
+    assert_eq!(scrape.value("wcsd_queries_total").unwrap() as u64, stats.queries);
+    assert_eq!(scrape.value("wcsd_batches_total").unwrap() as u64, stats.batches);
+    assert_eq!(scrape.value("wcsd_batch_queries_total").unwrap() as u64, stats.batch_queries);
+    assert_eq!(scrape.value("wcsd_reloads_total").unwrap() as u64, stats.reloads);
+    assert_eq!(scrape.value("wcsd_generation").unwrap() as u64, stats.generation);
+    assert_eq!(scrape.value("wcsd_index_entries").unwrap() as usize, stats.entries);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// The slow-query log: with `slow_query_ms = 0` every inline query lands in
+/// the trace ring, retrievable as `METRICS recent` JSON on both protocols.
+#[test]
+fn slow_query_log_captures_requests() {
+    let g = test_graph();
+    let index = IndexBuilder::wc_index_plus().build(&g);
+    let reference = index.clone();
+    let config = ServerConfig { slow_query_ms: Some(0), ..ServerConfig::default() };
+    let server = Server::bind(index, config).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&*addr).unwrap();
+    assert_eq!(client.query(0, 1, 1).unwrap(), reference.distance(0, 1, 1));
+    client.within(0, 1, 1, 5).unwrap();
+
+    let trace = client.metrics(true).expect("recent trace");
+    assert!(trace.contains("\"slow_query\""), "no slow_query events in {trace}");
+    assert!(trace.contains("QUERY 0 1 1"), "request detail missing in {trace}");
+
+    // The binary protocol returns the same ring.
+    let mut bin = Client::connect_with(&*addr, Protocol::Binary).unwrap();
+    let trace = bin.metrics(true).expect("recent trace over binary");
+    assert!(trace.contains("\"slow_query\""));
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
+/// `--no-metrics` semantics: counters (and therefore `STATS` and the verb
+/// counters in `METRICS`) stay live, but phase histograms record nothing.
+#[test]
+fn disabled_metrics_keep_counters_but_not_histograms() {
+    use wcsd_obs::scrape::Scrape;
+
+    let g = test_graph();
+    let index = IndexBuilder::wc_index_plus().build(&g);
+    let config = ServerConfig { metrics_enabled: false, ..ServerConfig::default() };
+    let server = Server::bind(index, config).expect("bind");
+    let addr = server.local_addr().to_string();
+    let handle = std::thread::spawn(move || server.run());
+
+    let mut client = Client::connect(&*addr).unwrap();
+    for i in 0..10u32 {
+        client.query(i, (i + 1) % 10, 1).unwrap();
+    }
+    let scrape = Scrape::parse(&client.metrics(false).unwrap());
+    assert_eq!(
+        scrape.value("wcsd_requests_total{proto=\"text\",verb=\"query\"}"),
+        Some(10.0),
+        "verb counters stay on without metrics"
+    );
+    assert_eq!(scrape.value("wcsd_queries_total"), Some(10.0));
+    let execute =
+        scrape.histogram("wcsd_request_phase_us", &["proto=\"text\"", "phase=\"execute\""]);
+    assert_eq!(execute.count, 0, "no histogram samples with metrics disabled");
+    assert_eq!(client.stats().unwrap().queries, 10);
+
+    client.shutdown().unwrap();
+    handle.join().unwrap();
+}
+
 /// The full freshness pipeline end to end: a live server, a feed run that
 /// applies mixed updates through the decremental repair, writes
 /// generation-numbered snapshots, and hot-swaps each one via `RELOAD` — after
