@@ -18,6 +18,9 @@
 //!   zero-copy [`flat::FlatView`] over the encoded bytes. Lossless conversion
 //!   from/to [`index::WcIndex`], bit-identical answers.
 //! * [`query`] — the three query implementations (Algorithms 2, 4 and 5).
+//! * [`overlay`] — the boundary-vertex overlay composing per-shard answers
+//!   into exact whole-graph answers ([`overlay::ShardedIndex`], the `WCSO`
+//!   snapshot), the correctness core of the sharded serving tier.
 //! * [`path::PathIndex`] — the shortest-*path* extension (quad labels with
 //!   parent pointers, Section V).
 //! * [`parallel`] — scoped-thread batch query evaluation for large
@@ -61,6 +64,7 @@ pub mod dynamic;
 pub mod flat;
 pub mod index;
 pub mod label;
+pub mod overlay;
 pub mod parallel;
 pub mod parallel_build;
 pub mod path;
@@ -72,4 +76,5 @@ pub use build::{BuildConfig, ConstructionMode, IndexBuilder};
 pub use flat::{FlatIndex, FlatView};
 pub use index::{QueryEngine, QueryImpl, WcIndex};
 pub use label::{LabelEntry, LabelSet};
+pub use overlay::{OverlayIndex, ScatterPlan, ShardedIndex};
 pub use stats::IndexStats;

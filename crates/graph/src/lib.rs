@@ -14,6 +14,8 @@
 //! * [`generators`] — synthetic datasets substituting for the paper's DIMACS
 //!   road networks and KONECT/SNAP social networks (see `DESIGN.md` §3).
 //! * [`io`] — edge-list and DIMACS-style readers/writers plus binary snapshots.
+//! * [`partition`] — deterministic seeded vertex partitioning with boundary
+//!   detection, the substrate of the sharded serving tier.
 //! * [`analysis`] — connected components, degree statistics, quality
 //!   histograms and diameter estimation used to characterise workloads.
 //! * [`directed`] / [`weighted`] — the directed and weighted variants needed
@@ -49,6 +51,7 @@ pub mod csr;
 pub mod directed;
 pub mod generators;
 pub mod io;
+pub mod partition;
 pub mod quality;
 pub mod types;
 pub mod weighted;
@@ -56,6 +59,7 @@ pub mod weighted;
 pub use builder::GraphBuilder;
 pub use csr::Graph;
 pub use directed::DiGraph;
+pub use partition::Partition;
 pub use quality::QualityDomain;
 pub use types::{Distance, Quality, VertexId, INF_DIST, INF_QUALITY};
 pub use weighted::WeightedGraph;

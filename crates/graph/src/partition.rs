@@ -1,0 +1,325 @@
+//! Vertex partitioning for the sharded serving tier.
+//!
+//! A [`Partition`] assigns every vertex of a [`Graph`] to exactly one of `k`
+//! shards. The partitioner grows shards with a seeded, balanced multi-source
+//! BFS: `k` seed vertices are drawn deterministically, then the smallest
+//! shard repeatedly claims the next unassigned vertex on its frontier, so
+//! shard sizes stay within one vertex of each other while shards remain
+//! locally connected wherever the graph allows it. Disconnected components
+//! are swept up by reseeding the smallest shard at the lowest-numbered
+//! unassigned vertex. The whole procedure is a function of `(graph, k, seed)`
+//! only — no thread count, no iteration-order dependence — so a fixed seed
+//! always yields a byte-identical partition.
+//!
+//! Two derived notions drive the serving tier built on top:
+//!
+//! * **Boundary vertices** — endpoints of *cut edges* (edges whose endpoints
+//!   live in different shards). Every path that leaves a shard must pass
+//!   through a boundary vertex, which is what lets per-shard distance answers
+//!   compose through a small overlay graph (see `wcsd-core`'s overlay
+//!   module).
+//! * **Shard subgraphs** — [`Partition::shard_subgraph`] keeps *global*
+//!   vertex ids: the subgraph has the full graph's vertex count and only the
+//!   shard's intra-shard edges, so per-shard indexes answer queries in the
+//!   original id space and no translation tables are needed anywhere in the
+//!   stack.
+
+use crate::csr::Graph;
+use crate::types::{Edge, VertexId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+
+/// A disjoint assignment of every vertex to one of `k` shards, plus the
+/// derived boundary-vertex set.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Partition {
+    num_shards: u32,
+    /// `assignment[v]` is the shard of vertex `v`.
+    assignment: Vec<u32>,
+    /// Sorted ids of vertices incident to at least one cut edge.
+    boundary: Vec<VertexId>,
+    /// `is_boundary[v]` mirrors `boundary` for O(1) membership tests.
+    is_boundary: Vec<bool>,
+}
+
+impl Partition {
+    /// Partitions `g` into `num_shards` shards with the deterministic
+    /// balanced multi-source BFS described in the module docs.
+    ///
+    /// `num_shards` must be at least 1; shards may end up empty when the
+    /// graph has fewer vertices than shards.
+    pub fn build(g: &Graph, num_shards: usize, seed: u64) -> Self {
+        assert!(num_shards >= 1, "a partition needs at least one shard");
+        assert!(num_shards <= u32::MAX as usize, "shard count exceeds u32");
+        let n = g.num_vertices();
+        let k = num_shards;
+        let mut assignment: Vec<u32> = vec![u32::MAX; n];
+        let mut frontiers: Vec<VecDeque<VertexId>> = vec![VecDeque::new(); k];
+        let mut sizes: Vec<usize> = vec![0; k];
+
+        // Draw k distinct seed vertices. Rejection sampling is fine: k is
+        // small relative to n in any useful partition, and the fallback scan
+        // guarantees termination when it is not.
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ca1_ab1e_0000_0000);
+        let mut assigned = 0usize;
+        for shard in 0..k.min(n) {
+            let mut v = None;
+            for _ in 0..64 {
+                let candidate = rng.gen_range(0..n as u32);
+                if assignment[candidate as usize] == u32::MAX {
+                    v = Some(candidate);
+                    break;
+                }
+            }
+            let v = v.unwrap_or_else(|| {
+                (0..n as u32)
+                    .find(|&u| assignment[u as usize] == u32::MAX)
+                    .expect("fewer seeds than vertices")
+            });
+            assignment[v as usize] = shard as u32;
+            sizes[shard] += 1;
+            assigned += 1;
+            frontiers[shard].extend(g.neighbor_ids(v));
+        }
+
+        // Balanced growth: the smallest shard (ties to the lowest index)
+        // claims one vertex per round, breadth-first from its own territory.
+        while assigned < n {
+            let shard = (0..k)
+                .filter(|&i| !frontiers[i].is_empty())
+                .min_by_key(|&i| (sizes[i], i))
+                .unwrap_or_else(|| {
+                    // Every frontier is exhausted but vertices remain: the
+                    // graph is disconnected. Reseed the globally smallest
+                    // shard at the lowest unassigned vertex.
+                    let shard = (0..k).min_by_key(|&i| (sizes[i], i)).expect("k >= 1");
+                    let v = (0..n as u32)
+                        .find(|&u| assignment[u as usize] == u32::MAX)
+                        .expect("assigned < n");
+                    frontiers[shard].push_back(v);
+                    shard
+                });
+            while let Some(v) = frontiers[shard].pop_front() {
+                if assignment[v as usize] != u32::MAX {
+                    continue;
+                }
+                assignment[v as usize] = shard as u32;
+                sizes[shard] += 1;
+                assigned += 1;
+                frontiers[shard].extend(g.neighbor_ids(v));
+                break;
+            }
+        }
+
+        Self::from_assignment(g, num_shards as u32, assignment)
+    }
+
+    /// Reconstructs a partition from a stored assignment array, recomputing
+    /// the boundary set from `g`. Panics if any entry names a shard `>=
+    /// num_shards` or the array length disagrees with the graph.
+    pub fn from_assignment(g: &Graph, num_shards: u32, assignment: Vec<u32>) -> Self {
+        assert_eq!(assignment.len(), g.num_vertices(), "assignment length != vertex count");
+        assert!(assignment.iter().all(|&s| s < num_shards), "assignment names unknown shard");
+        let mut is_boundary = vec![false; g.num_vertices()];
+        for e in g.edges() {
+            if assignment[e.u as usize] != assignment[e.v as usize] {
+                is_boundary[e.u as usize] = true;
+                is_boundary[e.v as usize] = true;
+            }
+        }
+        let boundary =
+            (0..g.num_vertices() as VertexId).filter(|&v| is_boundary[v as usize]).collect();
+        Self { num_shards, assignment, boundary, is_boundary }
+    }
+
+    /// Number of shards (fixed at build time; some may be empty).
+    pub fn num_shards(&self) -> usize {
+        self.num_shards as usize
+    }
+
+    /// Number of vertices covered by the partition.
+    pub fn num_vertices(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// The shard vertex `v` belongs to.
+    pub fn shard_of(&self, v: VertexId) -> u32 {
+        self.assignment[v as usize]
+    }
+
+    /// The full `vertex -> shard` assignment array.
+    pub fn assignment(&self) -> &[u32] {
+        &self.assignment
+    }
+
+    /// Sorted ids of all boundary vertices (endpoints of cut edges).
+    pub fn boundary_vertices(&self) -> &[VertexId] {
+        &self.boundary
+    }
+
+    /// Whether `v` is incident to a cut edge.
+    pub fn is_boundary(&self, v: VertexId) -> bool {
+        self.is_boundary[v as usize]
+    }
+
+    /// Vertex count of each shard.
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.num_shards()];
+        for &s in &self.assignment {
+            sizes[s as usize] += 1;
+        }
+        sizes
+    }
+
+    /// The vertices assigned to `shard`, ascending.
+    pub fn shard_vertices(&self, shard: u32) -> impl Iterator<Item = VertexId> + '_ {
+        self.assignment
+            .iter()
+            .enumerate()
+            .filter(move |(_, &s)| s == shard)
+            .map(|(v, _)| v as VertexId)
+    }
+
+    /// The subgraph served by `shard`: same (global) vertex ids as `g`, but
+    /// only the edges whose *both* endpoints live in `shard`. Vertices of
+    /// other shards are present and isolated, so queries, snapshots, and
+    /// range checks all speak the original id space.
+    pub fn shard_subgraph(&self, g: &Graph, shard: u32) -> Graph {
+        let mut b = crate::builder::GraphBuilder::new(g.num_vertices());
+        b.extend_edges(g.edges().filter(|e| {
+            self.assignment[e.u as usize] == shard && self.assignment[e.v as usize] == shard
+        }));
+        b.build()
+    }
+
+    /// The cut edges of the partition: edges whose endpoints live in
+    /// different shards.
+    pub fn cut_edges<'a>(&'a self, g: &'a Graph) -> impl Iterator<Item = Edge> + 'a {
+        g.edges().filter(move |e| self.assignment[e.u as usize] != self.assignment[e.v as usize])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{barabasi_albert, road_grid, QualityAssigner, RoadGridConfig};
+
+    fn shapes() -> Vec<Graph> {
+        vec![
+            road_grid(&RoadGridConfig::square(8), &QualityAssigner::uniform(4), 11),
+            barabasi_albert(120, 3, &QualityAssigner::uniform(5), 42),
+        ]
+    }
+
+    #[test]
+    fn every_vertex_in_exactly_one_shard() {
+        for g in shapes() {
+            for k in [1usize, 2, 3, 5] {
+                let p = Partition::build(&g, k, 7);
+                assert_eq!(p.assignment().len(), g.num_vertices());
+                assert!(p.assignment().iter().all(|&s| (s as usize) < k));
+                assert_eq!(p.shard_sizes().iter().sum::<usize>(), g.num_vertices());
+            }
+        }
+    }
+
+    #[test]
+    fn cut_edges_are_exactly_the_inter_shard_edges() {
+        for g in shapes() {
+            let p = Partition::build(&g, 3, 9);
+            let cut: Vec<Edge> = p.cut_edges(&g).collect();
+            for e in &cut {
+                assert_ne!(p.shard_of(e.u), p.shard_of(e.v));
+                assert!(p.is_boundary(e.u) && p.is_boundary(e.v));
+            }
+            let intra = g.num_edges() - cut.len();
+            let per_shard: usize = (0..3).map(|s| p.shard_subgraph(&g, s).num_edges()).sum();
+            assert_eq!(per_shard, intra);
+        }
+    }
+
+    #[test]
+    fn boundary_iff_incident_to_cut_edge() {
+        for g in shapes() {
+            let p = Partition::build(&g, 4, 3);
+            let mut expect = vec![false; g.num_vertices()];
+            for e in p.cut_edges(&g) {
+                expect[e.u as usize] = true;
+                expect[e.v as usize] = true;
+            }
+            for v in g.vertices() {
+                assert_eq!(p.is_boundary(v), expect[v as usize], "vertex {v}");
+            }
+            assert!(p.boundary_vertices().windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        for g in shapes() {
+            let a = Partition::build(&g, 4, 1234);
+            let b = Partition::build(&g, 4, 1234);
+            assert_eq!(a, b);
+            let c = Partition::build(&g, 4, 1235);
+            // Different seeds should (overwhelmingly) move at least one
+            // vertex on these shapes.
+            assert_ne!(a.assignment(), c.assignment());
+        }
+    }
+
+    #[test]
+    fn shards_stay_balanced() {
+        for g in shapes() {
+            let p = Partition::build(&g, 4, 5);
+            let sizes = p.shard_sizes();
+            let (min, max) = (sizes.iter().min().unwrap(), sizes.iter().max().unwrap());
+            // Balanced growth claims one vertex per round; pathological
+            // frontiers can skew it, but never past a loose factor.
+            assert!(*max <= 2 * *min + 8, "unbalanced shards: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn subgraph_keeps_global_ids() {
+        let g = road_grid(&RoadGridConfig::square(5), &QualityAssigner::uniform(3), 2);
+        let p = Partition::build(&g, 2, 0);
+        let sub = p.shard_subgraph(&g, 0);
+        assert_eq!(sub.num_vertices(), g.num_vertices());
+        for e in sub.edges() {
+            assert_eq!(p.shard_of(e.u), 0);
+            assert_eq!(p.shard_of(e.v), 0);
+            assert_eq!(g.edge_quality(e.u, e.v), Some(e.quality));
+        }
+    }
+
+    #[test]
+    fn disconnected_graphs_are_fully_assigned() {
+        // Two 3-cliques with no connection between them.
+        let mut b = crate::builder::GraphBuilder::new(6);
+        for (u, v) in [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5)] {
+            b.add_edge(u, v, 1);
+        }
+        let g = b.build();
+        let p = Partition::build(&g, 2, 77);
+        assert_eq!(p.shard_sizes().iter().sum::<usize>(), 6);
+        // A clique is never split across shards' cut edges unless the
+        // partitioner had to: with two shards and two components the clean
+        // cut has no boundary vertices at all.
+        if p.shard_of(0) == p.shard_of(1)
+            && p.shard_of(1) == p.shard_of(2)
+            && p.shard_of(3) == p.shard_of(4)
+            && p.shard_of(4) == p.shard_of(5)
+        {
+            assert!(p.boundary_vertices().is_empty());
+        }
+    }
+
+    #[test]
+    fn from_assignment_roundtrip() {
+        let g = barabasi_albert(60, 2, &QualityAssigner::uniform(3), 8);
+        let p = Partition::build(&g, 3, 21);
+        let q = Partition::from_assignment(&g, 3, p.assignment().to_vec());
+        assert_eq!(p, q);
+    }
+}

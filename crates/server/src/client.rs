@@ -83,17 +83,28 @@ impl Client {
     }
 
     /// [`Client::connect_retry`] with an explicit wire protocol.
+    ///
+    /// Retries follow [`retry_delay`]'s jittered exponential backoff rather
+    /// than a fixed schedule: when a backend restarts under a sharded
+    /// router, its N clients would otherwise all reconnect in lockstep and
+    /// hammer the listener in synchronized waves.
     pub fn connect_retry_with(
         addr: impl ToSocketAddrs + Copy,
         timeout: Duration,
         protocol: Protocol,
     ) -> std::io::Result<Self> {
         let deadline = Instant::now() + timeout;
+        let salt = process_salt();
+        let mut attempt = 0u32;
         loop {
             match Self::connect_with(addr, protocol) {
                 Ok(client) => return Ok(client),
                 Err(e) if Instant::now() >= deadline => return Err(e),
-                Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                Err(_) => {
+                    let remaining = deadline.saturating_duration_since(Instant::now());
+                    std::thread::sleep(retry_delay(attempt, salt).min(remaining));
+                    attempt = attempt.saturating_add(1);
+                }
             }
         }
     }
@@ -370,4 +381,68 @@ impl Client {
 /// Describes a structurally valid reply of the wrong kind.
 fn unexpected(reply: &Reply) -> String {
     format!("unexpected reply {reply:?}")
+}
+
+/// Floor of the first retry delay: half the 25 ms starting base.
+pub const RETRY_DELAY_MIN: Duration = Duration::from_millis(12);
+/// Ceiling of every retry delay.
+pub const RETRY_DELAY_MAX: Duration = Duration::from_millis(400);
+
+/// The connect-retry backoff schedule: an exponential base doubling from
+/// 25 ms and capped at [`RETRY_DELAY_MAX`], jittered uniformly down to half
+/// the base by a deterministic hash of `(attempt, salt)`. For every input
+/// the result lies in `[base/2, base] ⊆ [RETRY_DELAY_MIN, RETRY_DELAY_MAX]`
+/// — pinned by a unit test — while distinct salts (distinct
+/// processes/threads) spread their retries across that window instead of
+/// reconnecting in lockstep.
+pub fn retry_delay(attempt: u32, salt: u64) -> Duration {
+    const BASE_MS: u64 = 25;
+    let base = (BASE_MS << attempt.min(8)).min(RETRY_DELAY_MAX.as_millis() as u64);
+    // splitmix64 of (attempt, salt): cheap, deterministic, well mixed — no
+    // RNG dependency for a sleep duration.
+    let mut z = salt ^ (attempt as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^= z >> 31;
+    Duration::from_millis(base / 2 + z % (base / 2 + 1))
+}
+
+/// A per-thread, per-process jitter salt: two clients retrying against the
+/// same restarted backend should not share a schedule.
+fn process_salt() -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut hasher = std::collections::hash_map::DefaultHasher::new();
+    std::process::id().hash(&mut hasher);
+    std::thread::current().id().hash(&mut hasher);
+    hasher.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn retry_delay_stays_within_the_pinned_bounds() {
+        for salt in [0u64, 1, 7, u64::MAX, 0xDEAD_BEEF] {
+            let mut base = 25u64;
+            for attempt in 0..64 {
+                let d = retry_delay(attempt, salt);
+                assert!(d >= RETRY_DELAY_MIN, "attempt {attempt} salt {salt}: {d:?} too short");
+                assert!(d <= RETRY_DELAY_MAX, "attempt {attempt} salt {salt}: {d:?} too long");
+                // Never below half of (or above) the attempt's exponential base.
+                assert!(d.as_millis() as u64 >= base / 2);
+                assert!(d.as_millis() as u64 <= base);
+                base = (base * 2).min(RETRY_DELAY_MAX.as_millis() as u64);
+            }
+        }
+    }
+
+    #[test]
+    fn retry_delay_is_deterministic_and_salt_spread() {
+        assert_eq!(retry_delay(3, 42), retry_delay(3, 42));
+        // Distinct salts must not share one schedule: across a few attempts
+        // at least one delay differs.
+        let differs = (0..8).any(|a| retry_delay(a, 1) != retry_delay(a, 2));
+        assert!(differs, "salts 1 and 2 produced identical schedules");
+    }
 }

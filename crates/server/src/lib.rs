@@ -66,9 +66,11 @@ pub mod client;
 mod metrics;
 pub mod protocol;
 mod reactor;
+pub mod router;
 pub mod server;
 
 pub use cache::ResultCache;
 pub use client::{Client, Protocol};
 pub use protocol::{ReloadInfo, Reply, Request};
+pub use router::{Router, RouterConfig};
 pub use server::{Server, ServerConfig, ServerSnapshot};

@@ -1,0 +1,827 @@
+//! The scatter-gather router: one front-end address serving the whole graph
+//! out of `N` single-shard backend reactors.
+//!
+//! The router owns no labels. It loads the boundary overlay
+//! ([`wcsd_core::overlay::OverlayIndex`], the `WCSO` snapshot written by
+//! `wcsd-cli partition`) and, per client query, computes the scatter plan
+//! (which per-shard distances are needed), fetches them as `BATCH` requests
+//! over persistent binary [`Client`] connections to the backends, and merges
+//! the answers through the overlay's quality-filtered Dijkstra — exactly the
+//! composition [`wcsd_core::overlay::ShardedIndex`] evaluates in-process, so
+//! the parity suite pins the two to each other and to the unsharded index.
+//!
+//! ## Connection state machine
+//!
+//! Clients connect on the same wire protocols the backends speak: the first
+//! byte selects binary (magic `0xBF`) or text. Each client connection is
+//! served by one thread holding its *own* lazily-connected backend clients —
+//! request/reply exchanges never interleave on a backend socket, so a torn
+//! backend reply can only tear that one connection's request, never another
+//! client's. Per backend exchange the router:
+//!
+//! 1. connects on demand (binary protocol, read timeout
+//!    [`RouterConfig::backend_timeout`]),
+//! 2. sends one `BATCH` and waits for the sized reply,
+//! 3. on any failure drops the connection and retries **once** on a fresh
+//!    one, and
+//! 4. on a second failure marks the backend *degraded*
+//!    (`wcsd_router_degraded_backends` gauge, cleared by the next success)
+//!    and fails the client request with an `ERR` reply.
+//!
+//! The read timeout bounds every step, so a dead or wedged backend degrades
+//! to `ERR` replies — the router never hangs, and a `BATCH` is answered
+//! either completely or with one `ERR` line (no partial replies).
+//!
+//! Admin verbs stay with the backends: `RELOAD` through the router is
+//! refused (reload each backend's shard snapshot directly); `SHUTDOWN` stops
+//! the router itself, never the backends.
+
+use crate::binary::{self, BinRequest};
+use crate::client::{Client, Protocol};
+use crate::protocol::{self, Reply, Request};
+use crate::server::ServerSnapshot;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wcsd_core::overlay::{OverlayIndex, ScatterPlan};
+use wcsd_core::FlatIndex;
+use wcsd_graph::{Distance, Quality, VertexId};
+use wcsd_obs::{Counter, Gauge, Histogram, Registry};
+
+/// How long a connection read may block before the handler re-checks the
+/// shutdown flag; bounds how long `Router::run` waits for handler threads.
+const POLL_INTERVAL: Duration = Duration::from_millis(250);
+
+/// Configuration for [`Router::bind`].
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Port to listen on (loopback only); 0 picks an ephemeral port.
+    pub port: u16,
+    /// Read timeout for one backend exchange. A backend that does not
+    /// produce its reply within this window counts as failed (then retried
+    /// once on a fresh connection).
+    pub backend_timeout: Duration,
+    /// Whether histogram/tracer recording is on (counters always are).
+    pub metrics_enabled: bool,
+    /// Registry to record into; `None` creates a private one.
+    pub registry: Option<Arc<Registry>>,
+}
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        Self {
+            port: 0,
+            backend_timeout: Duration::from_secs(2),
+            metrics_enabled: true,
+            registry: None,
+        }
+    }
+}
+
+const PROTO_LABELS: [&str; 2] = ["text", "binary"];
+const PROTO_TEXT: usize = 0;
+const PROTO_BINARY: usize = 1;
+const VERB_LABELS: [&str; 7] =
+    ["query", "within", "batch", "stats", "metrics", "reload", "shutdown"];
+const VERB_QUERY: usize = 0;
+const VERB_WITHIN: usize = 1;
+const VERB_BATCH: usize = 2;
+const VERB_STATS: usize = 3;
+const VERB_METRICS: usize = 4;
+const VERB_RELOAD: usize = 5;
+const VERB_SHUTDOWN: usize = 6;
+
+/// Metric handles, resolved once at bind time (same discipline as the
+/// single-shard server: the hot path never touches the registry lock).
+struct RouterMetrics {
+    registry: Arc<Registry>,
+    enabled: bool,
+    connections: Arc<Counter>,
+    live_connections: Arc<Gauge>,
+    proto_connections: [Arc<Counter>; 2],
+    queries: Arc<Counter>,
+    batches: Arc<Counter>,
+    batch_queries: Arc<Counter>,
+    errors: [Arc<Counter>; 2],
+    /// `[proto][verb]` — same name/labels as the backends, so loadgen's
+    /// server-side deltas work unchanged against the router.
+    verbs: [[Arc<Counter>; 7]; 2],
+    /// `[proto]` execute-phase latency.
+    execute: [Arc<Histogram>; 2],
+    /// Backend `BATCH` exchanges sent (including the retry of a failed one).
+    fanout: Arc<Counter>,
+    /// Individual per-shard queries fanned out inside those exchanges.
+    fanout_queries: Arc<Counter>,
+    /// Retries after a first backend failure.
+    retries: Arc<Counter>,
+    /// Per-backend exchange latency, labeled `backend="<shard>"`.
+    backend_us: Vec<Arc<Histogram>>,
+    /// Per-backend failed exchanges (after which a retry or ERR follows).
+    backend_errors: Vec<Arc<Counter>>,
+    /// Backends currently degraded (last exchange failed even after retry).
+    degraded: Arc<Gauge>,
+    uptime_ms: Arc<Gauge>,
+}
+
+impl RouterMetrics {
+    fn new(registry: Arc<Registry>, enabled: bool, num_backends: usize) -> Self {
+        let verbs = std::array::from_fn(|p| {
+            std::array::from_fn(|v| {
+                registry.counter_with(
+                    "wcsd_requests_total",
+                    &[("proto", PROTO_LABELS[p]), ("verb", VERB_LABELS[v])],
+                    "Requests executed, by protocol and verb",
+                )
+            })
+        });
+        let execute = std::array::from_fn(|p| {
+            registry.histogram_with(
+                "wcsd_request_phase_us",
+                &[("proto", PROTO_LABELS[p]), ("phase", "execute")],
+                "Request phase latency in microseconds",
+            )
+        });
+        let proto_connections = std::array::from_fn(|p| {
+            registry.counter_with(
+                "wcsd_proto_connections_total",
+                &[("proto", PROTO_LABELS[p])],
+                "Connections by negotiated protocol",
+            )
+        });
+        let errors = std::array::from_fn(|p| {
+            registry.counter_with(
+                "wcsd_request_errors_total",
+                &[("proto", PROTO_LABELS[p])],
+                "Requests rejected with an ERR reply",
+            )
+        });
+        let backend_us = (0..num_backends)
+            .map(|b| {
+                let label = b.to_string();
+                registry.histogram_with(
+                    "wcsd_router_backend_us",
+                    &[("backend", label.as_str())],
+                    "Backend BATCH exchange latency in microseconds",
+                )
+            })
+            .collect();
+        let backend_errors = (0..num_backends)
+            .map(|b| {
+                let label = b.to_string();
+                registry.counter_with(
+                    "wcsd_router_backend_errors_total",
+                    &[("backend", label.as_str())],
+                    "Failed backend exchanges",
+                )
+            })
+            .collect();
+        Self {
+            enabled,
+            connections: registry.counter("wcsd_connections_total", "Connections accepted"),
+            live_connections: registry.gauge("wcsd_live_connections", "Connections currently open"),
+            proto_connections,
+            queries: registry
+                .counter("wcsd_queries_total", "Point requests answered (QUERY and WITHIN)"),
+            batches: registry.counter("wcsd_batches_total", "BATCH requests answered"),
+            batch_queries: registry
+                .counter("wcsd_batch_queries_total", "Individual queries answered inside batches"),
+            errors,
+            verbs,
+            execute,
+            fanout: registry.counter("wcsd_router_fanout_total", "Backend BATCH exchanges sent"),
+            fanout_queries: registry.counter(
+                "wcsd_router_fanout_queries_total",
+                "Per-shard queries fanned out to backends",
+            ),
+            retries: registry
+                .counter("wcsd_router_retries_total", "Backend exchanges retried after a failure"),
+            backend_us,
+            backend_errors,
+            degraded: registry.gauge(
+                "wcsd_router_degraded_backends",
+                "Backends whose last exchange failed even after the retry",
+            ),
+            uptime_ms: registry.gauge("wcsd_uptime_ms", "Milliseconds since the router started"),
+            registry,
+        }
+    }
+
+    fn finish(&self, proto: usize, verb: usize, started: Option<Instant>) {
+        self.verbs[proto][verb].inc();
+        if let Some(t0) = started {
+            self.execute[proto].record_duration(t0.elapsed());
+        }
+    }
+}
+
+/// Everything connection handlers share.
+struct Shared {
+    overlay: OverlayIndex,
+    backends: Vec<String>,
+    backend_timeout: Duration,
+    metrics: RouterMetrics,
+    /// Per-backend degraded flags behind the gauge (the gauge itself cannot
+    /// be compare-and-swapped).
+    degraded: Vec<AtomicBool>,
+    shutdown: AtomicBool,
+    started: Instant,
+    local_addr: SocketAddr,
+}
+
+impl Shared {
+    fn set_degraded(&self, shard: usize, on: bool) {
+        if self.degraded[shard].swap(on, Ordering::SeqCst) != on {
+            if on {
+                self.metrics.degraded.inc();
+            } else {
+                self.metrics.degraded.dec();
+            }
+        }
+    }
+
+    fn snapshot(&self) -> ServerSnapshot {
+        let m = &self.metrics;
+        ServerSnapshot {
+            vertices: self.overlay.num_vertices(),
+            entries: self.overlay.num_edges(),
+            generation: 1,
+            uptime_ms: self.started.elapsed().as_millis() as u64,
+            connections: m.connections.get(),
+            live_connections: m.live_connections.get().max(0) as u64,
+            text_connections: m.proto_connections[PROTO_TEXT].get(),
+            binary_connections: m.proto_connections[PROTO_BINARY].get(),
+            reloads: 0,
+            queries: m.queries.get(),
+            batches: m.batches.get(),
+            batch_queries: m.batch_queries.get(),
+            cache_hits: 0,
+            cache_misses: 0,
+        }
+    }
+
+    fn metrics_payload(&self, recent: bool) -> String {
+        if recent {
+            let mut json = self.metrics.registry.tracer().dump_json();
+            json.push('\n');
+            json
+        } else {
+            self.metrics.uptime_ms.set(self.started.elapsed().as_millis() as i64);
+            self.metrics.registry.render()
+        }
+    }
+}
+
+/// The scatter-gather front end. [`Router::bind`] validates the
+/// overlay/backend pairing and claims the port; [`Router::run`] serves until
+/// a client sends `SHUTDOWN`.
+pub struct Router {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Router {
+    /// Binds the router on loopback. `backends[i]` must be the address of a
+    /// reactor serving shard `i`'s snapshot; the count has to match the
+    /// overlay's shard count. The backends are dialed lazily per client
+    /// connection, so they may come up after the router does.
+    pub fn bind(
+        overlay: OverlayIndex,
+        backends: Vec<String>,
+        config: RouterConfig,
+    ) -> std::io::Result<Self> {
+        if backends.len() != overlay.num_shards() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "{} backend addresses for an overlay of {} shards",
+                    backends.len(),
+                    overlay.num_shards()
+                ),
+            ));
+        }
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
+        let local_addr = listener.local_addr()?;
+        let registry = config.registry.unwrap_or_else(|| Arc::new(Registry::new()));
+        let metrics = RouterMetrics::new(registry, config.metrics_enabled, backends.len());
+        let degraded = backends.iter().map(|_| AtomicBool::new(false)).collect();
+        let shared = Arc::new(Shared {
+            overlay,
+            backends,
+            backend_timeout: config.backend_timeout,
+            metrics,
+            degraded,
+            shutdown: AtomicBool::new(false),
+            started: Instant::now(),
+            local_addr,
+        });
+        Ok(Self { listener, shared })
+    }
+
+    /// The address the router is listening on.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.shared.local_addr
+    }
+
+    /// Serves until a client sends `SHUTDOWN`, then joins every connection
+    /// handler (bounded by the poll interval plus in-flight backend
+    /// timeouts) and returns the final counters.
+    pub fn run(self) -> ServerSnapshot {
+        let mut handles = Vec::new();
+        for stream in self.listener.incoming() {
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let shared = Arc::clone(&self.shared);
+            handles.push(std::thread::spawn(move || handle_connection(&shared, stream)));
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        self.shared.snapshot()
+    }
+}
+
+/// One lazily-dialed backend connection pool, private to one client
+/// connection (exchanges on a backend socket never interleave).
+struct BackendPool {
+    conns: Vec<Option<Client>>,
+}
+
+impl BackendPool {
+    fn new(n: usize) -> Self {
+        Self { conns: (0..n).map(|_| None).collect() }
+    }
+
+    fn connect(&mut self, shared: &Shared, shard: usize) -> Result<&mut Client, String> {
+        if self.conns[shard].is_none() {
+            let mut client =
+                Client::connect_with(shared.backends[shard].as_str(), Protocol::Binary)
+                    .map_err(|e| format!("connect to {}: {e}", shared.backends[shard]))?;
+            client
+                .set_read_timeout(Some(shared.backend_timeout))
+                .map_err(|e| format!("configure {}: {e}", shared.backends[shard]))?;
+            self.conns[shard] = Some(client);
+        }
+        Ok(self.conns[shard].as_mut().expect("just connected"))
+    }
+
+    /// One `BATCH` exchange with `shard`, retried once on a fresh connection.
+    /// Chunks at the protocol batch maximum, so a plan of any size goes
+    /// through.
+    fn batch(
+        &mut self,
+        shared: &Shared,
+        shard: usize,
+        queries: &[(VertexId, VertexId, Quality)],
+    ) -> Result<Vec<Option<Distance>>, String> {
+        let mut answers = Vec::with_capacity(queries.len());
+        for chunk in queries.chunks(protocol::MAX_BATCH) {
+            match self.try_batch(shared, shard, chunk) {
+                Ok(chunk_answers) => answers.extend(chunk_answers),
+                Err(first) => {
+                    shared.metrics.backend_errors[shard].inc();
+                    shared.metrics.retries.inc();
+                    match self.try_batch(shared, shard, chunk) {
+                        Ok(chunk_answers) => answers.extend(chunk_answers),
+                        Err(second) => {
+                            shared.metrics.backend_errors[shard].inc();
+                            shared.set_degraded(shard, true);
+                            return Err(format!(
+                                "backend {shard} ({}) unavailable: {second} \
+                                 (first attempt: {first})",
+                                shared.backends[shard]
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        shared.set_degraded(shard, false);
+        Ok(answers)
+    }
+
+    /// One attempt: connect if needed, exchange, and on failure drop the
+    /// (possibly mid-reply) connection so the retry starts clean.
+    fn try_batch(
+        &mut self,
+        shared: &Shared,
+        shard: usize,
+        chunk: &[(VertexId, VertexId, Quality)],
+    ) -> Result<Vec<Option<Distance>>, String> {
+        let t0 = Instant::now();
+        shared.metrics.fanout.inc();
+        shared.metrics.fanout_queries.add(chunk.len() as u64);
+        let result = self.connect(shared, shard).and_then(|client| client.batch(chunk));
+        match result {
+            Ok(answers) => {
+                if shared.metrics.enabled {
+                    shared.metrics.backend_us[shard].record_duration(t0.elapsed());
+                }
+                Ok(answers)
+            }
+            Err(e) => {
+                self.conns[shard] = None;
+                Err(e)
+            }
+        }
+    }
+}
+
+/// Validates a query's endpoints against the overlay's vertex range — same
+/// wording as the backend reactors, so the router and a direct backend reject
+/// identically.
+fn check_range(overlay: &OverlayIndex, s: VertexId, t: VertexId) -> Result<(), String> {
+    let n = overlay.num_vertices();
+    for v in [s, t] {
+        if v as usize >= n {
+            return Err(format!("vertex {v} out of range (index covers 0..{n})"));
+        }
+    }
+    Ok(())
+}
+
+/// Scatter: fetch every per-shard batch of `plan` through `pool`.
+fn scatter(
+    shared: &Shared,
+    pool: &mut BackendPool,
+    plan: &ScatterPlan,
+) -> Result<Vec<Vec<Option<Distance>>>, String> {
+    plan.shards
+        .iter()
+        .map(
+            |&(shard, ref qs)| {
+                if qs.is_empty() {
+                    Ok(Vec::new())
+                } else {
+                    pool.batch(shared, shard as usize, qs)
+                }
+            },
+        )
+        .collect()
+}
+
+fn answer_distance(
+    shared: &Shared,
+    pool: &mut BackendPool,
+    s: VertexId,
+    t: VertexId,
+    w: Quality,
+) -> Result<Option<Distance>, String> {
+    check_range(&shared.overlay, s, t)?;
+    let plan = shared.overlay.plan(s, t, w);
+    let answers = scatter(shared, pool, &plan)?;
+    shared.overlay.merge(&plan, &answers)
+}
+
+/// Answers a whole client `BATCH` with one backend `BATCH` per involved
+/// shard: all per-query plans are concatenated per shard, fetched, and
+/// sliced back in order. Any backend failure fails the whole batch — one
+/// `ERR` line, never a torn reply.
+fn answer_batch(
+    shared: &Shared,
+    pool: &mut BackendPool,
+    queries: &[(VertexId, VertexId, Quality)],
+) -> Result<Vec<Option<Distance>>, String> {
+    for (i, &(s, t, _)) in queries.iter().enumerate() {
+        check_range(&shared.overlay, s, t)
+            .map_err(|reason| format!("batch line {}: {reason}", i + 1))?;
+    }
+    let plans: Vec<ScatterPlan> =
+        queries.iter().map(|&(s, t, w)| shared.overlay.plan(s, t, w)).collect();
+    let num_shards = shared.overlay.num_shards();
+    let mut per_shard: Vec<Vec<(VertexId, VertexId, Quality)>> = vec![Vec::new(); num_shards];
+    for plan in &plans {
+        for &(shard, ref qs) in &plan.shards {
+            per_shard[shard as usize].extend_from_slice(qs);
+        }
+    }
+    let mut fetched: Vec<Vec<Option<Distance>>> = Vec::with_capacity(num_shards);
+    for (shard, qs) in per_shard.iter().enumerate() {
+        fetched.push(if qs.is_empty() { Vec::new() } else { pool.batch(shared, shard, qs)? });
+    }
+    let mut cursors = vec![0usize; num_shards];
+    let mut out = Vec::with_capacity(queries.len());
+    for plan in &plans {
+        let answers: Vec<Vec<Option<Distance>>> = plan
+            .shards
+            .iter()
+            .map(|&(shard, ref qs)| {
+                let at = cursors[shard as usize];
+                cursors[shard as usize] = at + qs.len();
+                fetched[shard as usize][at..at + qs.len()].to_vec()
+            })
+            .collect();
+        out.push(shared.overlay.merge(plan, &answers)?);
+    }
+    Ok(out)
+}
+
+/// Outcome of handling one request.
+enum Action {
+    Reply(Reply),
+    /// Reply, then close the connection (`SHUTDOWN`).
+    Bye(Reply),
+}
+
+/// Executes one protocol-neutral request against the backends. Both wire
+/// loops funnel through here, so text and binary clients get identical
+/// behavior.
+fn execute(
+    shared: &Shared,
+    pool: &mut BackendPool,
+    proto: usize,
+    req: Request,
+    batch_body: Vec<(VertexId, VertexId, Quality)>,
+) -> Action {
+    let m = &shared.metrics;
+    let timer = m.enabled.then(Instant::now);
+    match req {
+        Request::Query { s, t, w } => {
+            let reply = match answer_distance(shared, pool, s, t, w) {
+                Ok(d) => {
+                    m.queries.inc();
+                    Reply::Dist(d)
+                }
+                Err(reason) => Reply::Err(reason),
+            };
+            m.finish(proto, VERB_QUERY, timer);
+            Action::Reply(reply)
+        }
+        Request::Within { s, t, w, d } => {
+            let reply = match answer_distance(shared, pool, s, t, w) {
+                Ok(found) => {
+                    m.queries.inc();
+                    Reply::Bool(found.is_some_and(|x| x <= d))
+                }
+                Err(reason) => Reply::Err(reason),
+            };
+            m.finish(proto, VERB_WITHIN, timer);
+            Action::Reply(reply)
+        }
+        Request::Batch { n } => {
+            debug_assert_eq!(n, batch_body.len());
+            let reply = match answer_batch(shared, pool, &batch_body) {
+                Ok(answers) => {
+                    m.batches.inc();
+                    m.batch_queries.add(answers.len() as u64);
+                    Reply::Batch(answers)
+                }
+                Err(reason) => Reply::Err(reason),
+            };
+            m.finish(proto, VERB_BATCH, timer);
+            Action::Reply(reply)
+        }
+        Request::Stats => {
+            let reply = Reply::Stats(shared.snapshot().encode());
+            m.finish(proto, VERB_STATS, timer);
+            Action::Reply(reply)
+        }
+        Request::Metrics { recent } => {
+            // Render before self-counting, mirroring the reactor: the scrape
+            // reconciles with the counters as of just before this request.
+            let payload = shared.metrics_payload(recent);
+            m.finish(proto, VERB_METRICS, timer);
+            Action::Reply(Reply::Metrics(payload))
+        }
+        Request::Reload { .. } => {
+            m.finish(proto, VERB_RELOAD, timer);
+            Action::Reply(Reply::Err(
+                "router serves a static overlay; RELOAD each backend directly".to_string(),
+            ))
+        }
+        Request::Shutdown => {
+            m.finish(proto, VERB_SHUTDOWN, timer);
+            shared.shutdown.store(true, Ordering::SeqCst);
+            // Wake the acceptor so `run` observes the flag.
+            let _ = TcpStream::connect(shared.local_addr);
+            Action::Bye(Reply::Bye)
+        }
+    }
+}
+
+/// What a polled read produced.
+enum ReadOutcome {
+    Data,
+    Closed,
+    Shutdown,
+}
+
+/// Reads exactly `buf.len()` bytes, polling the shutdown flag on every read
+/// timeout. A peer close mid-item is `Closed` either way — the connection is
+/// done.
+fn read_full(stream: &mut TcpStream, buf: &mut [u8], shared: &Shared) -> ReadOutcome {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match stream.read(&mut buf[filled..]) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(n) => filled += n,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return ReadOutcome::Shutdown;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+    ReadOutcome::Data
+}
+
+/// Reads one newline-terminated line (the partial line survives read
+/// timeouts: `read_until` appends what it consumed before erroring).
+fn read_line(
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+    shared: &Shared,
+) -> ReadOutcome {
+    loop {
+        match reader.read_until(b'\n', line) {
+            Ok(0) => return ReadOutcome::Closed,
+            Ok(_) if line.ends_with(b"\n") => return ReadOutcome::Data,
+            Ok(_) => return ReadOutcome::Closed, // EOF mid-line
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if shared.shutdown.load(Ordering::SeqCst) || line.len() > crate::server::MAX_LINE {
+                    return ReadOutcome::Shutdown;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return ReadOutcome::Closed,
+        }
+    }
+}
+
+fn handle_connection(shared: &Shared, mut stream: TcpStream) {
+    shared.metrics.connections.inc();
+    shared.metrics.live_connections.inc();
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(POLL_INTERVAL));
+    let _ = stream.set_write_timeout(Some(crate::server::WRITE_TIMEOUT));
+
+    let mut first = [0u8; 1];
+    if matches!(read_full(&mut stream, &mut first, shared), ReadOutcome::Data) {
+        if first[0] == binary::MAGIC {
+            let mut version = [0u8; 1];
+            if matches!(read_full(&mut stream, &mut version, shared), ReadOutcome::Data)
+                && version[0] == binary::VERSION
+            {
+                shared.metrics.proto_connections[PROTO_BINARY].inc();
+                serve_binary(shared, stream);
+            }
+        } else {
+            shared.metrics.proto_connections[PROTO_TEXT].inc();
+            serve_text(shared, stream, first[0]);
+        }
+    }
+    shared.metrics.live_connections.dec();
+}
+
+fn serve_text(shared: &Shared, stream: TcpStream, first_byte: u8) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = BufWriter::new(write_half);
+    let mut reader = BufReader::new(stream);
+    let mut pool = BackendPool::new(shared.backends.len());
+    let mut line: Vec<u8> = vec![first_byte];
+    // The first byte already consumed for protocol detection may itself be
+    // the newline of an empty first line.
+    loop {
+        if !line.ends_with(b"\n") {
+            match read_line(&mut reader, &mut line, shared) {
+                ReadOutcome::Data => {}
+                ReadOutcome::Closed | ReadOutcome::Shutdown => return,
+            }
+        }
+        let text = String::from_utf8_lossy(&line).into_owned();
+        let action = match protocol::parse_request(text.trim_end_matches(['\r', '\n'])) {
+            Ok(Request::Batch { n }) => {
+                let mut body = Vec::with_capacity(n);
+                let mut invalid: Option<String> = None;
+                let mut body_line: Vec<u8> = Vec::new();
+                for seen in 1..=n {
+                    body_line.clear();
+                    match read_line(&mut reader, &mut body_line, shared) {
+                        ReadOutcome::Data => {}
+                        ReadOutcome::Closed | ReadOutcome::Shutdown => return,
+                    }
+                    let text = String::from_utf8_lossy(&body_line);
+                    match protocol::parse_batch_line(text.trim_end_matches(['\r', '\n'])) {
+                        Ok(q) => body.push(q),
+                        Err(reason) => {
+                            invalid.get_or_insert(format!("batch line {seen}: {reason}"));
+                        }
+                    }
+                }
+                match invalid {
+                    None => execute(shared, &mut pool, PROTO_TEXT, Request::Batch { n }, body),
+                    Some(reason) => Action::Reply(Reply::Err(reason)),
+                }
+            }
+            Ok(req) => execute(shared, &mut pool, PROTO_TEXT, req, Vec::new()),
+            Err(reason) => Action::Reply(Reply::Err(reason)),
+        };
+        let (reply, done) = match action {
+            Action::Reply(reply) => (reply, false),
+            Action::Bye(reply) => (reply, true),
+        };
+        if matches!(reply, Reply::Err(_)) {
+            shared.metrics.errors[PROTO_TEXT].inc();
+        }
+        let mut out = Vec::new();
+        reply.encode_text(&mut out);
+        if writer.write_all(&out).and_then(|()| writer.flush()).is_err() || done {
+            return;
+        }
+        line.clear();
+    }
+}
+
+fn serve_binary(shared: &Shared, mut stream: TcpStream) {
+    let Ok(write_half) = stream.try_clone() else { return };
+    let mut writer = BufWriter::new(write_half);
+    let mut pool = BackendPool::new(shared.backends.len());
+    loop {
+        let mut len = [0u8; 4];
+        match read_full(&mut stream, &mut len, shared) {
+            ReadOutcome::Data => {}
+            ReadOutcome::Closed | ReadOutcome::Shutdown => return,
+        }
+        let len = u32::from_le_bytes(len) as usize;
+        if len > binary::MAX_FRAME {
+            let mut out = Vec::new();
+            binary::encode_reply(
+                &Reply::Err(format!("frame of {len} bytes exceeds maximum")),
+                &mut out,
+            );
+            let _ = writer.write_all(&out).and_then(|()| writer.flush());
+            return;
+        }
+        let mut body = vec![0u8; len];
+        match read_full(&mut stream, &mut body, shared) {
+            ReadOutcome::Data => {}
+            ReadOutcome::Closed | ReadOutcome::Shutdown => return,
+        }
+        let action = match binary::decode_request(&body) {
+            Ok(bin) => {
+                let (req, batch_body) = match bin {
+                    BinRequest::Query { s, t, w } => (Request::Query { s, t, w }, Vec::new()),
+                    BinRequest::Batch { queries } => (Request::Batch { n: queries.len() }, queries),
+                    BinRequest::Within { s, t, w, d } => {
+                        (Request::Within { s, t, w, d }, Vec::new())
+                    }
+                    BinRequest::Stats => (Request::Stats, Vec::new()),
+                    BinRequest::Metrics { recent } => (Request::Metrics { recent }, Vec::new()),
+                    BinRequest::Reload { path } => (Request::Reload { path }, Vec::new()),
+                    BinRequest::Shutdown => (Request::Shutdown, Vec::new()),
+                };
+                execute(shared, &mut pool, PROTO_BINARY, req, batch_body)
+            }
+            Err(reason) => Action::Reply(Reply::Err(reason)),
+        };
+        let (reply, done) = match action {
+            Action::Reply(reply) => (reply, false),
+            Action::Bye(reply) => (reply, true),
+        };
+        if matches!(reply, Reply::Err(_)) {
+            shared.metrics.errors[PROTO_BINARY].inc();
+        }
+        let mut out = Vec::new();
+        binary::encode_reply(&reply, &mut out);
+        if writer.write_all(&out).and_then(|()| writer.flush()).is_err() || done {
+            return;
+        }
+    }
+}
+
+/// Convenience for tests and the CLI: loads per-shard `WCIF` snapshots and
+/// validates them against the overlay (shard count and the global-id vertex
+/// range), returning what `wcsd-cli route` prints on mismatch.
+pub fn validate_backend_snapshot(
+    overlay: &OverlayIndex,
+    shard: usize,
+    index: &FlatIndex,
+) -> Result<(), String> {
+    if shard >= overlay.num_shards() {
+        return Err(format!("shard {shard} out of range for {} shards", overlay.num_shards()));
+    }
+    if index.num_vertices() != overlay.num_vertices() {
+        return Err(format!(
+            "shard {shard} snapshot covers {} vertices, overlay covers {} \
+             (shard snapshots keep global ids)",
+            index.num_vertices(),
+            overlay.num_vertices()
+        ));
+    }
+    Ok(())
+}

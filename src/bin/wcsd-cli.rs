@@ -11,6 +11,8 @@
 //! wcsd-cli metrics <host:port> [--recent]
 //! wcsd-cli reload <host:port> <index-file>
 //! wcsd-cli feed <graph-file> <updates-file> <snapshot-dir> [--addr H:P] [--batch N] [--threads N] [--ordering ...] [--repair-threshold F] [--json PATH] [--dimacs]
+//! wcsd-cli partition <graph-file> <out-dir> [--shards N] [--seed S] [--ordering ...] [--threads N] [--dimacs]
+//! wcsd-cli route <overlay-file> <backend-addr> [<backend-addr>...] [--port P] [--backend-timeout-ms N] [--no-metrics]
 //! ```
 //!
 //! `feed` is the streaming-freshness front end: it builds a dynamic index
@@ -34,6 +36,30 @@
 //! snapshot for another index file without dropping connections (the path
 //! is resolved on the serving host — `reload` absolutizes it first, since
 //! CLI and server share a machine on the loopback deployment).
+//!
+//! `partition` and `route` are the sharded serving tier. `partition` splits
+//! the graph into `--shards` shards with the deterministic seeded balanced
+//! BFS partitioner, builds one WC-INDEX⁺ per shard **subgraph** (global
+//! vertex ids, intra-shard edges only) and writes `shard-<i>.fidx` `WCIF`
+//! snapshots plus `overlay.wcso` — the boundary-vertex overlay through which
+//! per-shard answers compose exactly — into `<out-dir>`. Serve each shard
+//! snapshot with a plain `wcsd-cli serve`, then point `route` at the overlay
+//! and the backend addresses (in shard order): the router answers
+//! `QUERY`/`BATCH`/`WITHIN` on both wire protocols by fanning per-shard
+//! `BATCH`es out over persistent binary clients and merging through the
+//! overlay, bit-identical to the unsharded index. A backend that misses its
+//! `--backend-timeout-ms` budget is retried once on a fresh connection, then
+//! the request degrades to `ERR` and the backend is marked in the
+//! `wcsd_router_degraded_backends` gauge (scrape the router's own `METRICS`;
+//! `wcsd_router_fanout_total` counts backend exchanges).
+//!
+//! ```text
+//! wcsd-cli partition road.edges /tmp/shards --shards 2
+//! wcsd-cli serve road.edges /tmp/shards/shard-0.fidx --port 7981 &
+//! wcsd-cli serve road.edges /tmp/shards/shard-1.fidx --port 7982 &
+//! wcsd-cli route /tmp/shards/overlay.wcso 127.0.0.1:7981 127.0.0.1:7982 --port 7979 &
+//! wcsd-cli client 127.0.0.1:7979 query 17 93 3
+//! ```
 //!
 //! `stats <host:port>` (address detected by the `:`) fetches a running
 //! server's counters and pretty-prints them, or emits one JSON object with
@@ -122,6 +148,8 @@ fn main() -> ExitCode {
             eprintln!("  wcsd-cli metrics <host:port> [--recent]");
             eprintln!("  wcsd-cli reload <host:port> <index-file>");
             eprintln!("  wcsd-cli feed <graph-file> <updates-file> <snapshot-dir> [--addr H:P] [--batch N] [--threads N] [--ordering degree|tree|hybrid] [--repair-threshold F] [--json PATH] [--dimacs]");
+            eprintln!("  wcsd-cli partition <graph-file> <out-dir> [--shards N] [--seed S] [--ordering degree|tree|hybrid] [--threads N] [--dimacs]");
+            eprintln!("  wcsd-cli route <overlay-file> <backend-addr> [<backend-addr>...] [--port P] [--backend-timeout-ms N] [--no-metrics]");
             ExitCode::FAILURE
         }
     }
@@ -142,6 +170,9 @@ fn value_flags(args: &[String]) -> &'static [&'static str] {
         "--batch",
         "--repair-threshold",
         "--slow-query-ms",
+        "--shards",
+        "--seed",
+        "--backend-timeout-ms",
     ];
     const WITH_JSON_PATH: &[&str] = &[
         "--ordering",
@@ -152,6 +183,9 @@ fn value_flags(args: &[String]) -> &'static [&'static str] {
         "--batch",
         "--repair-threshold",
         "--slow-query-ms",
+        "--shards",
+        "--seed",
+        "--backend-timeout-ms",
         "--json",
     ];
     match args.iter().find(|a| !a.starts_with("--")).map(|s| s.as_str()) {
@@ -362,6 +396,100 @@ fn run(args: &[String]) -> Result<(), String> {
             println!(
                 "reloaded {index_path}: now serving generation {} ({} vertices, {} entries)",
                 info.generation, info.vertices, info.entries
+            );
+            Ok(())
+        }
+        Some("partition") => {
+            let [_, graph_path, out_dir] = positional[..] else {
+                return Err("partition requires <graph-file> <out-dir>".to_string());
+            };
+            let graph = read_graph_file(graph_path, use_dimacs)?;
+            let shards: usize = flag_value(args, "--shards")?.unwrap_or(2);
+            if shards == 0 {
+                return Err("--shards must be at least 1".to_string());
+            }
+            let seed: u64 = flag_value(args, "--seed")?.unwrap_or(0);
+            let threads: usize = flag_value(args, "--threads")?.unwrap_or(1);
+            let out = std::path::Path::new(out_dir);
+            std::fs::create_dir_all(out).map_err(|e| format!("cannot create {out_dir}: {e}"))?;
+            let start = std::time::Instant::now();
+            let partition = Partition::build(&graph, shards, seed);
+            let overlay = wcsd::core::overlay::OverlayIndex::build(&graph, &partition);
+            let overlay_path = out.join("overlay.wcso");
+            std::fs::write(&overlay_path, overlay.encode())
+                .map_err(|e| format!("cannot write {}: {e}", overlay_path.display()))?;
+            // One read-optimized WCIF snapshot per shard, over the shard's
+            // intra-shard subgraph in *global* ids — any snapshot serves
+            // directly with `wcsd-cli serve` and range-checks like the
+            // unsharded index.
+            for shard in 0..shards as u32 {
+                let sub = partition.shard_subgraph(&graph, shard);
+                let index = IndexBuilder::new().ordering(ordering).threads(threads).build(&sub);
+                let flat = FlatIndex::from_index(&index);
+                let path = out.join(format!("shard-{shard}.fidx"));
+                std::fs::write(&path, flat.encode())
+                    .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+                println!(
+                    "shard {shard}: {} vertices, {} intra-shard edges, {} label entries -> {}",
+                    partition.shard_sizes()[shard as usize],
+                    sub.num_edges(),
+                    flat.total_entries(),
+                    path.display()
+                );
+            }
+            println!(
+                "partitioned {} vertices / {} edges into {shards} shard(s) in {:.2?}: \
+                 {} boundary vertices, {} cut edges, {} overlay edges -> {}",
+                graph.num_vertices(),
+                graph.num_edges(),
+                start.elapsed(),
+                overlay.num_boundary(),
+                partition.cut_edges(&graph).count(),
+                overlay.num_edges(),
+                overlay_path.display()
+            );
+            Ok(())
+        }
+        Some("route") => {
+            let [_, overlay_path, backends @ ..] = &positional[..] else {
+                return Err(
+                    "route requires <overlay-file> <backend-addr> [<backend-addr>...]".to_string()
+                );
+            };
+            if backends.is_empty() {
+                return Err("route requires at least one backend address".to_string());
+            }
+            let data = std::fs::read(overlay_path)
+                .map_err(|e| format!("cannot read {overlay_path}: {e}"))?;
+            let overlay = wcsd::core::overlay::OverlayIndex::decode(&data)
+                .map_err(|e| format!("corrupt overlay: {e}"))?;
+            let mut config = RouterConfig::default();
+            if let Some(port) = flag_value(args, "--port")? {
+                config.port = port;
+            }
+            if let Some(ms) = flag_value::<u64>(args, "--backend-timeout-ms")? {
+                config.backend_timeout = Duration::from_millis(ms);
+            }
+            config.metrics_enabled = !args.iter().any(|a| a == "--no-metrics");
+            config.registry = Some(wcsd_obs::global().clone());
+            let (vertices, boundary, edges) =
+                (overlay.num_vertices(), overlay.num_boundary(), overlay.num_edges());
+            let addrs: Vec<String> = backends.iter().map(|s| s.to_string()).collect();
+            let router = Router::bind(overlay, addrs, config)
+                .map_err(|e| format!("cannot bind router: {e}"))?;
+            println!(
+                "wcsd-router listening on {} ({} vertices across {} shard(s), \
+                 {} boundary vertices, {} overlay edges)",
+                router.local_addr(),
+                vertices,
+                backends.len(),
+                boundary,
+                edges
+            );
+            let summary = router.run();
+            println!(
+                "shut down after {} connections, {} queries, {} batches ({} batched queries)",
+                summary.connections, summary.queries, summary.batches, summary.batch_queries
             );
             Ok(())
         }

@@ -29,9 +29,10 @@ pub use wcsd_server as server;
 pub mod prelude {
     pub use wcsd_baselines::DistanceAlgorithm;
     pub use wcsd_core::{
-        ConstructionMode, FlatIndex, FlatView, IndexBuilder, QueryEngine, QueryImpl, WcIndex,
+        ConstructionMode, FlatIndex, FlatView, IndexBuilder, OverlayIndex, QueryEngine, QueryImpl,
+        ShardedIndex, WcIndex,
     };
-    pub use wcsd_graph::{Graph, GraphBuilder, Quality, QualityDomain, VertexId};
+    pub use wcsd_graph::{Graph, GraphBuilder, Partition, Quality, QualityDomain, VertexId};
     pub use wcsd_order::OrderingStrategy;
-    pub use wcsd_server::{Client, Protocol, Server, ServerConfig};
+    pub use wcsd_server::{Client, Protocol, Router, RouterConfig, Server, ServerConfig};
 }

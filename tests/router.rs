@@ -1,0 +1,353 @@
+//! Cross-shard parity suite for the sharded serving tier: the partitioned
+//! index composed through the boundary overlay must be **bit-identical** to
+//! the unsharded index, in process and over the wire.
+//!
+//! * a seeded fuzz sweep (48 seeds × {road, social} shapes × all three
+//!   query implementations) comparing [`ShardedIndex`] against a full
+//!   [`FlatIndex`] for `QUERY`, `BATCH`, and `WITHIN` — including
+//!   unreachable pairs, `s == t`, and out-of-range quality constraints;
+//! * an exhaustive small-graph sweep pinning both against the online
+//!   constrained-BFS oracle (ground truth, not just mutual agreement);
+//! * an end-to-end TCP test: two real backend reactors plus the
+//!   scatter-gather router, checked for wire parity on both protocols and
+//!   for identical `ERR` wording against a direct (unsharded) server;
+//! * a fault-injection test: one backend is killed mid-workload and the
+//!   router must degrade to `ERR` within the backend timeout, keep serving
+//!   queries that avoid the dead shard, report the degradation through
+//!   `METRICS`, and never emit a torn (partial) batch reply.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use wcsd::prelude::*;
+use wcsd_baselines::online::constrained_bfs;
+use wcsd_graph::generators::{barabasi_albert, road_grid, QualityAssigner, RoadGridConfig};
+use wcsd_graph::{Distance, Graph};
+
+/// Number of seeds per graph shape in the fuzz sweep (matches the
+/// property-test convention in `tests/properties.rs`).
+const CASES: u64 = 48;
+
+const IMPLS: [QueryImpl; 3] = [QueryImpl::PairScan, QueryImpl::HubBucket, QueryImpl::Merge];
+
+/// A road-network-like shard workload: grids partition along geography, so
+/// the cut is small and most pairs cross it.
+fn road(seed: u64) -> Graph {
+    road_grid(&RoadGridConfig::square(6), &QualityAssigner::uniform(4), seed)
+}
+
+/// A scale-free shard workload: hubs end up on the boundary, so the overlay
+/// profile carries many alternative (distance, quality) steps.
+fn social(seed: u64) -> Graph {
+    barabasi_albert(36, 2, &QualityAssigner::uniform(5), seed)
+}
+
+/// Full unsharded reference index over `g`.
+fn full_flat(g: &Graph) -> FlatIndex {
+    FlatIndex::from_index(&IndexBuilder::wc_index_plus().build(g))
+}
+
+/// The fuzz sweep: for every seed and shape, a sharded index over a 2–4-way
+/// partition answers exactly like the unsharded index under all three query
+/// implementations.
+#[test]
+fn sharded_matches_unsharded_fuzz() {
+    for seed in 0..CASES {
+        for (shape, g) in [("road", road(seed)), ("social", social(seed))] {
+            let shards = 2 + (seed % 3) as usize;
+            let partition = Partition::build(&g, shards, seed);
+            let sharded = ShardedIndex::build(&g, &partition);
+            let flat = full_flat(&g);
+            let n = g.num_vertices() as u32;
+            let max_q = g.distinct_qualities().last().copied().unwrap_or(1);
+
+            let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9) ^ 0x5bad_c0de_u64);
+            let mut triples: Vec<(u32, u32, u32)> = (0..40)
+                .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..=max_q + 1)))
+                .collect();
+            // Targeted edge cases: the reflexive pair under an unsatisfiable
+            // constraint (must stay Some(0)), a constraint above every edge
+            // quality, and the extreme-corner pair (unreachable on grids
+            // with removed edges).
+            triples.push((0, 0, max_q + 5));
+            triples.push((n - 1, n - 1, max_q + 5));
+            triples.push((0, n - 1, max_q + 3));
+            triples.push((0, n - 1, 1));
+
+            for &(s, t, w) in &triples {
+                let expect = flat.distance_with(s, t, w, QueryImpl::Merge);
+                for imp in IMPLS {
+                    assert_eq!(
+                        sharded.distance_with(s, t, w, imp),
+                        expect,
+                        "{shape} seed {seed} shards {shards}: Q({s},{t},{w}) via {imp:?}"
+                    );
+                }
+                // WITHIN must agree with the composed distance on both
+                // sides of the threshold.
+                for d in [0, 1, expect.unwrap_or(2).saturating_sub(1), expect.unwrap_or(7)] {
+                    assert_eq!(
+                        sharded.within(s, t, w, d),
+                        expect.is_some_and(|found| found <= d),
+                        "{shape} seed {seed}: WITHIN({s},{t},{w},{d})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Exhaustive sweep on small random graphs (the builder-cleanup fuzzer shape
+/// from `tests/properties.rs`): every pair, every level, pinned against the
+/// online BFS oracle so sharded and unsharded cannot agree on a shared bug.
+#[test]
+fn sharded_matches_oracle_exhaustive() {
+    for seed in 0..12u64 {
+        let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9) ^ 0x00C0_FFEE);
+        let n = rng.gen_range(2..=16usize);
+        let m = rng.gen_range(0..=40usize);
+        let mut b = GraphBuilder::new(n);
+        for _ in 0..m {
+            let u = rng.gen_range(0..n as u32);
+            let v = rng.gen_range(0..n as u32);
+            b.add_edge(u, v, rng.gen_range(1..=4u32));
+        }
+        let g = b.build();
+        let partition = Partition::build(&g, 2, seed);
+        let sharded = ShardedIndex::build(&g, &partition);
+        let levels = g.distinct_qualities();
+        for s in 0..n as u32 {
+            for t in 0..n as u32 {
+                for &w in levels.iter().chain([5].iter()) {
+                    assert_eq!(
+                        sharded.distance(s, t, w),
+                        constrained_bfs(&g, s, t, w),
+                        "seed {seed}: Q({s},{t},{w})"
+                    );
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end TCP: real backends, real router, both wire protocols.
+// ---------------------------------------------------------------------------
+
+struct Cluster {
+    router_addr: String,
+    backend_addrs: Vec<String>,
+    router_handle: std::thread::JoinHandle<wcsd_server::ServerSnapshot>,
+    backend_handles: Vec<std::thread::JoinHandle<wcsd_server::ServerSnapshot>>,
+}
+
+/// Partitions `g`, serves each shard on its own reactor, and fronts them
+/// with a router on an ephemeral port.
+fn start_cluster(g: &Graph, shards: usize, seed: u64, backend_timeout: Duration) -> Cluster {
+    let partition = Partition::build(g, shards, seed);
+    let sharded = ShardedIndex::build(g, &partition);
+    let mut backend_addrs = Vec::new();
+    let mut backend_handles = Vec::new();
+    for shard in sharded.shards() {
+        let server =
+            Server::bind_flat(Arc::clone(shard), ServerConfig::default()).expect("bind backend");
+        backend_addrs.push(server.local_addr().to_string());
+        backend_handles.push(std::thread::spawn(move || server.run()));
+    }
+    let config = RouterConfig { backend_timeout, ..RouterConfig::default() };
+    let router = Router::bind(sharded.overlay().clone(), backend_addrs.clone(), config)
+        .expect("bind router");
+    let router_addr = router.local_addr().to_string();
+    let router_handle = std::thread::spawn(move || router.run());
+    Cluster { router_addr, backend_addrs, router_handle, backend_handles }
+}
+
+impl Cluster {
+    /// Shuts the whole cluster down and returns the router's final counters.
+    fn shutdown(self) -> wcsd_server::ServerSnapshot {
+        let mut c = Client::connect(&self.router_addr).expect("connect router");
+        c.shutdown().expect("router shutdown");
+        let snapshot = self.router_handle.join().expect("router thread");
+        for (addr, handle) in self.backend_addrs.iter().zip(self.backend_handles) {
+            if let Ok(mut c) = Client::connect(addr) {
+                let _ = c.shutdown();
+            }
+            let _ = handle.join();
+        }
+        snapshot
+    }
+}
+
+/// Wire parity: queries, batches, and predicates through the router agree
+/// bit-for-bit with a direct unsharded server, on both protocols, and error
+/// replies carry identical wording.
+#[test]
+fn router_wire_parity_end_to_end() {
+    let g = barabasi_albert(90, 3, &QualityAssigner::uniform(4), 23);
+    let flat = full_flat(&g);
+    let cluster = start_cluster(&g, 2, 3, Duration::from_secs(2));
+
+    // A direct, unsharded server over the same graph: the oracle for both
+    // answers and error wording.
+    let direct = Server::bind(IndexBuilder::wc_index_plus().build(&g), ServerConfig::default())
+        .expect("bind direct server");
+    let direct_addr = direct.local_addr().to_string();
+    let direct_handle = std::thread::spawn(move || direct.run());
+
+    let n = g.num_vertices() as u32;
+    for protocol in [Protocol::Text, Protocol::Binary] {
+        let mut via_router =
+            Client::connect_with(&cluster.router_addr, protocol).expect("connect router");
+        let mut via_direct = Client::connect_with(&direct_addr, protocol).expect("connect direct");
+
+        // Individual queries, including s == t and an unsatisfiable w.
+        let mut rng = StdRng::seed_from_u64(0xd15_7a9c ^ protocol as u64);
+        for _ in 0..25 {
+            let (s, t, w) = (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..=5));
+            let got = via_router.query(s, t, w).expect("router query");
+            assert_eq!(got, flat.distance_with(s, t, w, QueryImpl::Merge), "Q({s},{t},{w})");
+            assert_eq!(got, via_direct.query(s, t, w).expect("direct query"));
+        }
+        assert_eq!(via_router.query(7, 7, 99).expect("reflexive"), Some(0));
+        assert_eq!(via_router.query(0, 1, 99).expect("unsatisfiable"), None);
+
+        // One BATCH round trip covering the same workload shape.
+        let batch: Vec<(u32, u32, u32)> = (0..30)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..=5)))
+            .collect();
+        assert_eq!(
+            via_router.batch(&batch).expect("router batch"),
+            via_direct.batch(&batch).expect("direct batch"),
+            "{protocol:?} batch parity"
+        );
+
+        // WITHIN parity on both sides of the threshold.
+        for &(s, t, w) in batch.iter().take(8) {
+            let d_ref: Option<Distance> = flat.distance_with(s, t, w, QueryImpl::Merge);
+            for d in [0, d_ref.unwrap_or(3)] {
+                assert_eq!(
+                    via_router.within(s, t, w, d).expect("router within"),
+                    via_direct.within(s, t, w, d).expect("direct within"),
+                    "{protocol:?} WITHIN({s},{t},{w},{d})"
+                );
+            }
+        }
+
+        // Error wording parity: out-of-range vertices produce the exact
+        // same ERR text through the router as from the unsharded server.
+        assert_eq!(
+            via_router.query(9_999, 0, 1).expect_err("out of range"),
+            via_direct.query(9_999, 0, 1).expect_err("out of range"),
+            "{protocol:?} out-of-range wording"
+        );
+        let poisoned = [(0u32, 1u32, 1u32), (n, 0, 1), (1, 2, 1)];
+        assert_eq!(
+            via_router.batch(&poisoned).expect_err("poisoned batch"),
+            via_direct.batch(&poisoned).expect_err("poisoned batch"),
+            "{protocol:?} batch-line wording"
+        );
+        // The failed batch must not desynchronise the connection: the next
+        // request on the same socket still gets a correct answer.
+        assert_eq!(
+            via_router.query(0, 1, 1).expect("post-error query"),
+            flat.distance_with(0, 1, 1, QueryImpl::Merge)
+        );
+
+        // STATS is well-formed and advertises the overlay generation.
+        let stats = via_router.stats().expect("router stats");
+        assert_eq!(stats.vertices, g.num_vertices());
+        assert_eq!(stats.generation, 1);
+    }
+
+    let snapshot = cluster.shutdown();
+    assert!(snapshot.queries >= 50, "router counted its queries: {}", snapshot.queries);
+    assert!(snapshot.batches >= 2, "router counted its batches: {}", snapshot.batches);
+
+    let mut c = Client::connect(&direct_addr).expect("connect direct");
+    c.shutdown().expect("direct shutdown");
+    direct_handle.join().expect("direct thread");
+}
+
+/// Fault injection: killing one backend mid-workload degrades affected
+/// queries to `ERR` within the backend timeout (never a hang, never a torn
+/// batch), leaves the router serving unaffected shards, and shows up in the
+/// `METRICS` exposition as a degraded backend.
+#[test]
+fn router_fault_injection_degrades_without_hanging() {
+    let g = barabasi_albert(60, 2, &QualityAssigner::uniform(4), 5);
+    let flat = full_flat(&g);
+    let partition = Partition::build(&g, 2, 7);
+    let cluster = start_cluster(&g, 2, 7, Duration::from_millis(500));
+
+    // Pick one pair entirely inside shard 0 and one pair crossing into
+    // shard 1, so we can tell "partial service" from "dead router".
+    let in_shard = |shard: u32| -> Vec<u32> {
+        (0..g.num_vertices() as u32).filter(|&v| partition.shard_of(v) == shard).collect()
+    };
+    let shard0 = in_shard(0);
+    let shard1 = in_shard(1);
+    let (s0, t0) = (shard0[0], *shard0.last().unwrap());
+    let cross = (shard0[0], shard1[0]);
+
+    let mut client =
+        Client::connect_with(&cluster.router_addr, Protocol::Binary).expect("connect router");
+    client.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+
+    // Healthy baseline: a batch spanning both shards round-trips correctly.
+    let batch: Vec<(u32, u32, u32)> =
+        vec![(s0, t0, 1), (cross.0, cross.1, 1), (shard1[0], *shard1.last().unwrap(), 2)];
+    let healthy = client.batch(&batch).expect("healthy batch");
+    for (i, &(s, t, w)) in batch.iter().enumerate() {
+        assert_eq!(healthy[i], flat.distance_with(s, t, w, QueryImpl::Merge));
+    }
+
+    // Kill backend 1 (clean SHUTDOWN, so its port closes immediately).
+    let mut b1 = Client::connect(&cluster.backend_addrs[1]).expect("connect backend 1");
+    b1.shutdown().expect("backend shutdown");
+
+    // Affected traffic: ERR naming the dead backend, well under the
+    // timeout-plus-retry budget, and the whole batch fails — the client
+    // never sees a partial answer vector.
+    let started = Instant::now();
+    let err = client.batch(&batch).expect_err("batch through a dead shard");
+    let elapsed = started.elapsed();
+    assert!(err.contains("backend 1") && err.contains("unavailable"), "diagnostic: {err}");
+    assert!(elapsed < Duration::from_secs(3), "degradation must not hang: took {elapsed:?}");
+    let err = client.query(cross.0, cross.1, 1).expect_err("query through a dead shard");
+    assert!(err.contains("unavailable"), "diagnostic: {err}");
+
+    // Unaffected traffic on the same connection keeps working: a pair
+    // wholly inside the surviving shard fans out to backend 0 only.
+    assert_eq!(
+        client.query(s0, t0, 1).expect("same-shard query survives"),
+        flat.distance_with(s0, t0, 1, QueryImpl::Merge)
+    );
+
+    // The degradation is observable: the gauge reports one degraded
+    // backend and at least one retry was attempted before giving up.
+    let metrics = client.metrics(false).expect("router metrics");
+    assert!(
+        metrics.lines().any(|l| l.trim() == "wcsd_router_degraded_backends 1"),
+        "degraded gauge missing:\n{metrics}"
+    );
+    let retries: u64 = metrics
+        .lines()
+        .find_map(|l| l.strip_prefix("wcsd_router_retries_total ")?.trim().parse().ok())
+        .expect("retry counter present");
+    assert!(retries >= 1, "expected at least one retry, saw {retries}");
+
+    // A *fresh* connection is also served: the accept loop is alive.
+    let mut fresh = Client::connect(&cluster.router_addr).expect("fresh connection");
+    assert_eq!(
+        fresh.query(s0, t0, 2).expect("fresh same-shard query"),
+        flat.distance_with(s0, t0, 2, QueryImpl::Merge)
+    );
+
+    // Clean shutdown still works with a dead backend in the pool. The
+    // counters only tally *answered* requests: the two same-shard queries
+    // and the healthy batch, not the degraded ERR replies.
+    let snapshot = cluster.shutdown();
+    assert!(snapshot.queries >= 2, "answered queries: {}", snapshot.queries);
+    assert!(snapshot.batches >= 1, "answered batches: {}", snapshot.batches);
+}
