@@ -235,9 +235,9 @@ fn router_run(name: &str, sharded: &ShardedIndex, workload: &QueryWorkload) -> R
         backend_addrs.push(server.local_addr().to_string());
         backend_handles.push(std::thread::spawn(move || server.run()));
     }
-    let router =
-        Router::bind(sharded.overlay().clone(), backend_addrs.clone(), RouterConfig::default())
-            .map_err(|e| format!("cannot bind router: {e}"))?;
+    let groups: Vec<Vec<String>> = backend_addrs.iter().map(|a| vec![a.clone()]).collect();
+    let router = Router::bind(sharded.overlay().clone(), groups, RouterConfig::default())
+        .map_err(|e| format!("cannot bind router: {e}"))?;
     let addr = router.local_addr().to_string();
     let handle = std::thread::spawn(move || router.run());
 

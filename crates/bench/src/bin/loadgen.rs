@@ -9,8 +9,9 @@
 //! `--small` is the CI smoke preset (500 queries, 2 connections, batch 16).
 //! `--binary` speaks the length-prefixed binary protocol instead of text.
 //! `--rate QPS` switches to open-loop mode: queries depart on a fixed
-//! arrival schedule and the reported percentiles include queueing delay
-//! (requires batch 0, so `--small --rate` runs with `--batch 0`).
+//! arrival schedule and the reported percentiles include queueing delay;
+//! with batching each BATCH departs at its first query's schedule
+//! (`--small --rate` defaults to `--batch 0`, an explicit `--batch` wins).
 //! Prints a human summary plus the JSON record; exits non-zero when any
 //! request failed, so CI can assert a clean run.
 
@@ -59,9 +60,9 @@ fn run(args: &[String]) -> Result<bool, String> {
     let rate: f64 = flag_value(args, "--rate")?.unwrap_or(0.0);
     let queries = flag_value(args, "--queries")?.unwrap_or(if small { 500 } else { 10_000 });
     let connections = flag_value(args, "--connections")?.unwrap_or(if small { 2 } else { 4 });
-    // Open-loop mode requires individual queries, so --rate overrides the
-    // presets' default batch size (an explicit --batch still wins, and
-    // conflicts are reported by the loadgen library).
+    // Open-loop latencies are cleanest per query, so --rate overrides the
+    // presets' default batch size (an explicit --batch still wins: batches
+    // then depart at their first query's schedule).
     let default_batch = if rate > 0.0 {
         0
     } else if small {

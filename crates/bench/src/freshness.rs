@@ -188,6 +188,12 @@ pub fn summary(result: &FeedResult) -> String {
 /// [`FeedConfig::addr`] is set — `RELOAD`s the running server with each
 /// snapshot over a persistent binary-protocol connection. Returns the
 /// aggregate result plus the snapshot paths in generation order.
+///
+/// Snapshots are written atomically (temp file + fsync + rename, via
+/// [`wcsd_server::write_snapshot_atomic`]) and numbering continues past any
+/// generations already in the directory, so a crashed or restarted feed
+/// never tears or overwrites a published generation — recovery just picks
+/// the newest valid one.
 pub fn run_feed(
     dataset: &str,
     dyn_idx: &mut DynamicWcIndex,
@@ -228,7 +234,19 @@ pub fn run_feed(
     let mut freshness_us: Vec<f64> = Vec::new();
     let (mut apply_us, mut snapshot_us, mut reload_us) = (0.0f64, 0.0f64, 0.0f64);
 
-    for chunk in updates.chunks(batch_size) {
+    // Continue numbering past whatever a previous (possibly crashed) run
+    // left behind: a published generation is never overwritten.
+    let first_gen = std::fs::read_dir(snapshot_dir)
+        .map_err(|e| format!("cannot read {}: {e}", snapshot_dir.display()))?
+        .filter_map(|entry| {
+            let name = entry.ok()?.file_name().into_string().ok()?;
+            name.strip_prefix("gen-")?.strip_suffix(".wcif")?.parse::<u64>().ok()
+        })
+        .max()
+        .unwrap_or(0)
+        + 1;
+
+    for (gen, chunk) in (first_gen..).zip(updates.chunks(batch_size)) {
         let batch_start = Instant::now();
         let rebuilds_before = dyn_idx.rebuild_count();
         for &update in chunk {
@@ -256,10 +274,12 @@ pub fn run_feed(
         result.rebuild_fallbacks += dyn_idx.rebuild_count() - rebuilds_before;
         let applied = batch_start.elapsed();
 
-        let path = snapshot_dir.join(format!("gen-{:06}.wcif", snapshots.len() + 1));
+        let path = snapshot_dir.join(format!("gen-{gen:06}.wcif"));
         let encoded = dyn_idx.freeze().encode();
-        std::fs::write(&path, &encoded)
-            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+        // Atomic temp-file + fsync + rename: a crash mid-write can leave a
+        // torn temp file but never a torn generation, so a server recovering
+        // from this directory always finds the previous snapshot intact.
+        wcsd_server::write_snapshot_atomic(&path, &encoded)?;
         let snapshotted = batch_start.elapsed();
 
         if let Some(client) = client.as_mut() {

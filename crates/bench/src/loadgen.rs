@@ -20,7 +20,10 @@
 //! include the queueing delay, the way a user would experience it
 //! (coordinated omission is avoided by construction). Queries are assigned
 //! to connections round-robin so every connection sees the same arrival
-//! spacing.
+//! spacing. With batching, a `BATCH` departs at its **first** query's
+//! scheduled time and its latency is measured from that schedule — the rate
+//! still counts individual queries, so `--rate 2000` with batch 8 offers
+//! 250 batches/second.
 
 use crate::report::{json_string, JsonRecord};
 use crate::workload::QueryWorkload;
@@ -42,7 +45,8 @@ pub struct LoadgenConfig {
     /// Wire protocol to speak.
     pub protocol: Protocol,
     /// Open-loop arrival rate in queries/second across all connections;
-    /// 0.0 selects closed-loop mode. Open loop requires `batch_size == 0`.
+    /// 0.0 selects closed-loop mode. With `batch_size > 0` each batch
+    /// departs at its first query's scheduled time.
     pub rate_qps: f64,
 }
 
@@ -170,9 +174,6 @@ pub fn run_against(
     let queries = workload.queries();
     let connections = config.connections.max(1);
     let open_loop = config.rate_qps > 0.0;
-    if open_loop && config.batch_size > 0 {
-        return Err("open-loop mode (--rate) requires individual queries (batch size 0)".into());
-    }
     // Assign queries to connections: contiguous chunks in closed-loop mode
     // (cache-friendly, matches the old behaviour), round-robin in open-loop
     // mode so each connection sees evenly spaced arrivals.
@@ -336,7 +337,18 @@ fn drive_connection(
     } else {
         for batch in items.chunks(config.batch_size) {
             let queries: Vec<(u32, u32, u32)> = batch.iter().map(|item| item.query).collect();
-            let sent = Instant::now();
+            // In open-loop mode the batch departs at its first query's
+            // schedule, and the latency includes any queueing behind it.
+            let sent = match batch[0].due {
+                Some(due) => {
+                    let due_at = start + due;
+                    if let Some(wait) = due_at.checked_duration_since(Instant::now()) {
+                        std::thread::sleep(wait);
+                    }
+                    due_at
+                }
+                None => Instant::now(),
+            };
             match client.batch(&queries) {
                 Ok(batch_answers) => {
                     for (item, answer) in batch.iter().zip(batch_answers) {
@@ -456,10 +468,6 @@ mod tests {
         let handle = std::thread::spawn(move || server.run());
 
         let workload = QueryWorkload::uniform(&g, 120, 9);
-        // Batching + open loop is rejected up front.
-        let bad = LoadgenConfig { batch_size: 8, rate_qps: 100.0, ..Default::default() };
-        assert!(run_against(&addr, "ba-80", &workload, &bad).unwrap_err().contains("open-loop"));
-
         let config = LoadgenConfig { connections: 2, rate_qps: 2000.0, ..Default::default() };
         let started = Instant::now();
         let (result, answers) = run_against(&addr, "ba-80", &workload, &config).unwrap();
@@ -471,6 +479,18 @@ mod tests {
         assert!(result.p50_us > 0.0);
         for (&(s, t, w), answer) in workload.queries().iter().zip(&answers) {
             assert_eq!(*answer, reference.distance(s, t, w), "Q({s},{t},{w})");
+        }
+
+        // Open loop composes with batching: each BATCH departs at its first
+        // query's schedule and the answers stay correct.
+        let batched =
+            LoadgenConfig { connections: 2, batch_size: 8, rate_qps: 2000.0, ..Default::default() };
+        let (result, answers) = run_against(&addr, "ba-80", &workload, &batched).unwrap();
+        assert_eq!(result.errors, 0);
+        assert_eq!(result.mode, "open");
+        assert_eq!(result.batch_size, 8);
+        for (&(s, t, w), answer) in workload.queries().iter().zip(&answers) {
+            assert_eq!(*answer, reference.distance(s, t, w), "batched Q({s},{t},{w})");
         }
 
         let mut client = Client::connect(&*addr).unwrap();

@@ -41,6 +41,7 @@
 //! 0x86 RELOADED  utf-8 "RELOADED generation=.. vertices=.. entries=.." line
 //! 0x87 METRICS   utf-8 payload (Prometheus text, or JSON for recent)
 //! 0x85 BYE
+//! 0x88 BUSY      (overload shed: pending-job queue full, retry later)
 //! 0xFF ERR       utf-8 reason
 //! ```
 //!
@@ -77,6 +78,7 @@ const RE_STATS: u8 = 0x84;
 const RE_BYE: u8 = 0x85;
 const RE_RELOADED: u8 = 0x86;
 const RE_METRICS: u8 = 0x87;
+const RE_BUSY: u8 = 0x88;
 const RE_ERR: u8 = 0xFF;
 
 // The frame cap must fit a maximum-size BATCH request (checked at compile
@@ -255,6 +257,7 @@ pub fn encode_reply(reply: &Reply, out: &mut Vec<u8>) {
             out.extend_from_slice(info.encode().as_bytes());
         }
         Reply::Bye => out.push(RE_BYE),
+        Reply::Busy => out.push(RE_BUSY),
         Reply::Err(reason) => {
             out.push(RE_ERR);
             out.extend_from_slice(reason.as_bytes());
@@ -289,6 +292,7 @@ pub fn decode_reply(body: &[u8]) -> Result<Reply, String> {
         RE_METRICS => utf8(rest, "METRICS reply").map(Reply::Metrics),
         RE_RELOADED => ReloadInfo::decode(&utf8(rest, "RELOADED reply")?).map(Reply::Reloaded),
         RE_BYE => expect_empty(rest, "BYE reply").map(|()| Reply::Bye),
+        RE_BUSY => expect_empty(rest, "BUSY reply").map(|()| Reply::Busy),
         RE_ERR => utf8(rest, "ERR reply").map(Reply::Err),
         other => Err(format!("unknown reply opcode 0x{other:02X}")),
     }
@@ -420,6 +424,7 @@ mod tests {
             Reply::Metrics("# TYPE wcsd_queries_total counter\nwcsd_queries_total 4\n".into()),
             Reply::Reloaded(ReloadInfo { generation: 2, vertices: 90, entries: 512 }),
             Reply::Bye,
+            Reply::Busy,
             Reply::Err("no such vertex".into()),
         ];
         let mut buf = Vec::new();
@@ -445,6 +450,7 @@ mod tests {
         assert!(decode_request(&[OP_METRICS, 2]).is_err()); // unknown mode
         assert!(decode_request(&[OP_RELOAD]).is_err()); // empty path
         assert!(decode_reply(&[RE_BOOL, 7]).is_err());
+        assert!(decode_reply(&[RE_BUSY, 1]).is_err()); // busy carries no payload
         assert!(decode_reply(&[RE_DIST, 2, 0, 0, 0, 0]).is_err()); // bad tag
                                                                    // An oversized batch header is rejected even if the frame lied about
                                                                    // its body.

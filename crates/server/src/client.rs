@@ -59,7 +59,34 @@ impl Client {
     /// Connects to a running server with an explicit wire protocol. A
     /// binary client sends the two negotiation bytes immediately.
     pub fn connect_with(addr: impl ToSocketAddrs, protocol: Protocol) -> std::io::Result<Self> {
-        let stream = TcpStream::connect(addr)?;
+        Self::from_stream(TcpStream::connect(addr)?, protocol)
+    }
+
+    /// [`Client::connect_with`] with a hard cap on the connect syscall
+    /// itself: each resolved address is tried with
+    /// `TcpStream::connect_timeout`, so a blackholed backend (SYN dropped,
+    /// no RST) costs at most `timeout` instead of the OS default of minutes.
+    /// The router's health prober and the retry loop below both rely on
+    /// this to keep their own deadlines honest.
+    pub fn connect_timeout_with(
+        addr: impl ToSocketAddrs,
+        timeout: Duration,
+        protocol: Protocol,
+    ) -> std::io::Result<Self> {
+        let timeout = timeout.max(Duration::from_millis(1)); // connect_timeout rejects zero
+        let mut last_err = None;
+        for sock in addr.to_socket_addrs()? {
+            match TcpStream::connect_timeout(&sock, timeout) {
+                Ok(stream) => return Self::from_stream(stream, protocol),
+                Err(e) => last_err = Some(e),
+            }
+        }
+        Err(last_err.unwrap_or_else(|| {
+            std::io::Error::new(std::io::ErrorKind::InvalidInput, "address resolved to nothing")
+        }))
+    }
+
+    fn from_stream(stream: TcpStream, protocol: Protocol) -> std::io::Result<Self> {
         stream.set_nodelay(true).ok(); // request/reply traffic hates Nagle
         stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
         let writer = BufWriter::new(stream.try_clone()?);
@@ -84,6 +111,12 @@ impl Client {
 
     /// [`Client::connect_retry`] with an explicit wire protocol.
     ///
+    /// `timeout` is an **overall deadline**: every connect attempt is capped
+    /// by the remaining budget (via [`Client::connect_timeout_with`]) and so
+    /// is every backoff sleep, so the call returns — success or failure —
+    /// within roughly `timeout` even against a blackholed address whose raw
+    /// connect would block for minutes. A unit test pins this bound.
+    ///
     /// Retries follow [`retry_delay`]'s jittered exponential backoff rather
     /// than a fixed schedule: when a backend restarts under a sharded
     /// router, its N clients would otherwise all reconnect in lockstep and
@@ -97,7 +130,8 @@ impl Client {
         let salt = process_salt();
         let mut attempt = 0u32;
         loop {
-            match Self::connect_with(addr, protocol) {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match Self::connect_timeout_with(addr, remaining, protocol) {
                 Ok(client) => return Ok(client),
                 Err(e) if Instant::now() >= deadline => return Err(e),
                 Err(_) => {
@@ -334,6 +368,10 @@ impl Client {
         let body = self.recv_frame()?;
         match binary::decode_reply(&body)? {
             Reply::Err(reason) => Err(format!("server error: {reason}")),
+            // The text protocol sheds with `ERR <BUSY_REASON>`; surfacing the
+            // busy code through the same formatting keeps the client-visible
+            // wording byte-identical across both wires (test-enforced).
+            Reply::Busy => Err(format!("server error: {}", protocol::BUSY_REASON)),
             reply => Ok(reply),
         }
     }
@@ -435,6 +473,36 @@ mod tests {
                 base = (base * 2).min(RETRY_DELAY_MAX.as_millis() as u64);
             }
         }
+    }
+
+    #[test]
+    fn connect_retry_respects_the_overall_deadline() {
+        // Nothing listens on this localhost port, so every attempt fails
+        // fast and the retry loop must keep going until — and only until —
+        // the overall deadline.
+        let timeout = Duration::from_millis(200);
+        let start = Instant::now();
+        let result = Client::connect_retry_with("127.0.0.1:1", timeout, Protocol::Text);
+        let elapsed = start.elapsed();
+        assert!(result.is_err());
+        assert!(elapsed >= timeout, "gave up before the deadline: {elapsed:?}");
+        assert!(elapsed < Duration::from_secs(5), "deadline not enforced: {elapsed:?}");
+    }
+
+    #[test]
+    fn connect_timeout_caps_a_single_attempt() {
+        // 10.255.255.1 is a blackhole in most environments (SYN silently
+        // dropped, so an uncapped connect would block for the OS default of
+        // minutes); elsewhere it fails or even connects instantly. The
+        // contract under test is only the *bound*: with an explicit cap the
+        // attempt returns promptly whatever the network does.
+        let start = Instant::now();
+        let _ = Client::connect_timeout_with(
+            "10.255.255.1:9",
+            Duration::from_millis(250),
+            Protocol::Text,
+        );
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

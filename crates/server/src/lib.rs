@@ -25,6 +25,10 @@
 //! * [`cache::ResultCache`] — a sharded LRU result cache keyed on
 //!   `(generation, s, t, w)` with lock-free hit/miss accounting; the
 //!   generation tag keeps it coherent across hot reloads.
+//! * [`failpoint`] — deterministic fault injection at named sites
+//!   (env-configured via `WCSD_FAILPOINTS`, or armed programmatically by the
+//!   chaos tests): delays, injected failures, refused accepts, and torn
+//!   partial writes, all reproducible and std-only.
 //! * `metrics` *(private module)* — the observability surface behind the
 //!   `METRICS` verb: per-verb request counters, per-phase latency
 //!   histograms, reload phase timings, and the slow-query trace log, all
@@ -56,13 +60,15 @@
 //! ```
 
 #![warn(missing_docs)]
-// Everything is safe Rust except the single audited `poll(2)` FFI wrapper
-// in `reactor::sys`, which carries its own narrow `allow`.
+// Everything is safe Rust except the audited FFI wrappers in `reactor::sys`
+// (`poll(2)` and the `SO_REUSEADDR` listener setup), which carry their own
+// narrow `allow`s.
 #![deny(unsafe_code)]
 
 pub mod binary;
 pub mod cache;
 pub mod client;
+pub mod failpoint;
 mod metrics;
 pub mod protocol;
 mod reactor;
@@ -73,4 +79,6 @@ pub use cache::ResultCache;
 pub use client::{Client, Protocol};
 pub use protocol::{ReloadInfo, Reply, Request};
 pub use router::{Router, RouterConfig};
-pub use server::{Server, ServerConfig, ServerSnapshot};
+pub use server::{
+    load_newest_valid_snapshot, write_snapshot_atomic, Server, ServerConfig, ServerSnapshot,
+};

@@ -68,6 +68,12 @@ pub(crate) struct ServerMetrics {
     pub(crate) batches: Arc<Counter>,
     pub(crate) batch_queries: Arc<Counter>,
     pub(crate) errors: [Arc<Counter>; 2],
+    /// Requests shed with a busy reply because the pending-job queue was
+    /// full, by protocol.
+    pub(crate) shed: [Arc<Counter>; 2],
+    /// Jobs currently queued or executing in the worker pool (admission
+    /// control sheds new offloaded work once this hits the configured cap).
+    pub(crate) pending_jobs: Arc<Gauge>,
     pub(crate) slow_queries: Arc<Counter>,
     /// `[proto][verb]` request counters.
     pub(crate) verbs: [[Arc<Counter>; 7]; 2],
@@ -89,6 +95,7 @@ impl ServerMetrics {
         slow_query_ms: Option<u64>,
         worker_pool_size: usize,
         cache_capacity: usize,
+        max_pending_jobs: usize,
     ) -> Self {
         let slow_query_us = slow_query_ms.map(|ms| ms.saturating_mul(1000));
         let verbs = std::array::from_fn(|p| {
@@ -124,6 +131,16 @@ impl ServerMetrics {
                 "Requests rejected with an ERR reply",
             )
         });
+        let shed = std::array::from_fn(|p| {
+            registry.counter_with(
+                "wcsd_shed_total",
+                &[("proto", PROTO_LABELS[p])],
+                "Requests shed with a busy reply because the pending-job queue was full",
+            )
+        });
+        registry
+            .gauge("wcsd_pending_jobs_limit", "Configured pending-job admission cap")
+            .set(max_pending_jobs as i64);
         registry
             .gauge("wcsd_worker_pool_size", "Configured batch worker threads")
             .set(worker_pool_size as i64);
@@ -144,6 +161,9 @@ impl ServerMetrics {
             batch_queries: registry
                 .counter("wcsd_batch_queries_total", "Individual queries answered inside batches"),
             errors,
+            shed,
+            pending_jobs: registry
+                .gauge("wcsd_pending_jobs", "Jobs queued or executing in the worker pool"),
             slow_queries: registry.counter(
                 "wcsd_slow_queries_total",
                 "Requests at or above the slow-query threshold",

@@ -41,12 +41,22 @@
 //! inherently multi-line, so it is length-prefixed instead of
 //! newline-framed. `METRICS recent` (also accepted spelled `METRICS?recent`)
 //! returns the server's recent trace events — the slow-query log — as JSON.
+//!
+//! An overloaded server **sheds** work it cannot queue: the reply is
+//! `ERR `[`BUSY_REASON`] in the text protocol (a dedicated busy code in the
+//! binary one), distinct from every validation error so clients can retry
+//! with backoff instead of treating the request as malformed.
 
 use wcsd_graph::{Distance, Quality, VertexId};
 
 /// Largest `BATCH` size the server accepts in one request; protects the
 /// server from a single client queuing an unbounded amount of work.
 pub const MAX_BATCH: usize = 1_000_000;
+
+/// Reason string carried by [`Reply::Busy`]. The text protocol renders it as
+/// `ERR <reason>`; the binary protocol has a dedicated reply code but clients
+/// surface the same string, so shed requests read identically on both wires.
+pub const BUSY_REASON: &str = "busy: pending job queue is full; retry later";
 
 /// A parsed client request.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -239,6 +249,10 @@ pub enum Reply {
     Reloaded(ReloadInfo),
     /// Answer to `SHUTDOWN`.
     Bye,
+    /// Overload shed: the pending-job queue is full and the request was
+    /// refused without being executed. Text encodes it as
+    /// `ERR `[`BUSY_REASON`]; binary uses the dedicated busy reply code.
+    Busy,
     /// Any malformed or failed request.
     Err(String),
 }
@@ -274,6 +288,9 @@ impl Reply {
                 out.push(b'\n');
             }
             Self::Bye => out.extend_from_slice(b"BYE\n"),
+            Self::Busy => {
+                out.extend_from_slice(format!("ERR {BUSY_REASON}\n").as_bytes());
+            }
             Self::Err(reason) => {
                 out.extend_from_slice(format!("ERR {reason}\n").as_bytes());
             }
@@ -420,6 +437,16 @@ mod tests {
         assert_eq!(
             String::from_utf8(out).unwrap(),
             "DIST 4\nINF\nOK 2\nDIST 1\nINF\nTRUE\nBYE\nERR nope\n"
+        );
+    }
+
+    #[test]
+    fn busy_reply_is_an_err_line_with_the_pinned_reason() {
+        let mut out = Vec::new();
+        Reply::Busy.encode_text(&mut out);
+        assert_eq!(
+            String::from_utf8(out).unwrap(),
+            "ERR busy: pending job queue is full; retry later\n"
         );
     }
 

@@ -28,10 +28,14 @@
 //! ## The `poll(2)` wrapper
 //!
 //! [`sys`] is the one place the workspace touches FFI: a `#[repr(C)]`
-//! `pollfd` and a direct `extern "C"` declaration of `poll(2)` (no new
-//! dependencies). Everything above it is safe Rust; non-Unix builds fall
-//! back to a short-sleep readiness stub that keeps the same level-triggered
-//! semantics against nonblocking sockets.
+//! `pollfd` with a direct `extern "C"` declaration of `poll(2)`, plus the
+//! socket calls behind [`listen_reuseaddr`] (`SO_REUSEADDR` must be set
+//! before `bind`, which std's `TcpListener` cannot express — and without it
+//! a restarted backend cannot re-acquire its port for a TIME_WAIT minute).
+//! No new dependencies. Everything above it is safe Rust; non-Unix builds
+//! fall back to a short-sleep readiness stub that keeps the same
+//! level-triggered semantics against nonblocking sockets, and non-Linux
+//! builds to a plain bind.
 
 use crate::binary::{self, BinRequest};
 use crate::metrics::{
@@ -130,6 +134,93 @@ mod sys {
         }
     }
 
+    #[cfg(target_os = "linux")]
+    mod reuse {
+        // The second audited FFI exception, next to `real` (see crate docs):
+        // the socket calls needed to set `SO_REUSEADDR` before `bind`, which
+        // std's `TcpListener` cannot do. Without it a restarted server loses
+        // its port to TIME_WAIT remnants of its previous life for a minute.
+        #![allow(unsafe_code)]
+
+        use std::io;
+        use std::net::TcpListener;
+        use std::os::fd::FromRawFd;
+        use std::os::raw::{c_int, c_uint};
+
+        /// `struct sockaddr_in` from `netinet/in.h` (Linux layout).
+        #[repr(C)]
+        struct SockAddrIn {
+            sin_family: u16,
+            /// Network byte order.
+            sin_port: u16,
+            /// Network byte order.
+            sin_addr: u32,
+            sin_zero: [u8; 8],
+        }
+
+        extern "C" {
+            fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+            fn setsockopt(
+                fd: c_int,
+                level: c_int,
+                name: c_int,
+                value: *const c_int,
+                len: c_uint,
+            ) -> c_int;
+            fn bind(fd: c_int, addr: *const SockAddrIn, len: c_uint) -> c_int;
+            fn listen(fd: c_int, backlog: c_int) -> c_int;
+            fn close(fd: c_int) -> c_int;
+        }
+
+        const AF_INET: c_int = 2;
+        const SOCK_STREAM: c_int = 1;
+        /// `SOCK_CLOEXEC`: the listener must not leak into spawned children.
+        const SOCK_CLOEXEC: c_int = 0o2000000;
+        const SOL_SOCKET: c_int = 1;
+        const SO_REUSEADDR: c_int = 2;
+
+        /// Binds `127.0.0.1:port` for listening with `SO_REUSEADDR` set.
+        pub fn listen_reuseaddr(port: u16) -> io::Result<TcpListener> {
+            // SAFETY: plain foreign calls on an fd this function owns; the
+            // fd is closed on every error path and otherwise handed to
+            // `TcpListener`, which owns it from then on.
+            unsafe {
+                let fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+                if fd < 0 {
+                    return Err(io::Error::last_os_error());
+                }
+                let one: c_int = 1;
+                let addr = SockAddrIn {
+                    sin_family: AF_INET as u16,
+                    sin_port: port.to_be(),
+                    sin_addr: u32::from(std::net::Ipv4Addr::LOCALHOST).to_be(),
+                    sin_zero: [0; 8],
+                };
+                if setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, 4) < 0
+                    || bind(fd, &addr, std::mem::size_of::<SockAddrIn>() as c_uint) < 0
+                    || listen(fd, 128) < 0
+                {
+                    let err = io::Error::last_os_error();
+                    close(fd);
+                    return Err(err);
+                }
+                Ok(TcpListener::from_raw_fd(fd))
+            }
+        }
+    }
+
+    #[cfg(not(target_os = "linux"))]
+    mod reuse {
+        /// Non-Linux fallback: a plain bind (socket-option constants and
+        /// `sockaddr` layouts differ across the BSDs; restart-in-place is a
+        /// Linux/CI concern here).
+        pub fn listen_reuseaddr(port: u16) -> std::io::Result<std::net::TcpListener> {
+            std::net::TcpListener::bind((std::net::Ipv4Addr::LOCALHOST, port))
+        }
+    }
+
+    pub use reuse::listen_reuseaddr;
+
     #[cfg(not(unix))]
     mod stub {
         use std::io;
@@ -159,6 +250,16 @@ mod sys {
             Ok(fds.len())
         }
     }
+}
+
+/// Binds `127.0.0.1:port` for listening with `SO_REUSEADDR` set (on Linux; a
+/// plain bind elsewhere), so a restarted server can re-acquire its port while
+/// connections from its previous life are still in TIME_WAIT — the
+/// self-healing story depends on a killed backend coming back on the same
+/// address. `port` 0 picks an ephemeral port, exactly like
+/// `TcpListener::bind`.
+pub(crate) fn listen_reuseaddr(port: u16) -> std::io::Result<TcpListener> {
+    sys::listen_reuseaddr(port)
 }
 
 /// Work shipped from the reactor to the bounded worker pool. Every job
@@ -288,7 +389,15 @@ pub(crate) fn worker(
         let completion = match job {
             Job::Batch { conn, gen, epoch, index, queries, proto, submitted } => {
                 let started = submitted.map(|_| Instant::now());
-                let result = run_batch(shared, epoch, &index, &queries);
+                // Chaos site: `fail` poisons this batch (the client sees an
+                // ERR, never a wrong answer); `delay:<ms>` stalls the worker
+                // so tests can fill the pending queue deterministically.
+                let result = match crate::failpoint::fire("worker.batch") {
+                    Some(crate::failpoint::Action::Fail | crate::failpoint::Action::Refuse) => {
+                        Err("injected batch failure".to_string())
+                    }
+                    _ => run_batch(shared, epoch, &index, &queries),
+                };
                 let timing = job_timing(submitted, started);
                 Done::Batch { conn, gen, proto, result, timing }
             }
@@ -516,6 +625,13 @@ pub(crate) struct Reactor<'a> {
     conns: Vec<Option<Conn>>,
     free: Vec<usize>,
     next_gen: u64,
+    /// Jobs submitted to the pool whose completions have not come back yet
+    /// (queued + executing). Incremented at submission and decremented in
+    /// `apply_completion` — both on the reactor thread, so the admission
+    /// check in `submit_*` reads an exact count with no atomics. At
+    /// `Shared::max_pending_jobs`, new offloaded work is shed with
+    /// [`Reply::Busy`].
+    pending_jobs: usize,
 }
 
 impl<'a> Reactor<'a> {
@@ -536,6 +652,7 @@ impl<'a> Reactor<'a> {
             conns: Vec::new(),
             free: Vec::new(),
             next_gen: 0,
+            pending_jobs: 0,
         }
     }
 
@@ -601,6 +718,17 @@ impl<'a> Reactor<'a> {
         loop {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
+                    // Chaos site: `refuse` drops the fresh connection before
+                    // it is counted or registered, simulating a listener
+                    // that accepts then dies; `delay:<ms>` stalls the accept
+                    // path.
+                    if matches!(
+                        crate::failpoint::fire("reactor.accept"),
+                        Some(crate::failpoint::Action::Refuse | crate::failpoint::Action::Fail)
+                    ) {
+                        drop(stream);
+                        continue;
+                    }
                     let _ = stream.set_nonblocking(true);
                     stream.set_nodelay(true).ok();
                     self.shared.metrics.connections.inc();
@@ -638,6 +766,7 @@ impl<'a> Reactor<'a> {
     /// thread, with the durations the worker measured — which is what keeps
     /// every `METRICS` payload self-consistent (see [`crate::metrics`]).
     fn apply_completion(&mut self, done: Done) {
+        self.retire_job();
         // Copy the `&Shared` out so the metrics borrow does not pin `self`
         // (delivery below needs `&mut self`).
         let shared = self.shared;
@@ -1076,15 +1205,38 @@ impl<'a> Reactor<'a> {
         Reply::Bool(index.within(s, t, w, d))
     }
 
+    /// Admission control for offloaded work: either reserves a pending-job
+    /// slot (returns `true`) or sheds the request with [`Reply::Busy`]. The
+    /// count is exact — mutated only on this thread — so the pending queue
+    /// is bounded by construction, not by sampling.
+    fn admit_job(&mut self, conn: &mut Conn, proto: usize) -> bool {
+        if self.pending_jobs >= self.shared.max_pending_jobs {
+            // Shed without executing: the error counter moves (like a parse
+            // failure, the verb never ran) plus the dedicated shed counter,
+            // so overload is distinguishable from malformed traffic.
+            self.shared.metrics.shed[proto].inc();
+            self.shared.metrics.errors[proto].inc();
+            conn.push_reply(&Reply::Busy);
+            return false;
+        }
+        self.pending_jobs += 1;
+        self.shared.metrics.pending_jobs.set(self.pending_jobs as i64);
+        true
+    }
+
     /// Ships a batch to the worker pool, pinning the current snapshot.
     fn submit_batch(&mut self, conn: &mut Conn, slot: usize, queries: Vec<Query>) {
         let shared = self.shared;
         let proto = proto_idx(conn.mode);
+        if !self.admit_job(conn, proto) {
+            return;
+        }
         let (epoch, index) = shared.current();
         let submitted = shared.metrics.timer();
         conn.state = ConnState::AwaitJob;
         let job = Job::Batch { conn: slot, gen: conn.gen, epoch, index, queries, proto, submitted };
         if self.jobs.send(job).is_err() {
+            self.retire_job();
             conn.state = ConnState::Ready;
             // Rejected inline, so account it inline: the completion path
             // that would normally count the verb will never run.
@@ -1098,15 +1250,26 @@ impl<'a> Reactor<'a> {
     fn submit_reload(&mut self, conn: &mut Conn, slot: usize, path: String) {
         let shared = self.shared;
         let proto = proto_idx(conn.mode);
+        if !self.admit_job(conn, proto) {
+            return;
+        }
         let submitted = shared.metrics.timer();
         conn.state = ConnState::AwaitJob;
         let job = Job::Reload { conn: slot, gen: conn.gen, path, proto, submitted };
         if self.jobs.send(job).is_err() {
+            self.retire_job();
             conn.state = ConnState::Ready;
             shared.metrics.errors[proto].inc();
             shared.metrics.finish_request(proto, VERB_RELOAD, submitted, || "RELOAD".to_string());
             conn.push_reply(&Reply::Err("server is shutting down".to_string()));
         }
+    }
+
+    /// Releases one pending-job slot (completion arrived, or submission
+    /// failed after the reservation).
+    fn retire_job(&mut self) {
+        self.pending_jobs = self.pending_jobs.saturating_sub(1);
+        self.shared.metrics.pending_jobs.set(self.pending_jobs as i64);
     }
 
     /// `SHUTDOWN`: acknowledge, close this connection once the ack flushes,

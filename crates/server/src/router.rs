@@ -1,5 +1,6 @@
 //! The scatter-gather router: one front-end address serving the whole graph
-//! out of `N` single-shard backend reactors.
+//! out of `N` single-shard backend reactors, each optionally backed by
+//! replicas for failover.
 //!
 //! The router owns no labels. It loads the boundary overlay
 //! ([`wcsd_core::overlay::OverlayIndex`], the `WCSO` snapshot written by
@@ -10,6 +11,34 @@
 //! composition [`wcsd_core::overlay::ShardedIndex`] evaluates in-process, so
 //! the parity suite pins the two to each other and to the unsharded index.
 //!
+//! ## Replica groups and the circuit breaker
+//!
+//! Each shard is served by a *replica group* — one or more backends holding
+//! the **same** shard snapshot, so any replica's answers are bit-identical.
+//! Every replica carries a three-state circuit breaker:
+//!
+//! * **closed** — healthy, preferred for traffic;
+//! * **open** — the last exchange or probe failed; counted in the
+//!   `wcsd_router_degraded_backends` gauge and only tried as a last resort;
+//! * **half-open** — a probe succeeded after the breaker opened; eligible
+//!   for traffic again, and the next success (probe or exchange) closes it.
+//!
+//! Transitions: a double exchange failure or a failed probe opens the
+//! breaker; a successful probe moves open → half-open → closed; a successful
+//! exchange closes it from any state.
+//!
+//! ## The background prober
+//!
+//! `Router::run` spawns a prober thread that, every
+//! [`RouterConfig::probe_interval`], dials each replica on a fresh binary
+//! connection and exchanges one `STATS`. A failed probe opens the breaker, a
+//! successful one walks it back toward closed — so a backend that dies and
+//! comes back is un-degraded within two probe intervals **without any client
+//! traffic**, and a dead replica is skipped by clients before they ever pay
+//! its connect timeout. Probes are counted in `wcsd_router_probes_total` /
+//! `wcsd_router_probe_failures_total`; the deterministic failpoint site
+//! `router.probe` (`fail`/`refuse` actions) forces probe failures in tests.
+//!
 //! ## Connection state machine
 //!
 //! Clients connect on the same wire protocols the backends speak: the first
@@ -17,20 +46,22 @@
 //! served by one thread holding its *own* lazily-connected backend clients —
 //! request/reply exchanges never interleave on a backend socket, so a torn
 //! backend reply can only tear that one connection's request, never another
-//! client's. Per backend exchange the router:
+//! client's. Per shard exchange the router walks the replica group in
+//! breaker order (closed first, open last) and, per replica:
 //!
 //! 1. connects on demand (binary protocol, read timeout
 //!    [`RouterConfig::backend_timeout`]),
 //! 2. sends one `BATCH` and waits for the sized reply,
 //! 3. on any failure drops the connection and retries **once** on a fresh
 //!    one, and
-//! 4. on a second failure marks the backend *degraded*
-//!    (`wcsd_router_degraded_backends` gauge, cleared by the next success)
-//!    and fails the client request with an `ERR` reply.
+//! 4. on a second failure opens the replica's breaker and fails over to the
+//!    next replica; only when every replica of the shard has failed does the
+//!    client see an `ERR` reply.
 //!
 //! The read timeout bounds every step, so a dead or wedged backend degrades
-//! to `ERR` replies — the router never hangs, and a `BATCH` is answered
-//! either completely or with one `ERR` line (no partial replies).
+//! to replica failover (or `ERR` replies when the whole group is down) — the
+//! router never hangs, and a `BATCH` is answered either completely or with
+//! one `ERR` line (no partial replies).
 //!
 //! Admin verbs stay with the backends: `RELOAD` through the router is
 //! refused (reload each backend's shard snapshot directly); `SHUTDOWN` stops
@@ -38,11 +69,12 @@
 
 use crate::binary::{self, BinRequest};
 use crate::client::{Client, Protocol};
+use crate::failpoint;
 use crate::protocol::{self, Reply, Request};
 use crate::server::ServerSnapshot;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
-use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wcsd_core::overlay::{OverlayIndex, ScatterPlan};
@@ -54,6 +86,14 @@ use wcsd_obs::{Counter, Gauge, Histogram, Registry};
 /// shutdown flag; bounds how long `Router::run` waits for handler threads.
 const POLL_INTERVAL: Duration = Duration::from_millis(250);
 
+/// Circuit breaker: replica healthy (or not yet observed unhealthy).
+const BREAKER_CLOSED: u8 = 0;
+/// Circuit breaker: last exchange or probe failed; last-resort traffic only.
+const BREAKER_OPEN: u8 = 1;
+/// Circuit breaker: one probe succeeded since the breaker opened; the next
+/// success closes it.
+const BREAKER_HALF_OPEN: u8 = 2;
+
 /// Configuration for [`Router::bind`].
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
@@ -63,6 +103,10 @@ pub struct RouterConfig {
     /// produce its reply within this window counts as failed (then retried
     /// once on a fresh connection).
     pub backend_timeout: Duration,
+    /// How often the background prober exchanges a `STATS` with every
+    /// replica. Zero disables probing (breakers then move only on client
+    /// traffic).
+    pub probe_interval: Duration,
     /// Whether histogram/tracer recording is on (counters always are).
     pub metrics_enabled: bool,
     /// Registry to record into; `None` creates a private one.
@@ -74,6 +118,7 @@ impl Default for RouterConfig {
         Self {
             port: 0,
             backend_timeout: Duration::from_secs(2),
+            probe_interval: Duration::from_secs(1),
             metrics_enabled: true,
             registry: None,
         }
@@ -116,17 +161,24 @@ struct RouterMetrics {
     fanout_queries: Arc<Counter>,
     /// Retries after a first backend failure.
     retries: Arc<Counter>,
-    /// Per-backend exchange latency, labeled `backend="<shard>"`.
+    /// Exchanges that failed over to another replica of the same shard.
+    failovers: Arc<Counter>,
+    /// Health probes sent by the background prober.
+    probes: Arc<Counter>,
+    /// Health probes that failed (connect, exchange, or injected).
+    probe_failures: Arc<Counter>,
+    /// Per-shard exchange latency, labeled `backend="<shard>"`.
     backend_us: Vec<Arc<Histogram>>,
-    /// Per-backend failed exchanges (after which a retry or ERR follows).
+    /// Per-shard failed exchanges (after which a retry, failover, or ERR
+    /// follows).
     backend_errors: Vec<Arc<Counter>>,
-    /// Backends currently degraded (last exchange failed even after retry).
+    /// Replicas whose circuit breaker is currently open.
     degraded: Arc<Gauge>,
     uptime_ms: Arc<Gauge>,
 }
 
 impl RouterMetrics {
-    fn new(registry: Arc<Registry>, enabled: bool, num_backends: usize) -> Self {
+    fn new(registry: Arc<Registry>, enabled: bool, num_shards: usize) -> Self {
         let verbs = std::array::from_fn(|p| {
             std::array::from_fn(|v| {
                 registry.counter_with(
@@ -157,7 +209,7 @@ impl RouterMetrics {
                 "Requests rejected with an ERR reply",
             )
         });
-        let backend_us = (0..num_backends)
+        let backend_us = (0..num_shards)
             .map(|b| {
                 let label = b.to_string();
                 registry.histogram_with(
@@ -167,7 +219,7 @@ impl RouterMetrics {
                 )
             })
             .collect();
-        let backend_errors = (0..num_backends)
+        let backend_errors = (0..num_shards)
             .map(|b| {
                 let label = b.to_string();
                 registry.counter_with(
@@ -197,11 +249,18 @@ impl RouterMetrics {
             ),
             retries: registry
                 .counter("wcsd_router_retries_total", "Backend exchanges retried after a failure"),
+            failovers: registry.counter(
+                "wcsd_router_failovers_total",
+                "Shard exchanges answered by a later replica after an earlier one failed",
+            ),
+            probes: registry.counter("wcsd_router_probes_total", "Health probes sent to replicas"),
+            probe_failures: registry
+                .counter("wcsd_router_probe_failures_total", "Health probes that failed"),
             backend_us,
             backend_errors,
             degraded: registry.gauge(
                 "wcsd_router_degraded_backends",
-                "Backends whose last exchange failed even after the retry",
+                "Replicas whose circuit breaker is open (last exchange or probe failed)",
             ),
             uptime_ms: registry.gauge("wcsd_uptime_ms", "Milliseconds since the router started"),
             registry,
@@ -216,29 +275,68 @@ impl RouterMetrics {
     }
 }
 
+/// One backend replica: its address and its circuit-breaker state
+/// (`BREAKER_*`), shared by every handler thread and the prober.
+struct Replica {
+    addr: String,
+    breaker: AtomicU8,
+}
+
 /// Everything connection handlers share.
 struct Shared {
     overlay: OverlayIndex,
-    backends: Vec<String>,
+    /// `shards[i]` is shard `i`'s replica group; every replica serves the
+    /// same shard snapshot, so answers are interchangeable bit-for-bit.
+    shards: Vec<Vec<Replica>>,
     backend_timeout: Duration,
+    probe_interval: Duration,
     metrics: RouterMetrics,
-    /// Per-backend degraded flags behind the gauge (the gauge itself cannot
-    /// be compare-and-swapped).
-    degraded: Vec<AtomicBool>,
     shutdown: AtomicBool,
     started: Instant,
     local_addr: SocketAddr,
 }
 
 impl Shared {
-    fn set_degraded(&self, shard: usize, on: bool) {
-        if self.degraded[shard].swap(on, Ordering::SeqCst) != on {
-            if on {
+    /// Moves one replica's breaker, keeping the degraded gauge equal to the
+    /// number of open breakers. `swap` makes each transition account exactly
+    /// its own old state, so concurrent movers never double-count.
+    fn set_breaker(&self, shard: usize, replica: usize, state: u8) {
+        let old = self.shards[shard][replica].breaker.swap(state, Ordering::SeqCst);
+        if (old == BREAKER_OPEN) != (state == BREAKER_OPEN) {
+            if state == BREAKER_OPEN {
                 self.metrics.degraded.inc();
             } else {
                 self.metrics.degraded.dec();
             }
         }
+    }
+
+    /// Applies one probe result: failure opens the breaker; success walks it
+    /// open → half-open → closed (closed stays closed).
+    fn probe_outcome(&self, shard: usize, replica: usize, ok: bool) {
+        if !ok {
+            self.set_breaker(shard, replica, BREAKER_OPEN);
+            return;
+        }
+        match self.shards[shard][replica].breaker.load(Ordering::SeqCst) {
+            BREAKER_OPEN => self.set_breaker(shard, replica, BREAKER_HALF_OPEN),
+            BREAKER_HALF_OPEN => self.set_breaker(shard, replica, BREAKER_CLOSED),
+            _ => {}
+        }
+    }
+
+    /// Replica indices of `shard` in preference order: closed breakers
+    /// first, then half-open, then open as a last resort (stable within each
+    /// class, so replica 0 is the natural primary).
+    fn replica_order(&self, shard: usize) -> Vec<usize> {
+        let group = &self.shards[shard];
+        let mut order: Vec<usize> = (0..group.len()).collect();
+        order.sort_by_key(|&r| match group[r].breaker.load(Ordering::SeqCst) {
+            BREAKER_CLOSED => 0u8,
+            BREAKER_HALF_OPEN => 1,
+            _ => 2,
+        });
+        order
     }
 
     fn snapshot(&self) -> ServerSnapshot {
@@ -256,6 +354,7 @@ impl Shared {
             queries: m.queries.get(),
             batches: m.batches.get(),
             batch_queries: m.batch_queries.get(),
+            shed: 0,
             cache_hits: 0,
             cache_misses: 0,
         }
@@ -282,36 +381,51 @@ pub struct Router {
 }
 
 impl Router {
-    /// Binds the router on loopback. `backends[i]` must be the address of a
-    /// reactor serving shard `i`'s snapshot; the count has to match the
-    /// overlay's shard count. The backends are dialed lazily per client
+    /// Binds the router on loopback. `backends[i]` is shard `i`'s replica
+    /// group — one or more addresses of reactors all serving shard `i`'s
+    /// snapshot; the group count has to match the overlay's shard count and
+    /// no group may be empty. The backends are dialed lazily per client
     /// connection, so they may come up after the router does.
     pub fn bind(
         overlay: OverlayIndex,
-        backends: Vec<String>,
+        backends: Vec<Vec<String>>,
         config: RouterConfig,
     ) -> std::io::Result<Self> {
         if backends.len() != overlay.num_shards() {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
                 format!(
-                    "{} backend addresses for an overlay of {} shards",
+                    "{} backend replica groups for an overlay of {} shards",
                     backends.len(),
                     overlay.num_shards()
                 ),
             ));
         }
-        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
+        if let Some(shard) = backends.iter().position(Vec::is_empty) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("shard {shard} has an empty replica group"),
+            ));
+        }
+        let listener = crate::reactor::listen_reuseaddr(config.port)?;
         let local_addr = listener.local_addr()?;
         let registry = config.registry.unwrap_or_else(|| Arc::new(Registry::new()));
         let metrics = RouterMetrics::new(registry, config.metrics_enabled, backends.len());
-        let degraded = backends.iter().map(|_| AtomicBool::new(false)).collect();
+        let shards = backends
+            .into_iter()
+            .map(|group| {
+                group
+                    .into_iter()
+                    .map(|addr| Replica { addr, breaker: AtomicU8::new(BREAKER_CLOSED) })
+                    .collect()
+            })
+            .collect();
         let shared = Arc::new(Shared {
             overlay,
-            backends,
+            shards,
             backend_timeout: config.backend_timeout,
+            probe_interval: config.probe_interval,
             metrics,
-            degraded,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
             local_addr,
@@ -324,10 +438,14 @@ impl Router {
         self.shared.local_addr
     }
 
-    /// Serves until a client sends `SHUTDOWN`, then joins every connection
-    /// handler (bounded by the poll interval plus in-flight backend
-    /// timeouts) and returns the final counters.
+    /// Serves until a client sends `SHUTDOWN`, then joins the prober and
+    /// every connection handler (bounded by the poll interval plus in-flight
+    /// backend timeouts) and returns the final counters.
     pub fn run(self) -> ServerSnapshot {
+        let prober = {
+            let shared = Arc::clone(&self.shared);
+            std::thread::spawn(move || run_prober(&shared))
+        };
         let mut handles = Vec::new();
         for stream in self.listener.incoming() {
             if self.shared.shutdown.load(Ordering::SeqCst) {
@@ -340,66 +458,152 @@ impl Router {
         for handle in handles {
             let _ = handle.join();
         }
+        let _ = prober.join();
         self.shared.snapshot()
     }
 }
 
+/// The background prober loop: every probe interval, one `STATS` exchange
+/// per replica on a fresh connection, driving the breakers (see module
+/// docs). Exits promptly on shutdown — the interval sleep is sliced.
+fn run_prober(shared: &Shared) {
+    if shared.probe_interval.is_zero() {
+        return;
+    }
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        for (shard, group) in shared.shards.iter().enumerate() {
+            for (replica, r) in group.iter().enumerate() {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                shared.metrics.probes.inc();
+                let ok = probe_replica(shared, &r.addr);
+                if !ok {
+                    shared.metrics.probe_failures.inc();
+                }
+                shared.probe_outcome(shard, replica, ok);
+            }
+        }
+        let deadline = Instant::now() + shared.probe_interval;
+        loop {
+            if shared.shutdown.load(Ordering::SeqCst) {
+                return;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            std::thread::sleep((deadline - now).min(Duration::from_millis(50)));
+        }
+    }
+}
+
+/// One health probe: bounded connect, then one `STATS` exchange. The
+/// `router.probe` failpoint (fail/refuse) forces a failure for tests.
+fn probe_replica(shared: &Shared, addr: &str) -> bool {
+    if matches!(
+        failpoint::fire("router.probe"),
+        Some(failpoint::Action::Fail | failpoint::Action::Refuse)
+    ) {
+        return false;
+    }
+    let Ok(mut client) =
+        Client::connect_timeout_with(addr, shared.backend_timeout, Protocol::Binary)
+    else {
+        return false;
+    };
+    if client.set_read_timeout(Some(shared.backend_timeout)).is_err() {
+        return false;
+    }
+    client.stats().is_ok()
+}
+
 /// One lazily-dialed backend connection pool, private to one client
-/// connection (exchanges on a backend socket never interleave).
+/// connection (exchanges on a backend socket never interleave). Indexed
+/// `[shard][replica]`.
 struct BackendPool {
-    conns: Vec<Option<Client>>,
+    conns: Vec<Vec<Option<Client>>>,
 }
 
 impl BackendPool {
-    fn new(n: usize) -> Self {
-        Self { conns: (0..n).map(|_| None).collect() }
+    fn new(shards: &[Vec<Replica>]) -> Self {
+        Self { conns: shards.iter().map(|group| group.iter().map(|_| None).collect()).collect() }
     }
 
-    fn connect(&mut self, shared: &Shared, shard: usize) -> Result<&mut Client, String> {
-        if self.conns[shard].is_none() {
-            let mut client =
-                Client::connect_with(shared.backends[shard].as_str(), Protocol::Binary)
-                    .map_err(|e| format!("connect to {}: {e}", shared.backends[shard]))?;
+    fn connect(
+        &mut self,
+        shared: &Shared,
+        shard: usize,
+        replica: usize,
+    ) -> Result<&mut Client, String> {
+        let addr = shared.shards[shard][replica].addr.as_str();
+        if self.conns[shard][replica].is_none() {
+            let mut client = Client::connect_with(addr, Protocol::Binary)
+                .map_err(|e| format!("connect to {addr}: {e}"))?;
             client
                 .set_read_timeout(Some(shared.backend_timeout))
-                .map_err(|e| format!("configure {}: {e}", shared.backends[shard]))?;
-            self.conns[shard] = Some(client);
+                .map_err(|e| format!("configure {addr}: {e}"))?;
+            self.conns[shard][replica] = Some(client);
         }
-        Ok(self.conns[shard].as_mut().expect("just connected"))
+        Ok(self.conns[shard][replica].as_mut().expect("just connected"))
     }
 
-    /// One `BATCH` exchange with `shard`, retried once on a fresh connection.
-    /// Chunks at the protocol batch maximum, so a plan of any size goes
-    /// through.
+    /// One `BATCH` exchange with `shard`, walking the replica group in
+    /// breaker order: each replica gets one retry on a fresh connection, a
+    /// double failure opens its breaker and fails over to the next replica.
+    /// Only when every replica has failed does the client see an error.
     fn batch(
         &mut self,
         shared: &Shared,
         shard: usize,
         queries: &[(VertexId, VertexId, Quality)],
     ) -> Result<Vec<Option<Distance>>, String> {
+        let order = shared.replica_order(shard);
+        let mut last_err = String::new();
+        for (nth, &replica) in order.iter().enumerate() {
+            match self.batch_replica(shared, shard, replica, queries) {
+                Ok(answers) => {
+                    if nth > 0 {
+                        shared.metrics.failovers.inc();
+                    }
+                    return Ok(answers);
+                }
+                Err(e) => last_err = e,
+            }
+        }
+        let addrs: Vec<&str> = shared.shards[shard].iter().map(|r| r.addr.as_str()).collect();
+        Err(format!("backend {shard} ({}) unavailable: {last_err}", addrs.join(", ")))
+    }
+
+    /// All chunks of one shard exchange against a single replica, with the
+    /// retry-once-on-a-fresh-connection policy. Success closes the replica's
+    /// breaker; a double failure opens it.
+    fn batch_replica(
+        &mut self,
+        shared: &Shared,
+        shard: usize,
+        replica: usize,
+        queries: &[(VertexId, VertexId, Quality)],
+    ) -> Result<Vec<Option<Distance>>, String> {
         let mut answers = Vec::with_capacity(queries.len());
         for chunk in queries.chunks(protocol::MAX_BATCH) {
-            match self.try_batch(shared, shard, chunk) {
+            match self.try_batch(shared, shard, replica, chunk) {
                 Ok(chunk_answers) => answers.extend(chunk_answers),
                 Err(first) => {
                     shared.metrics.backend_errors[shard].inc();
                     shared.metrics.retries.inc();
-                    match self.try_batch(shared, shard, chunk) {
+                    match self.try_batch(shared, shard, replica, chunk) {
                         Ok(chunk_answers) => answers.extend(chunk_answers),
                         Err(second) => {
                             shared.metrics.backend_errors[shard].inc();
-                            shared.set_degraded(shard, true);
-                            return Err(format!(
-                                "backend {shard} ({}) unavailable: {second} \
-                                 (first attempt: {first})",
-                                shared.backends[shard]
-                            ));
+                            shared.set_breaker(shard, replica, BREAKER_OPEN);
+                            return Err(format!("{second} (first attempt: {first})"));
                         }
                     }
                 }
             }
         }
-        shared.set_degraded(shard, false);
+        shared.set_breaker(shard, replica, BREAKER_CLOSED);
         Ok(answers)
     }
 
@@ -409,12 +613,13 @@ impl BackendPool {
         &mut self,
         shared: &Shared,
         shard: usize,
+        replica: usize,
         chunk: &[(VertexId, VertexId, Quality)],
     ) -> Result<Vec<Option<Distance>>, String> {
         let t0 = Instant::now();
         shared.metrics.fanout.inc();
         shared.metrics.fanout_queries.add(chunk.len() as u64);
-        let result = self.connect(shared, shard).and_then(|client| client.batch(chunk));
+        let result = self.connect(shared, shard, replica).and_then(|client| client.batch(chunk));
         match result {
             Ok(answers) => {
                 if shared.metrics.enabled {
@@ -423,7 +628,7 @@ impl BackendPool {
                 Ok(answers)
             }
             Err(e) => {
-                self.conns[shard] = None;
+                self.conns[shard][replica] = None;
                 Err(e)
             }
         }
@@ -692,7 +897,7 @@ fn serve_text(shared: &Shared, stream: TcpStream, first_byte: u8) {
     let Ok(write_half) = stream.try_clone() else { return };
     let mut writer = BufWriter::new(write_half);
     let mut reader = BufReader::new(stream);
-    let mut pool = BackendPool::new(shared.backends.len());
+    let mut pool = BackendPool::new(&shared.shards);
     let mut line: Vec<u8> = vec![first_byte];
     // The first byte already consumed for protocol detection may itself be
     // the newline of an empty first line.
@@ -750,7 +955,7 @@ fn serve_text(shared: &Shared, stream: TcpStream, first_byte: u8) {
 fn serve_binary(shared: &Shared, mut stream: TcpStream) {
     let Ok(write_half) = stream.try_clone() else { return };
     let mut writer = BufWriter::new(write_half);
-    let mut pool = BackendPool::new(shared.backends.len());
+    let mut pool = BackendPool::new(&shared.shards);
     loop {
         let mut len = [0u8; 4];
         match read_full(&mut stream, &mut len, shared) {

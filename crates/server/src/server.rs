@@ -32,7 +32,8 @@ use crate::cache::ResultCache;
 use crate::metrics::ServerMetrics;
 use crate::protocol;
 use crate::reactor::{self, Reactor};
-use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::AtomicBool;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
@@ -67,6 +68,12 @@ pub struct ServerConfig {
     /// Concurrently executing jobs (batches/reloads). Bounds the pool the
     /// reactor offloads to.
     pub batch_workers: usize,
+    /// Admission cap on jobs queued or executing in the worker pool. Once
+    /// this many offloaded jobs are pending, new `BATCH`/`RELOAD` work is
+    /// **shed** with a busy reply ([`protocol::BUSY_REASON`]) instead of
+    /// growing the queue — bounding both memory and tail latency under
+    /// overload.
+    pub max_pending_jobs: usize,
     /// Total result-cache capacity in entries (0 disables caching).
     pub cache_capacity: usize,
     /// Number of independent cache shards.
@@ -92,6 +99,7 @@ impl Default for ServerConfig {
             port: 0,
             batch_threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
             batch_workers: 2,
+            max_pending_jobs: 256,
             cache_capacity: 64 * 1024,
             cache_shards: 16,
             slow_query_ms: None,
@@ -131,6 +139,9 @@ pub struct ServerSnapshot {
     pub batches: u64,
     /// Individual queries answered inside batches.
     pub batch_queries: u64,
+    /// Requests shed with a busy reply because the pending-job queue was
+    /// full (both protocols).
+    pub shed: u64,
     /// Result-cache hits.
     pub cache_hits: u64,
     /// Result-cache misses.
@@ -153,7 +164,7 @@ impl ServerSnapshot {
         format!(
             "STATS vertices={} entries={} generation={} uptime_ms={} connections={} \
              live_connections={} text_connections={} binary_connections={} reloads={} \
-             queries={} batches={} batch_queries={} cache_hits={} cache_misses={} \
+             queries={} batches={} batch_queries={} shed={} cache_hits={} cache_misses={} \
              hit_rate={:.4}",
             self.vertices,
             self.entries,
@@ -167,6 +178,7 @@ impl ServerSnapshot {
             self.queries,
             self.batches,
             self.batch_queries,
+            self.shed,
             self.cache_hits,
             self.cache_misses,
             self.hit_rate()
@@ -190,6 +202,7 @@ impl ServerSnapshot {
             queries: 0,
             batches: 0,
             batch_queries: 0,
+            shed: 0,
             cache_hits: 0,
             cache_misses: 0,
         };
@@ -211,6 +224,7 @@ impl ServerSnapshot {
                 "queries" => snap.queries = parse(value)?,
                 "batches" => snap.batches = parse(value)?,
                 "batch_queries" => snap.batch_queries = parse(value)?,
+                "shed" => snap.shed = parse(value)?,
                 "cache_hits" => snap.cache_hits = parse(value)?,
                 "cache_misses" => snap.cache_misses = parse(value)?,
                 "hit_rate" => {} // derived; recomputed from hits/misses
@@ -235,6 +249,7 @@ pub(crate) struct Shared {
     pub(crate) cache: ResultCache,
     pub(crate) batch_threads: usize,
     pub(crate) batch_workers: usize,
+    pub(crate) max_pending_jobs: usize,
     pub(crate) started: Instant,
     pub(crate) shutdown: AtomicBool,
     /// All server counters/gauges/histograms. `STATS` reads the same atomics
@@ -285,6 +300,8 @@ impl Shared {
             queries: m.queries.get(),
             batches: m.batches.get(),
             batch_queries: m.batch_queries.get(),
+            shed: m.shed[crate::metrics::PROTO_TEXT].get()
+                + m.shed[crate::metrics::PROTO_BINARY].get(),
             cache_hits: self.cache.hits(),
             cache_misses: self.cache.misses(),
         }
@@ -318,10 +335,18 @@ impl Shared {
     }
 }
 
-/// Loads a snapshot file for `RELOAD`: `WCIF` decodes straight to the flat
-/// form, `WCIX` is decoded nested and frozen. No graph cross-check happens
-/// here — `RELOAD` is an admin verb and the operator owns the pairing.
+/// Loads a snapshot for `RELOAD`: `WCIF` decodes straight to the flat form,
+/// `WCIX` is decoded nested and frozen. No graph cross-check happens here —
+/// `RELOAD` is an admin verb and the operator owns the pairing.
+///
+/// A **directory** path is the crash-recovery spelling: the newest *valid*
+/// `*.wcif`/`*.wcix` generation inside it is served (see
+/// [`load_newest_valid_snapshot`]), so reloading from a feed's snapshot
+/// directory survives a torn or truncated latest generation.
 pub(crate) fn load_flat_snapshot(path: &str) -> Result<FlatIndex, String> {
+    if std::path::Path::new(path).is_dir() {
+        return load_newest_valid_snapshot(std::path::Path::new(path)).map(|(index, _)| index);
+    }
     let data = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
     if data.starts_with(wcsd_core::flat::WCIF_MAGIC) {
         FlatIndex::decode(&data).map_err(|e| format!("corrupt snapshot {path}: {e}"))
@@ -330,6 +355,95 @@ pub(crate) fn load_flat_snapshot(path: &str) -> Result<FlatIndex, String> {
             .map(|index| FlatIndex::from_index(&index))
             .map_err(|e| format!("corrupt snapshot {path}: {e}"))
     }
+}
+
+/// Scans `dir` for snapshot generations (`*.wcif` / `*.wcix`, newest first
+/// by file name — the feed's zero-padded `gen-NNNNNN.wcif` naming makes the
+/// lexicographic order the generation order) and returns the first one that
+/// decodes, with its path. Torn or truncated files — a crashed feed's
+/// debris — are skipped, so the newest *valid* generation wins.
+pub fn load_newest_valid_snapshot(dir: &std::path::Path) -> Result<(FlatIndex, PathBuf), String> {
+    let entries =
+        std::fs::read_dir(dir).map_err(|e| format!("cannot read {}: {e}", dir.display()))?;
+    let mut candidates: Vec<PathBuf> = entries
+        .filter_map(|entry| entry.ok().map(|e| e.path()))
+        .filter(|path| {
+            let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+            !name.starts_with('.') && (name.ends_with(".wcif") || name.ends_with(".wcix"))
+        })
+        .collect();
+    candidates.sort();
+    let mut skipped = Vec::new();
+    for path in candidates.iter().rev() {
+        let display = path.display().to_string();
+        match load_flat_snapshot(&display) {
+            Ok(index) => {
+                for bad in &skipped {
+                    eprintln!("wcsd: skipped invalid snapshot {bad}, serving {display}");
+                }
+                return Ok((index, path.clone()));
+            }
+            Err(_) => skipped.push(display),
+        }
+    }
+    Err(format!(
+        "no valid snapshot in {} ({} candidate{} rejected)",
+        dir.display(),
+        skipped.len(),
+        if skipped.len() == 1 { "" } else { "s" }
+    ))
+}
+
+/// Writes a snapshot crash-safely: the bytes go to a hidden temp file in the
+/// same directory, are flushed to disk (`fsync`), and are atomically renamed
+/// over `path` — so a reader (a concurrent `RELOAD`, or a restart after a
+/// crash) can observe either the old file or the complete new one, never a
+/// torn prefix. The containing directory is fsynced best-effort afterwards
+/// so the rename itself survives power loss.
+///
+/// Honors the `snapshot.write` [`crate::failpoint`] site: `partial:<n>`
+/// writes only the first `n` bytes of the temp file and fails (leaving the
+/// torn temp behind, exactly like a crash mid-write), `fail` fails before
+/// writing, `delay:<ms>` stalls the write.
+pub fn write_snapshot_atomic(path: &std::path::Path, bytes: &[u8]) -> Result<(), String> {
+    use std::io::Write as _;
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent,
+        _ => std::path::Path::new("."),
+    };
+    let name = path
+        .file_name()
+        .and_then(|n| n.to_str())
+        .ok_or_else(|| format!("snapshot path {} has no file name", path.display()))?;
+    let tmp = dir.join(format!(".{name}.tmp.{}", std::process::id()));
+    let write_tmp = || -> Result<(), String> {
+        let mut file = std::fs::File::create(&tmp)
+            .map_err(|e| format!("cannot create {}: {e}", tmp.display()))?;
+        match crate::failpoint::fire("snapshot.write") {
+            Some(crate::failpoint::Action::Fail) => {
+                return Err("injected snapshot write failure".to_string())
+            }
+            Some(crate::failpoint::Action::PartialWrite(n)) => {
+                let n = n.min(bytes.len());
+                file.write_all(&bytes[..n])
+                    .map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+                file.sync_all().ok();
+                return Err(format!("injected crash after {n} bytes of {}", tmp.display()));
+            }
+            _ => {}
+        }
+        file.write_all(bytes).map_err(|e| format!("cannot write {}: {e}", tmp.display()))?;
+        file.sync_all().map_err(|e| format!("cannot sync {}: {e}", tmp.display()))
+    };
+    // An injected partial write deliberately leaves the torn temp file
+    // behind — that is the crash debris the recovery scan must ignore.
+    write_tmp()?;
+    std::fs::rename(&tmp, path)
+        .map_err(|e| format!("cannot rename {} to {}: {e}", tmp.display(), path.display()))?;
+    if let Ok(d) = std::fs::File::open(dir) {
+        d.sync_all().ok();
+    }
+    Ok(())
 }
 
 /// A bound but not yet running query server. Created with [`Server::bind`],
@@ -351,13 +465,16 @@ impl Server {
         Self::bind_flat(Arc::new(FlatIndex::from_index(&index)), config)
     }
 
-    /// Binds a loopback listener and serves the given frozen index.
+    /// Binds a loopback listener (with `SO_REUSEADDR`, so a restarted server
+    /// can re-acquire the port of a killed predecessor) and serves the given
+    /// frozen index.
     pub fn bind_flat(index: Arc<FlatIndex>, config: ServerConfig) -> std::io::Result<Self> {
-        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))?;
+        let listener = reactor::listen_reuseaddr(config.port)?;
         let local_addr = listener.local_addr()?;
         let (wake_rx, wake_tx) = reactor::wake_pair()?;
         let registry = config.registry.clone().unwrap_or_else(|| Arc::new(Registry::new()));
         let batch_workers = config.batch_workers.max(1);
+        let max_pending_jobs = config.max_pending_jobs.max(1);
         let cache = ResultCache::new(config.cache_capacity, config.cache_shards);
         let metrics = ServerMetrics::new(
             registry,
@@ -365,6 +482,7 @@ impl Server {
             config.slow_query_ms,
             batch_workers,
             config.cache_capacity,
+            max_pending_jobs,
         );
         // The registry renders the cache's own live counters — one set of
         // atomics behind both STATS and METRICS.
@@ -394,6 +512,7 @@ impl Server {
                 cache,
                 batch_threads: config.batch_threads.max(1),
                 batch_workers,
+                max_pending_jobs,
                 started: Instant::now(),
                 shutdown: AtomicBool::new(false),
                 metrics,
@@ -450,6 +569,7 @@ mod tests {
             queries: 17,
             batches: 2,
             batch_queries: 40,
+            shed: 6,
             cache_hits: 30,
             cache_misses: 27,
         };
@@ -473,6 +593,7 @@ mod tests {
         assert!(c.batch_workers >= 1);
         assert!(c.cache_capacity > 0);
         assert!(c.cache_shards > 0);
+        assert!(c.max_pending_jobs >= 1);
         assert!(c.metrics_enabled);
         assert_eq!(c.slow_query_ms, None);
         assert!(c.registry.is_none());
@@ -481,5 +602,54 @@ mod tests {
     #[test]
     fn load_flat_snapshot_reports_errors() {
         assert!(load_flat_snapshot("/nonexistent/path.fidx").unwrap_err().contains("cannot read"));
+    }
+
+    #[test]
+    fn atomic_write_then_newest_valid_recovery() {
+        use wcsd_core::IndexBuilder;
+        use wcsd_graph::generators::paper_figure3;
+
+        let dir = std::env::temp_dir().join(format!("wcsd-atomic-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let index = FlatIndex::from_index(&IndexBuilder::wc_index_plus().build(&paper_figure3()));
+        let encoded = index.encode();
+
+        write_snapshot_atomic(&dir.join("gen-000001.wcif"), &encoded).unwrap();
+        // A torn newer generation — the first half of a valid snapshot — and
+        // assorted debris a crashed writer could leave behind.
+        std::fs::write(dir.join("gen-000002.wcif"), &encoded[..encoded.len() / 2]).unwrap();
+        std::fs::write(dir.join(".gen-000003.wcif.tmp.123"), b"partial").unwrap();
+        std::fs::write(dir.join("notes.txt"), b"not a snapshot").unwrap();
+
+        let (recovered, path) = load_newest_valid_snapshot(&dir).unwrap();
+        assert!(path.ends_with("gen-000001.wcif"), "picked {}", path.display());
+        assert_eq!(recovered.distance(2, 5, 2), index.distance(2, 5, 2));
+        // The directory spelling of load_flat_snapshot goes through the
+        // same scan.
+        assert!(load_flat_snapshot(&dir.display().to_string()).is_ok());
+
+        // With every generation torn, recovery reports rather than serves.
+        std::fs::remove_file(dir.join("gen-000001.wcif")).unwrap();
+        let err = load_newest_valid_snapshot(&dir).unwrap_err();
+        assert!(err.contains("no valid snapshot"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn injected_partial_write_leaves_target_untouched() {
+        let dir = std::env::temp_dir().join(format!("wcsd-partial-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let target = dir.join("gen-000001.wcif");
+        write_snapshot_atomic(&target, b"first full generation").unwrap();
+
+        crate::failpoint::set("snapshot.write", crate::failpoint::Action::PartialWrite(4), Some(1));
+        let err = write_snapshot_atomic(&target, b"second generation that crashes").unwrap_err();
+        assert!(err.contains("injected crash"), "{err}");
+        crate::failpoint::clear("snapshot.write");
+
+        // The rename never happened: the target still holds the previous
+        // generation in full; only hidden temp debris was left behind.
+        assert_eq!(std::fs::read(&target).unwrap(), b"first full generation");
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

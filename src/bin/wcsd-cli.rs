@@ -6,13 +6,13 @@
 //! wcsd-cli stats <graph-file> [--dimacs]
 //! wcsd-cli stats <host:port> [--json]
 //! wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]
-//! wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--slow-query-ms N] [--no-metrics] [--dimacs]
+//! wcsd-cli serve <graph-file> <index-file-or-snapshot-dir> [--port P] [--threads N] [--cache-size N] [--max-pending N] [--slow-query-ms N] [--no-metrics] [--dimacs]
 //! wcsd-cli client <host:port> <command> [args...]
 //! wcsd-cli metrics <host:port> [--recent]
 //! wcsd-cli reload <host:port> <index-file>
 //! wcsd-cli feed <graph-file> <updates-file> <snapshot-dir> [--addr H:P] [--batch N] [--threads N] [--ordering ...] [--repair-threshold F] [--json PATH] [--dimacs]
 //! wcsd-cli partition <graph-file> <out-dir> [--shards N] [--seed S] [--ordering ...] [--threads N] [--dimacs]
-//! wcsd-cli route <overlay-file> <backend-addr> [<backend-addr>...] [--port P] [--backend-timeout-ms N] [--no-metrics]
+//! wcsd-cli route <overlay-file> <backend-group> [<backend-group>...] [--port P] [--backend-timeout-ms N] [--probe-interval-ms N] [--no-metrics]
 //! ```
 //!
 //! `feed` is the streaming-freshness front end: it builds a dynamic index
@@ -44,20 +44,32 @@
 //! snapshots plus `overlay.wcso` — the boundary-vertex overlay through which
 //! per-shard answers compose exactly — into `<out-dir>`. Serve each shard
 //! snapshot with a plain `wcsd-cli serve`, then point `route` at the overlay
-//! and the backend addresses (in shard order): the router answers
+//! and the backend groups (in shard order): the router answers
 //! `QUERY`/`BATCH`/`WITHIN` on both wire protocols by fanning per-shard
 //! `BATCH`es out over persistent binary clients and merging through the
-//! overlay, bit-identical to the unsharded index. A backend that misses its
+//! overlay, bit-identical to the unsharded index.
+//!
+//! Each `<backend-group>` is one shard's replica set: either a single
+//! `host:port`, a comma list `host:port,host:port` (replicas in preference
+//! order, all serving the **same** shard snapshot), or the explicit
+//! `shard<N>=host:port[,host:port...]` form which pins the group to shard
+//! `N` regardless of argument order. A backend that misses its
 //! `--backend-timeout-ms` budget is retried once on a fresh connection, then
-//! the request degrades to `ERR` and the backend is marked in the
-//! `wcsd_router_degraded_backends` gauge (scrape the router's own `METRICS`;
-//! `wcsd_router_fanout_total` counts backend exchanges).
+//! its circuit breaker opens (`wcsd_router_degraded_backends` gauge counts
+//! open breakers) and the request fails over to the shard's next replica —
+//! only a fully-failed group yields `ERR`. A background prober exchanges a
+//! `STATS` with every replica each `--probe-interval-ms` (default 1000, 0
+//! disables), so a restarted backend is un-degraded within two probe
+//! intervals without any client traffic (scrape the router's own `METRICS`;
+//! `wcsd_router_fanout_total` counts backend exchanges,
+//! `wcsd_router_probes_total` the health probes).
 //!
 //! ```text
 //! wcsd-cli partition road.edges /tmp/shards --shards 2
 //! wcsd-cli serve road.edges /tmp/shards/shard-0.fidx --port 7981 &
 //! wcsd-cli serve road.edges /tmp/shards/shard-1.fidx --port 7982 &
-//! wcsd-cli route /tmp/shards/overlay.wcso 127.0.0.1:7981 127.0.0.1:7982 --port 7979 &
+//! wcsd-cli serve road.edges /tmp/shards/shard-1.fidx --port 7983 &   # replica of shard 1
+//! wcsd-cli route /tmp/shards/overlay.wcso 127.0.0.1:7981 127.0.0.1:7982,127.0.0.1:7983 --port 7979 &
 //! wcsd-cli client 127.0.0.1:7979 query 17 93 3
 //! ```
 //!
@@ -87,7 +99,12 @@
 //! -> RELOAD <path>            <- RELOADED generation=<g> vertices=<n> entries=<m>
 //! -> SHUTDOWN                 <- BYE
 //! any malformed request       <- ERR <reason>
+//! shed under overload         <- ERR busy: pending job queue is full; retry later
 //! ```
+//!
+//! The shed reply (`BATCH`/`RELOAD` arriving while the server's pending-job
+//! queue is at `--max-pending`) uses that exact wording on both protocols,
+//! so clients can match it to retry with backoff.
 //!
 //! A connection whose first two bytes are `0xBF 0x01` (magic + version)
 //! switches to the length-prefixed **binary protocol** (see
@@ -106,6 +123,7 @@
 //! 0x06 RELOAD   utf-8 path          0x86 RELOADED utf-8 reloaded line
 //! 0x07 METRICS  mode u8             0x87 METRICS  utf-8 payload
 //!      (0 = full exposition, 1 = recent trace ring)
+//!                                   0x88 BUSY     (empty: overload shed)
 //!                                   0xFF ERR      utf-8 reason
 //! ```
 //!
@@ -143,13 +161,14 @@ fn main() -> ExitCode {
             eprintln!("  wcsd-cli stats <graph-file> [--dimacs]");
             eprintln!("  wcsd-cli stats <host:port> [--json]");
             eprintln!("  wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]");
-            eprintln!("  wcsd-cli serve <graph-file> <index-file> [--port P] [--threads N] [--cache-size N] [--slow-query-ms N] [--no-metrics] [--dimacs]");
+            eprintln!("  wcsd-cli serve <graph-file> <index-file-or-snapshot-dir> [--port P] [--threads N] [--cache-size N] [--max-pending N] [--slow-query-ms N] [--no-metrics] [--dimacs]");
             eprintln!("  wcsd-cli client <host:port> <command> [args...]");
             eprintln!("  wcsd-cli metrics <host:port> [--recent]");
             eprintln!("  wcsd-cli reload <host:port> <index-file>");
             eprintln!("  wcsd-cli feed <graph-file> <updates-file> <snapshot-dir> [--addr H:P] [--batch N] [--threads N] [--ordering degree|tree|hybrid] [--repair-threshold F] [--json PATH] [--dimacs]");
             eprintln!("  wcsd-cli partition <graph-file> <out-dir> [--shards N] [--seed S] [--ordering degree|tree|hybrid] [--threads N] [--dimacs]");
-            eprintln!("  wcsd-cli route <overlay-file> <backend-addr> [<backend-addr>...] [--port P] [--backend-timeout-ms N] [--no-metrics]");
+            eprintln!("  wcsd-cli route <overlay-file> <backend-group> [<backend-group>...] [--port P] [--backend-timeout-ms N] [--probe-interval-ms N] [--no-metrics]");
+            eprintln!("      (<backend-group>: host:port[,host:port...] in shard order, or shard<N>=host:port[,...])");
             ExitCode::FAILURE
         }
     }
@@ -166,6 +185,7 @@ fn value_flags(args: &[String]) -> &'static [&'static str] {
         "--port",
         "--threads",
         "--cache-size",
+        "--max-pending",
         "--addr",
         "--batch",
         "--repair-threshold",
@@ -173,12 +193,14 @@ fn value_flags(args: &[String]) -> &'static [&'static str] {
         "--shards",
         "--seed",
         "--backend-timeout-ms",
+        "--probe-interval-ms",
     ];
     const WITH_JSON_PATH: &[&str] = &[
         "--ordering",
         "--port",
         "--threads",
         "--cache-size",
+        "--max-pending",
         "--addr",
         "--batch",
         "--repair-threshold",
@@ -186,6 +208,7 @@ fn value_flags(args: &[String]) -> &'static [&'static str] {
         "--shards",
         "--seed",
         "--backend-timeout-ms",
+        "--probe-interval-ms",
         "--json",
     ];
     match args.iter().find(|a| !a.starts_with("--")).map(|s| s.as_str()) {
@@ -283,12 +306,29 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some("serve") => {
             let [_, graph_path, index_path] = positional[..] else {
-                return Err("serve requires <graph-file> <index-file>".to_string());
+                return Err("serve requires <graph-file> <index-file-or-snapshot-dir>".to_string());
             };
             let graph = read_graph_file(graph_path, use_dimacs)?;
             // The server always serves the flat representation; a nested
-            // WCIX snapshot is frozen once here at load time.
-            let index = std::sync::Arc::new(load_index(index_path, &graph)?.into_flat());
+            // WCIX snapshot is frozen once here at load time. A directory
+            // (e.g. a feed snapshot dir) recovers the newest *valid*
+            // generation, so a torn final write falls back to the previous
+            // one.
+            let index = if std::path::Path::new(index_path).is_dir() {
+                let (flat, picked) = wcsd::server::load_newest_valid_snapshot(index_path.as_ref())?;
+                println!("recovered newest valid snapshot {}", picked.display());
+                flat
+            } else {
+                load_index(index_path, &graph)?.into_flat()
+            };
+            if index.num_vertices() != graph.num_vertices() {
+                return Err(format!(
+                    "index covers {} vertices but the graph has {}",
+                    index.num_vertices(),
+                    graph.num_vertices()
+                ));
+            }
+            let index = std::sync::Arc::new(index);
             let mut config = ServerConfig::default();
             if let Some(port) = flag_value(args, "--port")? {
                 config.port = port;
@@ -298,6 +338,12 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             if let Some(cache) = flag_value(args, "--cache-size")? {
                 config.cache_capacity = cache;
+            }
+            // Admission control: offloaded work (BATCH/RELOAD) beyond this
+            // many pending jobs is shed with the busy reply instead of
+            // queueing without bound.
+            if let Some(pending) = flag_value(args, "--max-pending")? {
+                config.max_pending_jobs = pending;
             }
             // Observability wiring: requests at least this slow land in the
             // trace ring (`wcsd-cli metrics --recent`); `--no-metrics` turns
@@ -452,12 +498,11 @@ fn run(args: &[String]) -> Result<(), String> {
         }
         Some("route") => {
             let [_, overlay_path, backends @ ..] = &positional[..] else {
-                return Err(
-                    "route requires <overlay-file> <backend-addr> [<backend-addr>...]".to_string()
-                );
+                return Err("route requires <overlay-file> <backend-group> [<backend-group>...]"
+                    .to_string());
             };
             if backends.is_empty() {
-                return Err("route requires at least one backend address".to_string());
+                return Err("route requires at least one backend group".to_string());
             }
             let data = std::fs::read(overlay_path)
                 .map_err(|e| format!("cannot read {overlay_path}: {e}"))?;
@@ -470,19 +515,24 @@ fn run(args: &[String]) -> Result<(), String> {
             if let Some(ms) = flag_value::<u64>(args, "--backend-timeout-ms")? {
                 config.backend_timeout = Duration::from_millis(ms);
             }
+            if let Some(ms) = flag_value::<u64>(args, "--probe-interval-ms")? {
+                config.probe_interval = Duration::from_millis(ms);
+            }
             config.metrics_enabled = !args.iter().any(|a| a == "--no-metrics");
             config.registry = Some(wcsd_obs::global().clone());
             let (vertices, boundary, edges) =
                 (overlay.num_vertices(), overlay.num_boundary(), overlay.num_edges());
-            let addrs: Vec<String> = backends.iter().map(|s| s.to_string()).collect();
-            let router = Router::bind(overlay, addrs, config)
+            let groups = parse_backend_groups(backends, overlay.num_shards())?;
+            let replicas: usize = groups.iter().map(Vec::len).sum();
+            let router = Router::bind(overlay, groups, config)
                 .map_err(|e| format!("cannot bind router: {e}"))?;
             println!(
-                "wcsd-router listening on {} ({} vertices across {} shard(s), \
+                "wcsd-router listening on {} ({} vertices across {} shard(s) / {} replica(s), \
                  {} boundary vertices, {} overlay edges)",
                 router.local_addr(),
                 vertices,
                 backends.len(),
+                replicas,
                 boundary,
                 edges
             );
@@ -550,6 +600,61 @@ fn run(args: &[String]) -> Result<(), String> {
     }
 }
 
+/// Parses `route`'s backend-group arguments into per-shard replica groups.
+///
+/// Each argument is either `host:port[,host:port...]` — assigned to shards
+/// in positional order, skipping shards already pinned — or
+/// `shard<N>=host:port[,host:port...]`, pinned to shard `N` regardless of
+/// argument order. Every shard must end up with exactly one group.
+fn parse_backend_groups(
+    backends: &[&String],
+    num_shards: usize,
+) -> Result<Vec<Vec<String>>, String> {
+    let mut groups: Vec<Option<Vec<String>>> = vec![None; num_shards];
+    let mut cursor = 0usize;
+    for arg in backends {
+        let (slot, list) = match arg.split_once('=') {
+            Some((key, list)) => {
+                let n: usize =
+                    key.strip_prefix("shard").and_then(|n| n.parse().ok()).ok_or_else(|| {
+                        format!("bad backend group {arg:?}: expected shard<N>=host:port[,...]")
+                    })?;
+                if n >= num_shards {
+                    return Err(format!(
+                        "backend group {arg:?}: shard {n} out of range for {num_shards} shard(s)"
+                    ));
+                }
+                (n, list)
+            }
+            None => {
+                while cursor < num_shards && groups[cursor].is_some() {
+                    cursor += 1;
+                }
+                if cursor >= num_shards {
+                    return Err(format!(
+                        "backend group {arg:?} has no shard left to serve \
+                         (overlay has {num_shards} shard(s))"
+                    ));
+                }
+                (cursor, arg.as_str())
+            }
+        };
+        if groups[slot].is_some() {
+            return Err(format!("shard {slot} was given two backend groups"));
+        }
+        let replicas: Vec<String> = list.split(',').map(|a| a.trim().to_string()).collect();
+        if replicas.iter().any(String::is_empty) {
+            return Err(format!("backend group {arg:?} contains an empty address"));
+        }
+        groups[slot] = Some(replicas);
+    }
+    groups
+        .into_iter()
+        .enumerate()
+        .map(|(shard, g)| g.ok_or_else(|| format!("no backend group for shard {shard}")))
+        .collect()
+}
+
 /// `stats <host:port>`: fetches a running server's counter snapshot and
 /// prints it human-readably, or — with `--json` — as one JSON object (the
 /// field names match the `STATS` wire keys).
@@ -558,7 +663,7 @@ fn server_stats(addr: &str, json: bool) -> Result<(), String> {
         .map_err(|e| format!("cannot connect to {addr}: {e}"))?;
     let s = client.stats()?;
     if json {
-        let fields: [(&str, String); 14] = [
+        let fields: [(&str, String); 15] = [
             ("vertices", s.vertices.to_string()),
             ("entries", s.entries.to_string()),
             ("generation", s.generation.to_string()),
@@ -571,6 +676,7 @@ fn server_stats(addr: &str, json: bool) -> Result<(), String> {
             ("queries", s.queries.to_string()),
             ("batches", s.batches.to_string()),
             ("batch_queries", s.batch_queries.to_string()),
+            ("shed", s.shed.to_string()),
             ("cache_hits", s.cache_hits.to_string()),
             ("cache_misses", s.cache_misses.to_string()),
         ];
@@ -588,6 +694,7 @@ fn server_stats(addr: &str, json: bool) -> Result<(), String> {
         );
         println!("queries:             {}", s.queries);
         println!("batches:             {} ({} batched queries)", s.batches, s.batch_queries);
+        println!("shed:                {}", s.shed);
         println!("reloads:             {}", s.reloads);
         println!(
             "cache:               {} hits / {} misses ({:.1}% hit rate)",

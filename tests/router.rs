@@ -156,8 +156,10 @@ fn start_cluster(g: &Graph, shards: usize, seed: u64, backend_timeout: Duration)
         backend_handles.push(std::thread::spawn(move || server.run()));
     }
     let config = RouterConfig { backend_timeout, ..RouterConfig::default() };
-    let router = Router::bind(sharded.overlay().clone(), backend_addrs.clone(), config)
-        .expect("bind router");
+    // One single-replica group per shard (the replica-failover tests build
+    // their own multi-replica clusters).
+    let groups: Vec<Vec<String>> = backend_addrs.iter().map(|a| vec![a.clone()]).collect();
+    let router = Router::bind(sharded.overlay().clone(), groups, config).expect("bind router");
     let router_addr = router.local_addr().to_string();
     let router_handle = std::thread::spawn(move || router.run());
     Cluster { router_addr, backend_addrs, router_handle, backend_handles }
