@@ -18,6 +18,9 @@
 //! | (ours) flat vs. nested query engine | `exp7_flat_query` | `flat_query` |
 //! | (ours) server throughput/latency | `loadgen` | — |
 //! | (ours) update freshness & decremental repair | `exp9_freshness` | — |
+//! | (ours) observability phase attribution & overhead | `exp10_observability` | — |
+//! | (ours) sharded scatter-gather routing | `exp11_sharding` | — |
+//! | (ours) branch-free query kernels & hot layout | `exp12_kernels` | `kernels` |
 //! | everything above in one run | `exp_all` | — |
 //!
 //! Binaries accept a scale argument (`tiny`, `small`, `medium`, `large`) so
@@ -42,5 +45,7 @@ pub use cliargs::{parse_exp_args, ExpArgs};
 pub use datasets::{Dataset, DatasetKind, Scale};
 pub use freshness::{EdgeUpdate, FeedConfig, FeedResult};
 pub use loadgen::{LoadgenConfig, LoadgenResult};
-pub use measure::{BuildSpeedupResult, FlatQueryResult, IndexingResult, MethodKind, QueryResult};
+pub use measure::{
+    BuildSpeedupResult, FlatQueryResult, IndexingResult, KernelResult, MethodKind, QueryResult,
+};
 pub use workload::QueryWorkload;

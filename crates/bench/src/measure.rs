@@ -7,7 +7,7 @@
 use crate::workload::QueryWorkload;
 use std::time::Instant;
 use wcsd_baselines::{online, DistanceAlgorithm, LcrAdaptIndex, NaiveWIndex, PartitionedGraphs};
-use wcsd_core::{ConstructionMode, FlatIndex, FlatView, IndexBuilder, WcIndex};
+use wcsd_core::{ConstructionMode, FlatIndex, FlatView, IndexBuilder, QueryImpl, WcIndex};
 use wcsd_graph::Graph;
 use wcsd_order::OrderingStrategy;
 
@@ -389,6 +389,149 @@ pub fn flat_query_comparison(
     }
 }
 
+/// One row of the branch-free kernel comparison (Exp 12): the same WC-INDEX+
+/// flat representation queried through the scalar `Query⁺` merge
+/// ([`QueryImpl::Merge`]), the chunked branch-free kernel
+/// ([`QueryImpl::Chunked`]) on both the canonical and the hot-group layout,
+/// and the batch-amortized `distances_from` evaluator over reactor-shaped
+/// fan-out batches.
+///
+/// The speedup fields are within-run ratios (scalar / kernel), which is the
+/// meaningful number on a shared single-core host.
+#[derive(Debug, Clone)]
+pub struct KernelResult {
+    /// Dataset name.
+    pub dataset: String,
+    /// Total label entries shared by every representation.
+    pub entries: usize,
+    /// Queries replayed per point-query measurement pass.
+    pub queries: usize,
+    /// Mean scalar `Query⁺` merge time over the `FlatIndex`, microseconds.
+    pub scalar_us: f64,
+    /// Mean chunked-kernel time over the canonical `FlatIndex`, microseconds.
+    pub chunked_us: f64,
+    /// Mean chunked-kernel time over the hot-group layout, microseconds.
+    pub chunked_hot_us: f64,
+    /// Within-run ratio `scalar_us / chunked_us` (≥ 1.0 = kernel wins).
+    pub chunked_speedup: f64,
+    /// Within-run ratio `scalar_us / chunked_hot_us`.
+    pub hot_speedup: f64,
+    /// Targets per source in the synthesized fan-out batches.
+    pub batch_fanout: usize,
+    /// Mean per-query time answering the fan-out batches one query at a
+    /// time through the chunked kernel, microseconds.
+    pub batch_scalar_us: f64,
+    /// Mean per-query time answering the same batches through
+    /// `distances_from` (one directory walk per source), microseconds.
+    pub batch_us: f64,
+    /// Within-run ratio `batch_scalar_us / batch_us` — the amortization won
+    /// by walking each source directory once per batch.
+    pub batch_speedup: f64,
+}
+
+/// Regroups a point-query workload into reactor-shaped fan-out batches: each
+/// consecutive block of `fanout` queries becomes one `(source, targets)`
+/// batch that reuses the block's first source, mirroring a `BATCH` request
+/// that fans one source out to many `(target, quality)` pairs.
+fn fanout_batches(workload: &QueryWorkload, fanout: usize) -> Vec<(u32, Vec<(u32, u32)>)> {
+    workload
+        .queries()
+        .chunks(fanout.max(1))
+        .map(|chunk| (chunk[0].0, chunk.iter().map(|&(_, t, w)| (t, w)).collect()))
+        .collect()
+}
+
+/// Builds WC-INDEX+ on `g` and measures the scalar merge against the chunked
+/// kernel (canonical and hot-group layout) and the batch `distances_from`
+/// evaluator (Exp 12). Every kernel is cross-checked query by query against
+/// the scalar merge before anything is timed, so the experiment doubles as an
+/// end-to-end parity test.
+pub fn kernel_comparison(
+    dataset: &str,
+    g: &Graph,
+    workload: &QueryWorkload,
+    batch_fanout: usize,
+    reps: usize,
+) -> KernelResult {
+    let index = IndexBuilder::wc_index_plus().build(g);
+    let flat = FlatIndex::from_index(&index);
+    let hot = flat.to_hot();
+    for &(s, t, w) in workload.queries() {
+        let expected = flat.distance_with(s, t, w, QueryImpl::Merge);
+        for (name, got) in [
+            ("chunked", flat.distance_with(s, t, w, QueryImpl::Chunked)),
+            ("chunked+hot", hot.distance_with(s, t, w, QueryImpl::Chunked)),
+        ] {
+            assert_eq!(got, expected, "{name} kernel diverged on {dataset} Q({s},{t},{w})");
+        }
+    }
+    let batches = fanout_batches(workload, batch_fanout);
+    for (s, targets) in &batches {
+        let expected: Vec<Option<u32>> =
+            targets.iter().map(|&(t, w)| flat.distance(*s, t, w)).collect();
+        assert_eq!(
+            flat.distances_from(*s, targets),
+            expected,
+            "batch kernel diverged on {dataset} source {s}"
+        );
+        assert_eq!(
+            hot.distances_from(*s, targets),
+            expected,
+            "hot batch kernel diverged on {dataset} source {s}"
+        );
+    }
+
+    let scalar_us =
+        best_pass_us(workload, reps, |s, t, w| flat.distance_with(s, t, w, QueryImpl::Merge));
+    let chunked_us =
+        best_pass_us(workload, reps, |s, t, w| flat.distance_with(s, t, w, QueryImpl::Chunked));
+    let chunked_hot_us =
+        best_pass_us(workload, reps, |s, t, w| hot.distance_with(s, t, w, QueryImpl::Chunked));
+
+    // The batch comparison replays the same fan-out batches one query at a
+    // time and then through one `distances_from` walk per source; both sides
+    // run on the hot layout so the ratio isolates the amortization alone.
+    let total: usize = batches.iter().map(|(_, targets)| targets.len()).sum();
+    let mut per_query = f64::INFINITY;
+    let mut batched = f64::INFINITY;
+    let mut checksum = 0usize;
+    for _ in 0..reps.max(1) {
+        let start = Instant::now();
+        for (s, targets) in &batches {
+            for &(t, w) in targets {
+                if hot.distance_with(*s, t, w, QueryImpl::Chunked).is_some() {
+                    checksum += 1;
+                }
+            }
+        }
+        per_query = per_query.min(start.elapsed().as_secs_f64());
+        let start = Instant::now();
+        for (s, targets) in &batches {
+            checksum += hot.distances_from(*s, targets).iter().flatten().count();
+        }
+        batched = batched.min(start.elapsed().as_secs_f64());
+    }
+    std::hint::black_box(checksum);
+    let batch_scalar_us = 1e6 * per_query / total.max(1) as f64;
+    let batch_us = 1e6 * batched / total.max(1) as f64;
+
+    let ratio = |base: f64, new: f64| if new > 0.0 { base / new } else { 0.0 };
+    KernelResult {
+        dataset: dataset.to_string(),
+        entries: index.total_entries(),
+        queries: workload.len(),
+        scalar_us,
+        chunked_us,
+        chunked_hot_us,
+        chunked_speedup: ratio(scalar_us, chunked_us),
+        hot_speedup: ratio(scalar_us, chunked_hot_us),
+        batch_fanout,
+        batch_scalar_us,
+        batch_us,
+        batch_speedup: ratio(batch_scalar_us, batch_us),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -449,6 +592,20 @@ mod tests {
         assert!(r.nested_decode_ms >= 0.0 && r.flat_decode_ms >= 0.0);
         // Both formats serialize the same entries plus bounded metadata.
         assert!(r.nested_snapshot_bytes > 0 && r.flat_snapshot_bytes > 0);
+    }
+
+    #[test]
+    fn kernel_comparison_fields_are_sane() {
+        let d = Dataset::bench_road();
+        let g = Dataset { base_size: 10, ..d }.generate();
+        let workload = QueryWorkload::uniform(&g, 96, 9);
+        let r = kernel_comparison("t", &g, &workload, 16, 2);
+        assert_eq!(r.queries, 96);
+        assert_eq!(r.batch_fanout, 16);
+        assert!(r.entries > 0);
+        assert!(r.scalar_us > 0.0 && r.chunked_us > 0.0 && r.chunked_hot_us > 0.0);
+        assert!(r.batch_scalar_us > 0.0 && r.batch_us > 0.0);
+        assert!(r.chunked_speedup > 0.0 && r.hot_speedup > 0.0 && r.batch_speedup > 0.0);
     }
 
     #[test]

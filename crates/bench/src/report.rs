@@ -1,7 +1,9 @@
 //! Table/JSON rendering of experiment results, mimicking the rows and series
 //! the paper's figures plot.
 
-use crate::measure::{BuildSpeedupResult, FlatQueryResult, IndexingResult, QueryResult};
+use crate::measure::{
+    BuildSpeedupResult, FlatQueryResult, IndexingResult, KernelResult, QueryResult,
+};
 
 /// Renders a plain-text table with one row per dataset and one column per
 /// method, from `(dataset, method, value)` cells.
@@ -85,6 +87,30 @@ pub fn flat_query_table(title: &str, results: &[FlatQueryResult]) -> String {
     })
 }
 
+/// Renders branch-free kernel comparison results (Exp 12): one row per
+/// dataset, columns for scalar/chunked/hot point-query latency, the batch
+/// per-query latencies, and the three within-run ratios.
+pub fn kernel_table(title: &str, results: &[KernelResult]) -> String {
+    let datasets: Vec<String> = results.iter().map(|r| r.dataset.clone()).collect();
+    let methods: Vec<String> =
+        ["scalar µs", "chunk µs", "hot µs", "chunk ×", "hot ×", "batch µs", "batch ×"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    render_matrix(title, "µs/query, ratios", &datasets, &methods, |d, m| {
+        let r = results.iter().find(|r| r.dataset == d)?;
+        Some(match m {
+            "scalar µs" => r.scalar_us,
+            "chunk µs" => r.chunked_us,
+            "hot µs" => r.chunked_hot_us,
+            "chunk ×" => r.chunked_speedup,
+            "hot ×" => r.hot_speedup,
+            "batch µs" => r.batch_us,
+            _ => r.batch_speedup,
+        })
+    })
+}
+
 /// Renders query-time results (Figures 7, 12 of the paper).
 pub fn query_time_table(title: &str, results: &[QueryResult]) -> String {
     let (datasets, methods) = axes(results.iter().map(|r| (r.dataset.clone(), r.method.clone())));
@@ -144,6 +170,25 @@ impl JsonRecord for FlatQueryResult {
             ("view_load_speedup", json_f64(self.view_load_speedup)),
             ("nested_snapshot_bytes", self.nested_snapshot_bytes.to_string()),
             ("flat_snapshot_bytes", self.flat_snapshot_bytes.to_string()),
+        ]
+    }
+}
+
+impl JsonRecord for KernelResult {
+    fn json_fields(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("dataset", json_string(&self.dataset)),
+            ("entries", self.entries.to_string()),
+            ("queries", self.queries.to_string()),
+            ("scalar_us", json_f64(self.scalar_us)),
+            ("chunked_us", json_f64(self.chunked_us)),
+            ("chunked_hot_us", json_f64(self.chunked_hot_us)),
+            ("chunked_speedup", json_f64(self.chunked_speedup)),
+            ("hot_speedup", json_f64(self.hot_speedup)),
+            ("batch_fanout", self.batch_fanout.to_string()),
+            ("batch_scalar_us", json_f64(self.batch_scalar_us)),
+            ("batch_us", json_f64(self.batch_us)),
+            ("batch_speedup", json_f64(self.batch_speedup)),
         ]
     }
 }

@@ -40,8 +40,14 @@ use wcsd_order::VertexOrder;
 /// Snapshot magic of the flat format ("WC Index, Flat").
 pub const WCIF_MAGIC: &[u8; 4] = b"WCIF";
 
-/// Current `WCIF` format version.
+/// `WCIF` format version for the canonical hub-ascending group layout.
 pub const WCIF_VERSION: u32 = 1;
+
+/// `WCIF` format version for the hot-group layout: byte-for-byte the same
+/// sections, but each vertex's hub groups are keyed and ordered by the hub's
+/// *rank* instead of its id (see [`FlatIndex::to_hot`]). The version word is
+/// the only difference, so readers of either layout share every code path.
+pub const WCIF_VERSION_HOT: u32 = 2;
 
 /// Size of the fixed `WCIF` header: magic, version, vertex / entry / group
 /// counts.
@@ -68,6 +74,9 @@ pub struct FlatIndex {
     group_offsets: Vec<u32>,
     /// The vertex order the index was built with.
     order: VertexOrder,
+    /// `true` when `group_hubs` holds hub *ranks* in the hot-group layout
+    /// (see [`Self::to_hot`]); `false` for the canonical hub-id layout.
+    hot: bool,
 }
 
 impl FlatIndex {
@@ -107,11 +116,17 @@ impl FlatIndex {
             group_starts,
             group_offsets,
             order: index.order().clone(),
+            hot: false,
         }
     }
 
     /// Thaws the flat index back into the nested build representation.
     pub fn to_index(&self) -> WcIndex {
+        if self.hot {
+            // The nested form is canonical by construction; route the hot
+            // layout back through the hub-ascending permutation first.
+            return self.to_canonical().to_index();
+        }
         let n = self.num_vertices();
         let mut labels = Vec::with_capacity(n);
         for v in 0..n {
@@ -119,6 +134,73 @@ impl FlatIndex {
             labels.push(LabelSet::from_sorted(entries));
         }
         WcIndex::from_parts(labels, self.order.clone())
+    }
+
+    /// Returns `true` when the index uses the hot-group layout.
+    pub fn hot_groups(&self) -> bool {
+        self.hot
+    }
+
+    /// Re-lays the index out with each vertex's hub groups keyed and ordered
+    /// by the hub's **rank** instead of its id (no-op if already hot).
+    ///
+    /// Rank 0 is the most important hub — the one most label sets contain —
+    /// so the hot layout clusters the groups most likely to match at the
+    /// front of both directories, where the merge's first iterations (and the
+    /// prefetcher) touch them. Because rank is a bijection on vertices, two
+    /// groups match under rank keys exactly when they match under hub ids,
+    /// and within a group nothing moves: every query answer is bit-identical
+    /// to the canonical layout (pinned by `tests/kernels.rs`). The layout is
+    /// an encode-time choice: [`Self::encode`] stamps it as `WCIF` version
+    /// [`WCIF_VERSION_HOT`] and both decoders accept either version.
+    pub fn to_hot(&self) -> FlatIndex {
+        if self.hot {
+            return self.clone();
+        }
+        self.permute_groups(|hub| self.order.rank_of(hub), true)
+    }
+
+    /// Restores the canonical hub-ascending group layout (no-op if already
+    /// canonical). Inverse of [`Self::to_hot`].
+    pub fn to_canonical(&self) -> FlatIndex {
+        if !self.hot {
+            return self.clone();
+        }
+        self.permute_groups(|rank| self.order.vertex_at(rank as usize), false)
+    }
+
+    /// Rewrites every vertex's directory (and the entry arena behind it) with
+    /// group keys mapped through `new_key`, groups sorted ascending by the
+    /// new key. Entry contents and per-vertex entry ranges are unchanged.
+    fn permute_groups(&self, new_key: impl Fn(u32) -> u32, hot: bool) -> FlatIndex {
+        let n = self.num_vertices();
+        let mut dists = Vec::with_capacity(self.dists.len());
+        let mut qualities = Vec::with_capacity(self.qualities.len());
+        let mut group_hubs = Vec::with_capacity(self.group_hubs.len());
+        let mut group_starts = Vec::with_capacity(self.group_starts.len());
+        for v in 0..n {
+            let (g0, g1) = (self.group_offsets[v] as usize, self.group_offsets[v + 1] as usize);
+            let mut groups: Vec<usize> = (g0..g1).collect();
+            groups.sort_unstable_by_key(|&g| new_key(self.group_hubs[g]));
+            for g in groups {
+                group_hubs.push(new_key(self.group_hubs[g]));
+                group_starts.push(dists.len() as u32);
+                let (e0, e1) =
+                    (self.group_starts[g] as usize, FlatStore::group_end(self, g, v as VertexId));
+                dists.extend_from_slice(&self.dists[e0..e1]);
+                qualities.extend_from_slice(&self.qualities[e0..e1]);
+            }
+        }
+        FlatIndex {
+            dists,
+            qualities,
+            entry_offsets: self.entry_offsets.clone(),
+            group_hubs,
+            group_starts,
+            group_offsets: self.group_offsets.clone(),
+            order: self.order.clone(),
+            hot,
+        }
     }
 
     /// Number of vertices the index covers.
@@ -141,14 +223,17 @@ impl FlatIndex {
         &self.order
     }
 
-    /// Iterates the entries of `L(v)` in canonical `(hub, dist)` order. The
-    /// hub of each entry comes from the group directory — the arena itself
-    /// stores no per-entry hub column (it would be fully redundant).
+    /// Iterates the entries of `L(v)` in directory order: canonical `(hub,
+    /// dist)` order for the canonical layout, rank order for the hot layout
+    /// (hub ids are recovered from the rank keys either way). The hub of each
+    /// entry comes from the group directory — the arena itself stores no
+    /// per-entry hub column (it would be fully redundant).
     pub fn label_entries(&self, v: VertexId) -> impl Iterator<Item = LabelEntry> + '_ {
         let g0 = self.group_offsets[v as usize] as usize;
         let g1 = self.group_offsets[v as usize + 1] as usize;
         (g0..g1).flat_map(move |g| {
-            let hub = self.group_hubs[g];
+            let key = self.group_hubs[g];
+            let hub = if self.hot { self.order.vertex_at(key as usize) } else { key };
             let start = self.group_starts[g] as usize;
             let end = FlatStore::group_end(self, g, v);
             (start..end).map(move |e| LabelEntry::new(hub, self.dists[e], self.qualities[e]))
@@ -178,8 +263,21 @@ impl FlatIndex {
             QueryImpl::PairScan => pair_scan_flat(self, s, t, w),
             QueryImpl::HubBucket => hub_bucket_flat(self, s, t, w),
             QueryImpl::Merge => merge_flat(self, s, t, w),
+            QueryImpl::Chunked => crate::kernel::merge_chunked(self, s, t, w),
         };
         (d != INF_DIST).then_some(d)
+    }
+
+    /// Answers a run of `(t, w)` targets that share the source `s` with the
+    /// batch kernel: `s`'s hub-group directory is walked once and reused
+    /// across all targets (see [`crate::kernel`]). Answers are bit-identical
+    /// to per-query [`Self::distance`], in target order.
+    pub fn distances_from(
+        &self,
+        s: VertexId,
+        targets: &[(VertexId, Quality)],
+    ) -> Vec<Option<Distance>> {
+        crate::kernel::distances_from_flat(self, s, targets)
     }
 
     /// Returns `true` if some `w`-path of length at most `d` connects `s` and
@@ -205,7 +303,7 @@ impl FlatIndex {
         let total = WCIF_HEADER + 4 * (2 * (n + 1) + 2 * g + 2 * m + n);
         let mut buf = bytes::BytesMut::with_capacity(total);
         buf.put_slice(WCIF_MAGIC);
-        buf.put_u32_le(WCIF_VERSION);
+        buf.put_u32_le(if self.hot { WCIF_VERSION_HOT } else { WCIF_VERSION });
         buf.put_u32_le(n as u32);
         buf.put_u32_le(m as u32);
         buf.put_u32_le(g as u32);
@@ -259,6 +357,7 @@ pub struct FlatView<'a> {
     n: usize,
     m: usize,
     g: usize,
+    hot: bool,
     entry_offsets: &'a [u8],
     group_offsets: &'a [u8],
     group_hubs: &'a [u8],
@@ -296,8 +395,11 @@ impl<'a> FlatView<'a> {
         }
         let header_word = |i: usize| word(&data[4..], i);
         let version = header_word(0);
-        if version != WCIF_VERSION {
-            return Err(format!("unsupported WCIF version {version} (expected {WCIF_VERSION})"));
+        if version != WCIF_VERSION && version != WCIF_VERSION_HOT {
+            return Err(format!(
+                "unsupported WCIF version {version} \
+                 (expected {WCIF_VERSION} or {WCIF_VERSION_HOT})"
+            ));
         }
         let n = header_word(1) as usize;
         let m = header_word(2) as usize;
@@ -328,6 +430,7 @@ impl<'a> FlatView<'a> {
             n,
             m,
             g,
+            hot: version == WCIF_VERSION_HOT,
             entry_offsets: take(n + 1),
             group_offsets: take(n + 1),
             group_hubs: take(g),
@@ -353,6 +456,12 @@ impl<'a> FlatView<'a> {
         self.g
     }
 
+    /// Returns `true` when the snapshot uses the hot-group layout
+    /// (`WCIF` version [`WCIF_VERSION_HOT`]).
+    pub fn hot_groups(&self) -> bool {
+        self.hot
+    }
+
     /// Answers `Q(s, t, w)` directly from the borrowed buffer.
     pub fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
         self.distance_with(s, t, w, QueryImpl::Merge)
@@ -370,8 +479,20 @@ impl<'a> FlatView<'a> {
             QueryImpl::PairScan => pair_scan_flat(self, s, t, w),
             QueryImpl::HubBucket => hub_bucket_flat(self, s, t, w),
             QueryImpl::Merge => merge_flat(self, s, t, w),
+            QueryImpl::Chunked => crate::kernel::merge_chunked(self, s, t, w),
         };
         (d != INF_DIST).then_some(d)
+    }
+
+    /// Answers a run of `(t, w)` targets sharing the source `s` with the
+    /// batch kernel, straight from the borrowed buffer (see
+    /// [`FlatIndex::distances_from`]).
+    pub fn distances_from(
+        &self,
+        s: VertexId,
+        targets: &[(VertexId, Quality)],
+    ) -> Vec<Option<Distance>> {
+        crate::kernel::distances_from_flat(self, s, targets)
     }
 
     /// Returns `true` if some `w`-path of length at most `d` connects `s` and
@@ -413,6 +534,7 @@ impl<'a> FlatView<'a> {
             group_starts: copy(self.group_starts),
             group_offsets: copy(self.group_offsets),
             order: VertexOrder::from_permutation(order_words),
+            hot: self.hot,
         })
     }
 }
@@ -432,6 +554,13 @@ impl crate::index::QueryEngine for FlatIndex {
     }
     fn within(&self, s: VertexId, t: VertexId, w: Quality, d: Distance) -> bool {
         FlatIndex::within(self, s, t, w, d)
+    }
+    fn distances_from(
+        &self,
+        s: VertexId,
+        targets: &[(VertexId, Quality)],
+    ) -> Vec<Option<Distance>> {
+        FlatIndex::distances_from(self, s, targets)
     }
     fn stats(&self) -> IndexStats {
         FlatIndex::stats(self)
@@ -454,16 +583,24 @@ impl crate::index::QueryEngine for FlatView<'_> {
     fn within(&self, s: VertexId, t: VertexId, w: Quality, d: Distance) -> bool {
         FlatView::within(self, s, t, w, d)
     }
+    fn distances_from(
+        &self,
+        s: VertexId,
+        targets: &[(VertexId, Quality)],
+    ) -> Vec<Option<Distance>> {
+        FlatView::distances_from(self, s, targets)
+    }
     fn stats(&self) -> IndexStats {
         FlatView::stats(self)
     }
 }
 
 /// Scalar accessors shared by the owned arena ([`FlatIndex`]) and the
-/// borrowed byte view ([`FlatView`]), so every query algorithm is written
-/// once. All methods are `#[inline]`-trivial; for the owned form they compile
-/// down to plain `Vec` indexing.
-trait FlatStore {
+/// borrowed byte view ([`FlatView`]), so every query algorithm — including
+/// the chunked/batch kernels in [`crate::kernel`] — is written once. All
+/// methods are `#[inline]`-trivial; for the owned form they compile down to
+/// plain `Vec` indexing.
+pub(crate) trait FlatStore {
     fn num_vertices(&self) -> usize;
     fn num_entries(&self) -> usize;
     fn num_groups(&self) -> usize;
@@ -488,6 +625,18 @@ trait FlatStore {
         } else {
             self.entry_offset(v as usize + 1)
         }
+    }
+
+    /// Best-effort prefetch of entry `e`'s column words, issued by the merge
+    /// kernels one group ahead of use. The crate forbids `unsafe`, which
+    /// rules out the `_mm_prefetch` intrinsic, so this is a *touch* rather
+    /// than a hint: one real read per column through
+    /// [`std::hint::black_box`] pulls the cache lines exactly as a hardware
+    /// prefetch would, at the cost of occupying a load slot.
+    #[inline]
+    fn prefetch_entry(&self, e: usize) {
+        std::hint::black_box(self.dist(e));
+        std::hint::black_box(self.quality(e));
     }
 }
 
@@ -572,7 +721,12 @@ impl FlatStore for FlatView<'_> {
 /// First group index in `lo..hi` whose hub is `>= target`
 /// (`partition_point` over the group-hub directory).
 #[inline]
-fn lower_bound_hub<S: FlatStore>(st: &S, mut lo: usize, hi: usize, target: VertexId) -> usize {
+pub(crate) fn lower_bound_hub<S: FlatStore>(
+    st: &S,
+    mut lo: usize,
+    hi: usize,
+    target: VertexId,
+) -> usize {
     let mut len = hi - lo;
     while len > 0 {
         let half = len / 2;
@@ -594,7 +748,7 @@ fn lower_bound_hub<S: FlatStore>(st: &S, mut lo: usize, hi: usize, target: Verte
 /// skip of `d` groups costs `O(log d)` instead of the entry-by-entry
 /// `skip_group` walk of the nested representation.
 #[inline]
-fn advance_to_hub<S: FlatStore>(st: &S, i: usize, hi: usize, target: VertexId) -> usize {
+pub(crate) fn advance_to_hub<S: FlatStore>(st: &S, i: usize, hi: usize, target: VertexId) -> usize {
     let mut lo = i + 1;
     if lo >= hi || st.group_hub(lo) >= target {
         return lo;
@@ -612,13 +766,25 @@ fn advance_to_hub<S: FlatStore>(st: &S, i: usize, hi: usize, target: VertexId) -
 }
 
 /// Minimal distance among the entries of group `g` (of vertex `v`) with
-/// quality at least `w`: the Theorem-3 binary search over the dense
-/// `qualities` column.
+/// quality at least `w`. Groups of 1–2 entries — the overwhelming majority on
+/// road-shaped labels — are answered by direct probes (Theorem-3 ordering
+/// makes the first qualifying entry the minimum); larger groups run the
+/// Theorem-3 binary search over the dense `qualities` column. The probe win
+/// is pinned by the `kernels` criterion group.
 #[inline]
 fn min_dist_in_group<S: FlatStore>(st: &S, g: usize, v: VertexId, w: Quality) -> Option<Distance> {
     let end = st.group_end(g, v);
     let mut lo = st.group_start(g);
     let mut len = end - lo;
+    if len <= 2 {
+        if len >= 1 && st.quality(lo) >= w {
+            return Some(st.dist(lo));
+        }
+        if len == 2 && st.quality(lo + 1) >= w {
+            return Some(st.dist(lo + 1));
+        }
+        return None;
+    }
     while len > 0 {
         let half = len / 2;
         let mid = lo + half;
@@ -859,7 +1025,12 @@ mod tests {
         for s in 0..6 {
             for t in 0..6 {
                 for w in 1..=6 {
-                    for imp in [QueryImpl::PairScan, QueryImpl::HubBucket, QueryImpl::Merge] {
+                    for imp in [
+                        QueryImpl::PairScan,
+                        QueryImpl::HubBucket,
+                        QueryImpl::Merge,
+                        QueryImpl::Chunked,
+                    ] {
                         assert_eq!(
                             flat.distance_with(s, t, w, imp),
                             idx.distance_with(s, t, w, imp),
@@ -869,6 +1040,80 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn hot_layout_roundtrips_and_answers_identically() {
+        let (idx, flat) = sample();
+        let hot = flat.to_hot();
+        assert!(hot.hot_groups() && !flat.hot_groups());
+        assert_eq!(hot.num_vertices(), flat.num_vertices());
+        assert_eq!(hot.total_entries(), flat.total_entries());
+        assert_eq!(hot.stats(), flat.stats());
+        // Round trip through the canonical layout is exact, and idempotent
+        // conversions clone.
+        assert_eq!(hot.to_canonical(), flat);
+        assert_eq!(hot.to_hot(), hot);
+        assert_eq!(flat.to_canonical(), flat);
+        // Hub recovery: label entries carry real hub ids, and the nested
+        // conversion matches the canonical one.
+        for v in 0..6 {
+            let key = |e: &LabelEntry| (e.hub, e.dist, e.quality);
+            let mut canon: Vec<LabelEntry> = flat.label_entries(v).collect();
+            let mut from_hot: Vec<LabelEntry> = hot.label_entries(v).collect();
+            canon.sort_by_key(key);
+            from_hot.sort_by_key(key);
+            assert_eq!(from_hot, canon, "vertex {v}");
+        }
+        assert_eq!(hot.to_index().encode(), idx.encode());
+        // Bit-identical answers under every impl.
+        for s in 0..6 {
+            for t in 0..6 {
+                for w in 1..=6 {
+                    for imp in [
+                        QueryImpl::PairScan,
+                        QueryImpl::HubBucket,
+                        QueryImpl::Merge,
+                        QueryImpl::Chunked,
+                    ] {
+                        assert_eq!(
+                            hot.distance_with(s, t, w, imp),
+                            flat.distance_with(s, t, w, imp),
+                            "Q({s},{t},{w}) under {imp:?}"
+                        );
+                    }
+                    for d in [0, 2, u32::MAX] {
+                        assert_eq!(hot.within(s, t, w, d), flat.within(s, t, w, d));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn hot_layout_snapshots_as_wcif_v2() {
+        let (_, flat) = sample();
+        let hot = flat.to_hot();
+        let bytes = hot.encode();
+        assert_eq!(bytes[4], WCIF_VERSION_HOT as u8, "version word stamps the layout");
+        let decoded = FlatIndex::decode(&bytes).unwrap();
+        assert_eq!(decoded, hot);
+        assert!(decoded.hot_groups());
+        let view = FlatView::parse(&bytes).unwrap();
+        assert!(view.hot_groups());
+        for s in 0..6 {
+            for t in 0..6 {
+                for w in 1..=5 {
+                    assert_eq!(view.distance(s, t, w), flat.distance(s, t, w));
+                    assert_eq!(
+                        view.distance_with(s, t, w, QueryImpl::Chunked),
+                        flat.distance(s, t, w)
+                    );
+                }
+            }
+        }
+        // A canonical re-encode of the decoded hot index restores version 1.
+        assert_eq!(decoded.to_canonical().encode()[4], WCIF_VERSION as u8);
     }
 
     #[test]

@@ -17,6 +17,11 @@ pub enum QueryImpl {
     /// Algorithm 5 (`Query⁺`): linear merge. The default.
     #[default]
     Merge,
+    /// `Query⁺` with the branch-free chunked column kernels of
+    /// [`crate::kernel`] in the matched-hub step. Answers are bit-identical
+    /// to [`Self::Merge`]. Chunking is a property of the flat struct-of-arrays
+    /// layout, so on the nested [`WcIndex`] this selects the plain merge.
+    Chunked,
 }
 
 /// Anything that answers `w`-constrained distance queries from 2-hop labels:
@@ -41,6 +46,19 @@ pub trait QueryEngine: Sync {
     /// Answers `Q(s, t, w)` with the default `Query⁺` merge.
     fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<Distance> {
         self.distance_with(s, t, w, QueryImpl::Merge)
+    }
+
+    /// Answers a run of `(t, w)` targets that share the source `s`, in
+    /// target order. The default is a per-query loop; the flat engines
+    /// override it with the batch kernel of [`crate::kernel`], which walks
+    /// `s`'s hub-group directory once for the whole run. Answers are
+    /// bit-identical to per-query [`Self::distance`] either way.
+    fn distances_from(
+        &self,
+        s: VertexId,
+        targets: &[(VertexId, Quality)],
+    ) -> Vec<Option<Distance>> {
+        targets.iter().map(|&(t, w)| self.distance(s, t, w)).collect()
     }
 
     /// Returns `true` if some `w`-path of length at most `d` connects `s`
@@ -146,7 +164,10 @@ impl WcIndex {
         let d = match imp {
             QueryImpl::PairScan => query::query_pair_scan(ls, lt, w),
             QueryImpl::HubBucket => query::query_hub_bucket(ls, lt, w),
-            QueryImpl::Merge => query::query_merge(ls, lt, w),
+            // Chunked column scans need the flat struct-of-arrays layout;
+            // over nested per-vertex `Vec`s the plain merge IS the chunked
+            // impl's semantics, so the ablation stays answer-compatible.
+            QueryImpl::Merge | QueryImpl::Chunked => query::query_merge(ls, lt, w),
         };
         (d != INF_DIST).then_some(d)
     }

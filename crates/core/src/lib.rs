@@ -18,6 +18,10 @@
 //!   zero-copy [`flat::FlatView`] over the encoded bytes. Lossless conversion
 //!   from/to [`index::WcIndex`], bit-identical answers.
 //! * [`query`] — the three query implementations (Algorithms 2, 4 and 5).
+//! * [`kernel`] — branch-free chunked column kernels and the batch
+//!   `distances_from` evaluator behind [`index::QueryImpl::Chunked`]:
+//!   masked-min lane loops over the flat `dists`/`qualities` columns with a
+//!   probe/chunk/search crossover, bit-identical to the `Query⁺` merge.
 //! * [`overlay`] — the boundary-vertex overlay composing per-shard answers
 //!   into exact whole-graph answers ([`overlay::ShardedIndex`], the `WCSO`
 //!   snapshot), the correctness core of the sharded serving tier.
@@ -63,6 +67,7 @@ pub mod directed;
 pub mod dynamic;
 pub mod flat;
 pub mod index;
+pub mod kernel;
 pub mod label;
 pub mod overlay;
 pub mod parallel;

@@ -465,7 +465,8 @@ fn run_batch(
             }
         }
     }
-    let computed = parallel::par_distances(index, &misses, shared.batch_threads);
+    let computed =
+        parallel::par_distances_with(index, &misses, shared.batch_threads, shared.query_impl);
     for (slot, (&(s, t, w), answer)) in miss_slots.into_iter().zip(misses.iter().zip(computed)) {
         shared.cache.insert((epoch, s, t, w), answer);
         answers[slot] = Some(answer);

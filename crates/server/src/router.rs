@@ -27,6 +27,23 @@
 //! breaker; a successful probe moves open → half-open → closed; a successful
 //! exchange closes it from any state.
 //!
+//! While a group has more than one **closed** replica, successive exchanges
+//! rotate round-robin through the closed prefix (per-shard atomic cursor),
+//! spreading load across healthy replicas; half-open and open replicas keep
+//! their failover positions. Per-replica traffic is observable as
+//! `wcsd_router_replica_requests_total{shard, replica}`.
+//!
+//! ## The router-side result cache
+//!
+//! A sharded LRU ([`crate::cache::ResultCache`], the same structure the
+//! single-shard server uses) sits in front of scatter-gather: a repeated
+//! `(s, t, w)` — standalone or inside a `BATCH` — is answered from router
+//! memory with **zero** backend exchanges. The overlay is static and
+//! `RELOAD` through the router is refused, so entries never go stale and no
+//! epoch tagging is needed. Hits/misses surface in `STATS` and as
+//! `wcsd_cache_{hits,misses}_total` in `METRICS`, the same names the
+//! backends use.
+//!
 //! ## The background prober
 //!
 //! `Router::run` spawns a prober thread that, every
@@ -68,13 +85,14 @@
 //! the router itself, never the backends.
 
 use crate::binary::{self, BinRequest};
+use crate::cache::ResultCache;
 use crate::client::{Client, Protocol};
 use crate::failpoint;
 use crate::protocol::{self, Reply, Request};
 use crate::server::ServerSnapshot;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU8, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 use wcsd_core::overlay::{OverlayIndex, ScatterPlan};
@@ -111,6 +129,13 @@ pub struct RouterConfig {
     pub metrics_enabled: bool,
     /// Registry to record into; `None` creates a private one.
     pub registry: Option<Arc<Registry>>,
+    /// Total capacity of the router-side result cache (0 disables it). The
+    /// cache sits *in front of* scatter-gather: a hit answers a `(s, t, w)`
+    /// from the router's memory without touching any backend. Because the
+    /// overlay is static and `RELOAD` through the router is refused, entries
+    /// never go stale — no epoch tagging is needed (the backends' own caches
+    /// stay epoch-tagged).
+    pub cache_capacity: usize,
 }
 
 impl Default for RouterConfig {
@@ -121,9 +146,19 @@ impl Default for RouterConfig {
             probe_interval: Duration::from_secs(1),
             metrics_enabled: true,
             registry: None,
+            cache_capacity: 64 * 1024,
         }
     }
 }
+
+/// Cache-key epoch for the router's result cache. The overlay is static for
+/// the router's lifetime (`RELOAD` is refused), so one constant epoch is
+/// correct; see [`RouterConfig::cache_capacity`].
+const ROUTER_EPOCH: u64 = 1;
+
+/// Number of independent shards in the router's result cache (same default
+/// the single-shard server uses).
+const ROUTER_CACHE_SHARDS: usize = 16;
 
 const PROTO_LABELS: [&str; 2] = ["text", "binary"];
 const PROTO_TEXT: usize = 0;
@@ -167,6 +202,9 @@ struct RouterMetrics {
     probes: Arc<Counter>,
     /// Health probes that failed (connect, exchange, or injected).
     probe_failures: Arc<Counter>,
+    /// Per-replica exchange attempts, labeled `shard` and `replica=<addr>` —
+    /// the observable behind the round-robin balance test.
+    replica_requests: Vec<Vec<Arc<Counter>>>,
     /// Per-shard exchange latency, labeled `backend="<shard>"`.
     backend_us: Vec<Arc<Histogram>>,
     /// Per-shard failed exchanges (after which a retry, failover, or ERR
@@ -178,7 +216,8 @@ struct RouterMetrics {
 }
 
 impl RouterMetrics {
-    fn new(registry: Arc<Registry>, enabled: bool, num_shards: usize) -> Self {
+    fn new(registry: Arc<Registry>, enabled: bool, backends: &[Vec<String>]) -> Self {
+        let num_shards = backends.len();
         let verbs = std::array::from_fn(|p| {
             std::array::from_fn(|v| {
                 registry.counter_with(
@@ -209,6 +248,23 @@ impl RouterMetrics {
                 "Requests rejected with an ERR reply",
             )
         });
+        let replica_requests = backends
+            .iter()
+            .enumerate()
+            .map(|(shard, group)| {
+                let shard_label = shard.to_string();
+                group
+                    .iter()
+                    .map(|addr| {
+                        registry.counter_with(
+                            "wcsd_router_replica_requests_total",
+                            &[("shard", shard_label.as_str()), ("replica", addr.as_str())],
+                            "Backend BATCH exchange attempts, by replica",
+                        )
+                    })
+                    .collect()
+            })
+            .collect();
         let backend_us = (0..num_shards)
             .map(|b| {
                 let label = b.to_string();
@@ -256,6 +312,7 @@ impl RouterMetrics {
             probes: registry.counter("wcsd_router_probes_total", "Health probes sent to replicas"),
             probe_failures: registry
                 .counter("wcsd_router_probe_failures_total", "Health probes that failed"),
+            replica_requests,
             backend_us,
             backend_errors,
             degraded: registry.gauge(
@@ -288,6 +345,14 @@ struct Shared {
     /// `shards[i]` is shard `i`'s replica group; every replica serves the
     /// same shard snapshot, so answers are interchangeable bit-for-bit.
     shards: Vec<Vec<Replica>>,
+    /// Per-shard round-robin cursor: successive exchanges rotate through the
+    /// shard's *closed-breaker* replicas so load spreads across a healthy
+    /// group instead of pinning replica 0.
+    rr: Vec<AtomicU64>,
+    /// Router-side result cache in front of scatter-gather, keyed
+    /// `(ROUTER_EPOCH, s, t, w)`. [`ResultCache::disabled`] when
+    /// [`RouterConfig::cache_capacity`] is 0.
+    cache: ResultCache,
     backend_timeout: Duration,
     probe_interval: Duration,
     metrics: RouterMetrics,
@@ -327,15 +392,25 @@ impl Shared {
 
     /// Replica indices of `shard` in preference order: closed breakers
     /// first, then half-open, then open as a last resort (stable within each
-    /// class, so replica 0 is the natural primary).
+    /// class). When more than one breaker is closed, successive calls rotate
+    /// the closed prefix round-robin, so a healthy replica group shares the
+    /// load instead of funnelling everything to replica 0 — failover
+    /// semantics are unchanged because rotation never promotes a replica
+    /// across class boundaries.
     fn replica_order(&self, shard: usize) -> Vec<usize> {
         let group = &self.shards[shard];
-        let mut order: Vec<usize> = (0..group.len()).collect();
-        order.sort_by_key(|&r| match group[r].breaker.load(Ordering::SeqCst) {
+        let class = |r: usize| match group[r].breaker.load(Ordering::SeqCst) {
             BREAKER_CLOSED => 0u8,
             BREAKER_HALF_OPEN => 1,
             _ => 2,
-        });
+        };
+        let mut order: Vec<usize> = (0..group.len()).collect();
+        order.sort_by_key(|&r| class(r));
+        let closed = order.iter().take_while(|&&r| class(r) == BREAKER_CLOSED).count();
+        if closed > 1 {
+            let turn = self.rr[shard].fetch_add(1, Ordering::Relaxed) as usize;
+            order[..closed].rotate_left(turn % closed);
+        }
         order
     }
 
@@ -355,8 +430,8 @@ impl Shared {
             batches: m.batches.get(),
             batch_queries: m.batch_queries.get(),
             shed: 0,
-            cache_hits: 0,
-            cache_misses: 0,
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
         }
     }
 
@@ -410,8 +485,28 @@ impl Router {
         let listener = crate::reactor::listen_reuseaddr(config.port)?;
         let local_addr = listener.local_addr()?;
         let registry = config.registry.unwrap_or_else(|| Arc::new(Registry::new()));
-        let metrics = RouterMetrics::new(registry, config.metrics_enabled, backends.len());
-        let shards = backends
+        let metrics = RouterMetrics::new(registry, config.metrics_enabled, &backends);
+        let cache = if config.cache_capacity == 0 {
+            ResultCache::disabled()
+        } else {
+            ResultCache::new(config.cache_capacity, ROUTER_CACHE_SHARDS)
+        };
+        // Same metric names the single-shard server exposes, so dashboards
+        // and loadgen deltas read the router's cache identically.
+        metrics.registry.register_counter(
+            "wcsd_cache_hits_total",
+            &[],
+            "Result-cache hits",
+            cache.hit_counter(),
+        );
+        metrics.registry.register_counter(
+            "wcsd_cache_misses_total",
+            &[],
+            "Result-cache misses",
+            cache.miss_counter(),
+        );
+        let rr = backends.iter().map(|_| AtomicU64::new(0)).collect();
+        let shards: Vec<Vec<Replica>> = backends
             .into_iter()
             .map(|group| {
                 group
@@ -423,6 +518,8 @@ impl Router {
         let shared = Arc::new(Shared {
             overlay,
             shards,
+            rr,
+            cache,
             backend_timeout: config.backend_timeout,
             probe_interval: config.probe_interval,
             metrics,
@@ -619,6 +716,7 @@ impl BackendPool {
         let t0 = Instant::now();
         shared.metrics.fanout.inc();
         shared.metrics.fanout_queries.add(chunk.len() as u64);
+        shared.metrics.replica_requests[shard][replica].inc();
         let result = self.connect(shared, shard, replica).and_then(|client| client.batch(chunk));
         match result {
             Ok(answers) => {
@@ -676,15 +774,21 @@ fn answer_distance(
     w: Quality,
 ) -> Result<Option<Distance>, String> {
     check_range(&shared.overlay, s, t)?;
+    let key = (ROUTER_EPOCH, s, t, w);
+    if let Some(answer) = shared.cache.get(&key) {
+        return Ok(answer);
+    }
     let plan = shared.overlay.plan(s, t, w);
     let answers = scatter(shared, pool, &plan)?;
-    shared.overlay.merge(&plan, &answers)
+    let answer = shared.overlay.merge(&plan, &answers)?;
+    shared.cache.insert(key, answer);
+    Ok(answer)
 }
 
-/// Answers a whole client `BATCH` with one backend `BATCH` per involved
-/// shard: all per-query plans are concatenated per shard, fetched, and
-/// sliced back in order. Any backend failure fails the whole batch — one
-/// `ERR` line, never a torn reply.
+/// Answers a whole client `BATCH`: cache hits are served from the router's
+/// memory, the misses go through one backend `BATCH` per involved shard
+/// ([`scatter_batch`]), and computed answers are inserted back. Any backend
+/// failure fails the whole batch — one `ERR` line, never a torn reply.
 fn answer_batch(
     shared: &Shared,
     pool: &mut BackendPool,
@@ -694,6 +798,37 @@ fn answer_batch(
         check_range(&shared.overlay, s, t)
             .map_err(|reason| format!("batch line {}: {reason}", i + 1))?;
     }
+    let mut answers: Vec<Option<Option<Distance>>> = Vec::with_capacity(queries.len());
+    let mut misses: Vec<(VertexId, VertexId, Quality)> = Vec::new();
+    let mut miss_slots: Vec<usize> = Vec::new();
+    for (i, &(s, t, w)) in queries.iter().enumerate() {
+        match shared.cache.get(&(ROUTER_EPOCH, s, t, w)) {
+            Some(answer) => answers.push(Some(answer)),
+            None => {
+                answers.push(None);
+                misses.push((s, t, w));
+                miss_slots.push(i);
+            }
+        }
+    }
+    if !misses.is_empty() {
+        let computed = scatter_batch(shared, pool, &misses)?;
+        for (slot, (&(s, t, w), answer)) in miss_slots.into_iter().zip(misses.iter().zip(computed))
+        {
+            shared.cache.insert((ROUTER_EPOCH, s, t, w), answer);
+            answers[slot] = Some(answer);
+        }
+    }
+    Ok(answers.into_iter().map(|a| a.expect("every slot answered")).collect())
+}
+
+/// Scatter-gathers a batch of (range-checked) queries: all per-query plans
+/// are concatenated per shard, fetched, and sliced back in order.
+fn scatter_batch(
+    shared: &Shared,
+    pool: &mut BackendPool,
+    queries: &[(VertexId, VertexId, Quality)],
+) -> Result<Vec<Option<Distance>>, String> {
     let plans: Vec<ScatterPlan> =
         queries.iter().map(|&(s, t, w)| shared.overlay.plan(s, t, w)).collect();
     let num_shards = shared.overlay.num_shards();

@@ -38,7 +38,7 @@ use std::sync::atomic::AtomicBool;
 use std::sync::mpsc;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
-use wcsd_core::{FlatIndex, WcIndex};
+use wcsd_core::{FlatIndex, QueryImpl, WcIndex};
 use wcsd_graph::{Quality, VertexId};
 use wcsd_obs::Registry;
 
@@ -91,6 +91,11 @@ pub struct ServerConfig {
     /// `wcsd-cli serve` passes [`wcsd_obs::global()`] so core build/repair
     /// instrumentation from the same process shows up in one scrape.
     pub registry: Option<Arc<Registry>>,
+    /// Query implementation used for every inline and batch answer
+    /// ([`QueryImpl::Merge`] by default; [`QueryImpl::Chunked`] selects the
+    /// branch-free kernels of [`wcsd_core::kernel`]). All implementations are
+    /// bit-identical, so this is a pure performance knob.
+    pub query_impl: QueryImpl,
 }
 
 impl Default for ServerConfig {
@@ -105,6 +110,7 @@ impl Default for ServerConfig {
             slow_query_ms: None,
             metrics_enabled: true,
             registry: None,
+            query_impl: QueryImpl::Merge,
         }
     }
 }
@@ -250,6 +256,9 @@ pub(crate) struct Shared {
     pub(crate) batch_threads: usize,
     pub(crate) batch_workers: usize,
     pub(crate) max_pending_jobs: usize,
+    /// Query implementation for inline and batch answers (bit-identical
+    /// across variants; see [`ServerConfig::query_impl`]).
+    pub(crate) query_impl: QueryImpl,
     pub(crate) started: Instant,
     pub(crate) shutdown: AtomicBool,
     /// All server counters/gauges/histograms. `STATS` reads the same atomics
@@ -329,7 +338,7 @@ impl Shared {
         if let Some(answer) = self.cache.get(&key) {
             return answer;
         }
-        let answer = index.distance(s, t, w);
+        let answer = index.distance_with(s, t, w, self.query_impl);
         self.cache.insert(key, answer);
         answer
     }
@@ -513,6 +522,7 @@ impl Server {
                 batch_threads: config.batch_threads.max(1),
                 batch_workers,
                 max_pending_jobs,
+                query_impl: config.query_impl,
                 started: Instant::now(),
                 shutdown: AtomicBool::new(false),
                 metrics,

@@ -2,17 +2,17 @@
 //! WC-INDEX snapshots from edge-list or DIMACS graph files.
 //!
 //! ```text
-//! wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--threads N] [--flat] [--dimacs]
+//! wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--threads N] [--flat] [--hot] [--dimacs]
 //! wcsd-cli stats <graph-file> [--dimacs]
 //! wcsd-cli stats <host:port> [--json]
-//! wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]
-//! wcsd-cli serve <graph-file> <index-file-or-snapshot-dir> [--port P] [--threads N] [--cache-size N] [--max-pending N] [--slow-query-ms N] [--no-metrics] [--dimacs]
+//! wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--impl pair|bucket|merge|chunked] [--dimacs]
+//! wcsd-cli serve <graph-file> <index-file-or-snapshot-dir> [--port P] [--threads N] [--cache-size N] [--max-pending N] [--slow-query-ms N] [--impl I] [--no-metrics] [--dimacs]
 //! wcsd-cli client <host:port> <command> [args...]
 //! wcsd-cli metrics <host:port> [--recent]
 //! wcsd-cli reload <host:port> <index-file>
 //! wcsd-cli feed <graph-file> <updates-file> <snapshot-dir> [--addr H:P] [--batch N] [--threads N] [--ordering ...] [--repair-threshold F] [--json PATH] [--dimacs]
 //! wcsd-cli partition <graph-file> <out-dir> [--shards N] [--seed S] [--ordering ...] [--threads N] [--dimacs]
-//! wcsd-cli route <overlay-file> <backend-group> [<backend-group>...] [--port P] [--backend-timeout-ms N] [--probe-interval-ms N] [--no-metrics]
+//! wcsd-cli route <overlay-file> <backend-group> [<backend-group>...] [--port P] [--backend-timeout-ms N] [--probe-interval-ms N] [--cache-size N] [--no-metrics]
 //! ```
 //!
 //! `feed` is the streaming-freshness front end: it builds a dynamic index
@@ -25,10 +25,20 @@
 //!
 //! `build --flat` writes the read-optimized `WCIF` snapshot (contiguous
 //! struct-of-arrays arena; loads with a validated bulk copy, no per-vertex
-//! allocation or re-sort) instead of the nested `WCIX` format. `query` and
-//! `serve` detect the format from the snapshot magic, so either file works
-//! everywhere an index file is expected; `serve` always serves from the flat
-//! representation, converting a nested snapshot once at load.
+//! allocation or re-sort) instead of the nested `WCIX` format. `build --hot`
+//! (implies `--flat`) additionally applies the hot-group layout — each
+//! vertex's hub groups reordered by rank, `WCIF` version 2 — which the
+//! chunked merge kernel walks with better locality; answers are
+//! bit-identical either way. `query` and `serve` detect the format from the
+//! snapshot magic, so either file works everywhere an index file is
+//! expected; `serve` always serves from the flat representation, converting
+//! a nested snapshot once at load.
+//!
+//! `--impl pair|bucket|merge|chunked` selects the query implementation
+//! (`query` answers with it; `serve` uses it for every inline and `BATCH`
+//! answer). All four are bit-identical — `merge` is the paper's `Query⁺`
+//! directory merge and the default; `chunked` is the branch-free masked-min
+//! kernel of `wcsd_core::kernel`.
 //!
 //! `serve` loads the graph and index once, then answers queries over a
 //! loopback TCP socket until a client sends `SHUTDOWN`; `client` sends one
@@ -157,17 +167,17 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("usage:");
-            eprintln!("  wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--threads N] [--flat] [--dimacs]");
+            eprintln!("  wcsd-cli build <graph-file> <index-file> [--ordering degree|tree|hybrid] [--threads N] [--flat] [--hot] [--dimacs]");
             eprintln!("  wcsd-cli stats <graph-file> [--dimacs]");
             eprintln!("  wcsd-cli stats <host:port> [--json]");
-            eprintln!("  wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--dimacs]");
-            eprintln!("  wcsd-cli serve <graph-file> <index-file-or-snapshot-dir> [--port P] [--threads N] [--cache-size N] [--max-pending N] [--slow-query-ms N] [--no-metrics] [--dimacs]");
+            eprintln!("  wcsd-cli query <graph-file> <index-file> <s> <t> <w> [--impl pair|bucket|merge|chunked] [--dimacs]");
+            eprintln!("  wcsd-cli serve <graph-file> <index-file-or-snapshot-dir> [--port P] [--threads N] [--cache-size N] [--max-pending N] [--slow-query-ms N] [--impl I] [--no-metrics] [--dimacs]");
             eprintln!("  wcsd-cli client <host:port> <command> [args...]");
             eprintln!("  wcsd-cli metrics <host:port> [--recent]");
             eprintln!("  wcsd-cli reload <host:port> <index-file>");
             eprintln!("  wcsd-cli feed <graph-file> <updates-file> <snapshot-dir> [--addr H:P] [--batch N] [--threads N] [--ordering degree|tree|hybrid] [--repair-threshold F] [--json PATH] [--dimacs]");
             eprintln!("  wcsd-cli partition <graph-file> <out-dir> [--shards N] [--seed S] [--ordering degree|tree|hybrid] [--threads N] [--dimacs]");
-            eprintln!("  wcsd-cli route <overlay-file> <backend-group> [<backend-group>...] [--port P] [--backend-timeout-ms N] [--probe-interval-ms N] [--no-metrics]");
+            eprintln!("  wcsd-cli route <overlay-file> <backend-group> [<backend-group>...] [--port P] [--backend-timeout-ms N] [--probe-interval-ms N] [--cache-size N] [--no-metrics]");
             eprintln!("      (<backend-group>: host:port[,host:port...] in shard order, or shard<N>=host:port[,...])");
             ExitCode::FAILURE
         }
@@ -194,6 +204,7 @@ fn value_flags(args: &[String]) -> &'static [&'static str] {
         "--seed",
         "--backend-timeout-ms",
         "--probe-interval-ms",
+        "--impl",
     ];
     const WITH_JSON_PATH: &[&str] = &[
         "--ordering",
@@ -209,6 +220,7 @@ fn value_flags(args: &[String]) -> &'static [&'static str] {
         "--seed",
         "--backend-timeout-ms",
         "--probe-interval-ms",
+        "--impl",
         "--json",
     ];
     match args.iter().find(|a| !a.starts_with("--")).map(|s| s.as_str()) {
@@ -219,7 +231,9 @@ fn value_flags(args: &[String]) -> &'static [&'static str] {
 
 fn run(args: &[String]) -> Result<(), String> {
     let use_dimacs = args.iter().any(|a| a == "--dimacs");
-    let use_flat = args.iter().any(|a| a == "--flat");
+    // --hot implies --flat: the hot-group layout only exists in WCIF.
+    let use_hot = args.iter().any(|a| a == "--hot");
+    let use_flat = use_hot || args.iter().any(|a| a == "--flat");
     let ordering = parse_ordering(args)?;
     let positional = positional_args(args, value_flags(args));
 
@@ -237,13 +251,26 @@ fn run(args: &[String]) -> Result<(), String> {
             let stats = index.stats();
             // --flat: write the read-optimized WCIF snapshot (loads with a
             // validated bulk copy) instead of the nested WCIX format.
-            let encoded =
-                if use_flat { FlatIndex::from_index(&index).encode() } else { index.encode() };
+            // --hot: additionally rank-order each vertex's hub groups (WCIF
+            // v2) for the chunked kernel's access pattern.
+            let encoded = if use_hot {
+                FlatIndex::from_index(&index).to_hot().encode()
+            } else if use_flat {
+                FlatIndex::from_index(&index).encode()
+            } else {
+                index.encode()
+            };
             std::fs::write(index_path, &encoded)
                 .map_err(|e| format!("cannot write {index_path}: {e}"))?;
             println!(
                 "built {} index for {} vertices / {} edges in {:.2?} ({} thread(s)): {} entries ({:.2} per vertex, {:.3} MiB) -> {index_path}",
-                if use_flat { "flat (WCIF)" } else { "nested (WCIX)" },
+                if use_hot {
+                    "flat (WCIF v2, hot groups)"
+                } else if use_flat {
+                    "flat (WCIF)"
+                } else {
+                    "nested (WCIX)"
+                },
                 graph.num_vertices(),
                 graph.num_edges(),
                 start.elapsed(),
@@ -291,7 +318,8 @@ fn run(args: &[String]) -> Result<(), String> {
                     return Err(format!("vertex {v} out of range (graph has vertices 0..{n})"));
                 }
             }
-            let answer = index.distance(s, t, w);
+            let imp = parse_impl(args)?.unwrap_or(QueryImpl::Merge);
+            let answer = index.distance_with(s, t, w, imp);
             match answer {
                 Some(d) => println!("dist_{w}({s}, {t}) = {d}"),
                 None => println!("dist_{w}({s}, {t}) = INF (no {w}-constrained path)"),
@@ -350,6 +378,11 @@ fn run(args: &[String]) -> Result<(), String> {
             // histogram/trace recording off (counters stay on for STATS).
             config.slow_query_ms = flag_value(args, "--slow-query-ms")?;
             config.metrics_enabled = !args.iter().any(|a| a == "--no-metrics");
+            // Query implementation for every inline and BATCH answer (all
+            // bit-identical; `chunked` selects the branch-free kernels).
+            if let Some(imp) = parse_impl(args)? {
+                config.query_impl = imp;
+            }
             // The process-global registry, so core build/repair phases from
             // this process and the serving metrics share one METRICS scrape.
             config.registry = Some(wcsd_obs::global().clone());
@@ -517,6 +550,10 @@ fn run(args: &[String]) -> Result<(), String> {
             }
             if let Some(ms) = flag_value::<u64>(args, "--probe-interval-ms")? {
                 config.probe_interval = Duration::from_millis(ms);
+            }
+            // Router-side result cache in front of scatter-gather (0 = off).
+            if let Some(cache) = flag_value(args, "--cache-size")? {
+                config.cache_capacity = cache;
             }
             config.metrics_enabled = !args.iter().any(|a| a == "--no-metrics");
             config.registry = Some(wcsd_obs::global().clone());
@@ -706,6 +743,23 @@ fn server_stats(addr: &str, json: bool) -> Result<(), String> {
     Ok(())
 }
 
+/// Parses `--impl` into a [`QueryImpl`] (`None` when the flag is absent, so
+/// callers keep their own default).
+fn parse_impl(args: &[String]) -> Result<Option<QueryImpl>, String> {
+    match args.iter().position(|a| a == "--impl") {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1).map(|s| s.as_str()) {
+            Some("pair") => Ok(Some(QueryImpl::PairScan)),
+            Some("bucket") => Ok(Some(QueryImpl::HubBucket)),
+            Some("merge") => Ok(Some(QueryImpl::Merge)),
+            Some("chunked") => Ok(Some(QueryImpl::Chunked)),
+            other => {
+                Err(format!("unknown query impl {other:?} (expected pair|bucket|merge|chunked)"))
+            }
+        },
+    }
+}
+
 fn parse_ordering(args: &[String]) -> Result<OrderingStrategy, String> {
     match args.iter().position(|a| a == "--ordering") {
         None => Ok(OrderingStrategy::Hybrid),
@@ -734,10 +788,10 @@ impl LoadedIndex {
         }
     }
 
-    fn distance(&self, s: VertexId, t: VertexId, w: Quality) -> Option<u32> {
+    fn distance_with(&self, s: VertexId, t: VertexId, w: Quality, imp: QueryImpl) -> Option<u32> {
         match self {
-            Self::Nested(i) => i.distance(s, t, w),
-            Self::Flat(f) => f.distance(s, t, w),
+            Self::Nested(i) => i.distance_with(s, t, w, imp),
+            Self::Flat(f) => f.distance_with(s, t, w, imp),
         }
     }
 

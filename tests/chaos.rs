@@ -126,6 +126,9 @@ fn replica_failover_serves_bit_identical_answers() {
     let config = RouterConfig {
         backend_timeout: Duration::from_millis(500),
         probe_interval: Duration::from_millis(150),
+        // The repeated workload must re-fan-out (not hit the router's result
+        // cache) for the mid-request failover to be exercised at all.
+        cache_capacity: 0,
         ..RouterConfig::default()
     };
     let groups = vec![vec![a0.clone()], vec![a1_primary.clone(), a1_replica.clone()]];
@@ -174,6 +177,67 @@ fn replica_failover_serves_bit_identical_answers() {
     kill(&a1_replica, h1_replica);
 }
 
+/// With both of a shard's replicas healthy, the router's round-robin rotation
+/// must spread exchanges across them instead of pinning replica 0 — and every
+/// answer stays bit-identical regardless of which replica served it. The
+/// spread is read off `wcsd_router_replica_requests_total{shard, replica}`.
+#[test]
+fn round_robin_spreads_load_across_healthy_replicas() {
+    let _serial = serial();
+    let g = barabasi_albert(70, 2, &QualityAssigner::uniform(4), 31);
+    let flat = full_flat(&g);
+    let partition = Partition::build(&g, 2, 9);
+    let sharded = ShardedIndex::build(&g, &partition);
+    let shards = sharded.shards();
+
+    let (a0, h0) = spawn_server(&shards[0], ServerConfig::default());
+    let (a1_primary, h1_primary) = spawn_server(&shards[1], ServerConfig::default());
+    let (a1_replica, h1_replica) = spawn_server(&shards[1], ServerConfig::default());
+
+    // Cache off so every query fans out; probing off so breakers (and hence
+    // the preference order's classes) never move during the drill.
+    let config = RouterConfig {
+        probe_interval: Duration::ZERO,
+        cache_capacity: 0,
+        ..RouterConfig::default()
+    };
+    let groups = vec![vec![a0.clone()], vec![a1_primary.clone(), a1_replica.clone()]];
+    let router = Router::bind(sharded.overlay().clone(), groups, config).expect("bind router");
+    let router_addr = router.local_addr().to_string();
+    let router_handle = std::thread::spawn(move || router.run());
+
+    let n = g.num_vertices() as u32;
+    let mut rng = StdRng::seed_from_u64(0x0b0b_5eed);
+    let mut client = Client::connect_with(&router_addr, Protocol::Binary).expect("connect router");
+    for _ in 0..40 {
+        let (s, t, w) = (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..=5));
+        assert_eq!(
+            client.query(s, t, w).expect("balanced query"),
+            flat.distance_with(s, t, w, QueryImpl::Merge),
+            "Q({s},{t},{w})"
+        );
+    }
+
+    let m = scrape(&router_addr);
+    let served = |addr: &str| {
+        let label = format!("replica=\"{addr}\"");
+        m.sum_matching("wcsd_router_replica_requests_total", &[label.as_str()])
+    };
+    let (primary, replica) = (served(&a1_primary), served(&a1_replica));
+    assert!(
+        primary >= 1.0 && replica >= 1.0,
+        "round-robin must hit both replicas: primary={primary}, replica={replica}"
+    );
+    // Healthy-group rotation alternates, so the split cannot be lopsided.
+    let spread = primary.min(replica) / primary.max(replica);
+    assert!(spread >= 0.5, "replica load too skewed: primary={primary}, replica={replica}");
+
+    kill(&router_addr, router_handle);
+    kill(&a0, h0);
+    kill(&a1_primary, h1_primary);
+    kill(&a1_replica, h1_replica);
+}
+
 // ---------------------------------------------------------------------------
 // Probe-driven degrade / un-degrade.
 // ---------------------------------------------------------------------------
@@ -200,6 +264,9 @@ fn killed_backend_undegrades_after_restart_without_client_traffic() {
     let config = RouterConfig {
         backend_timeout: Duration::from_millis(500),
         probe_interval,
+        // The recovery proof re-issues the pre-kill query; it must reach the
+        // restarted backend, not the router's result cache.
+        cache_capacity: 0,
         ..RouterConfig::default()
     };
     let groups = vec![vec![a0.clone()], vec![a1.clone()]];

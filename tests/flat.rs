@@ -1,7 +1,7 @@
 //! Property suite for the flat query engine: the read-optimized `FlatIndex`
 //! (and the zero-copy `FlatView` over its `WCIF` snapshot) must answer every
 //! query **bit-identically** to the nested `WcIndex` it was frozen from,
-//! across random graphs, all three query implementations, and the `within`
+//! across random graphs, all four query implementations, and the `within`
 //! cover predicate — and the `WCIF` decoder must reject corrupted or
 //! truncated snapshots with an error, never a panic or a wrong index.
 //!
@@ -38,7 +38,7 @@ fn random_queries(rng: &mut StdRng, n: u32, max_q: u32, count: usize) -> Vec<(u3
         .collect()
 }
 
-/// The flat engine agrees with the nested index on every query, for all three
+/// The flat engine agrees with the nested index on every query, for all four
 /// query implementations, on both the owned and the borrowed form.
 #[test]
 fn flat_answers_are_bit_identical() {
@@ -50,7 +50,9 @@ fn flat_answers_are_bit_identical() {
         let view = FlatView::parse(&bytes).expect("own encoding parses");
         let mut rng = StdRng::seed_from_u64(seed ^ 0xF1A7);
         for (s, t, w) in random_queries(&mut rng, g.num_vertices() as u32, 5, 200) {
-            for imp in [QueryImpl::PairScan, QueryImpl::HubBucket, QueryImpl::Merge] {
+            for imp in
+                [QueryImpl::PairScan, QueryImpl::HubBucket, QueryImpl::Merge, QueryImpl::Chunked]
+            {
                 let expected = idx.distance_with(s, t, w, imp);
                 assert_eq!(
                     flat.distance_with(s, t, w, imp),

@@ -1,0 +1,180 @@
+//! Parity fuzz suite for the branch-free query kernels (`wcsd_core::kernel`):
+//! the chunked masked-min merge behind [`QueryImpl::Chunked`] and the batch
+//! `distances_from` evaluator must answer **bit-identically** to the scalar
+//! `Query⁺` merge and the pair-scan baseline — on the owned [`FlatIndex`],
+//! the zero-copy [`FlatView`], and the hot-group (rank-ordered, `WCIF` v2)
+//! layout of both — across 48 random graphs per property, including
+//! out-of-range quality constraints, unreachable pairs, reflexive pairs, and
+//! empty labels.
+//!
+//! Mirrors the seeded-fuzzer idiom of `tests/flat.rs` / `tests/properties.rs`.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use wcsd::prelude::*;
+
+/// Number of random graphs each property is checked against.
+const CASES: u64 = 48;
+
+/// Deterministic random graph, same construction as `tests/flat.rs`.
+fn random_graph(seed: u64, max_n: usize, max_edges: usize, max_q: u32) -> Graph {
+    let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9E37_79B9) ^ 0x00F1_A700);
+    let n = rng.gen_range(2..=max_n);
+    let m = rng.gen_range(0..=max_edges);
+    let mut b = GraphBuilder::new(n);
+    for _ in 0..m {
+        let u = rng.gen_range(0..n as u32);
+        let v = rng.gen_range(0..n as u32);
+        let q = rng.gen_range(1..=max_q);
+        b.add_edge(u, v, q);
+    }
+    b.build()
+}
+
+/// Random `(s, t, w)` queries including out-of-domain quality levels.
+fn random_queries(rng: &mut StdRng, n: u32, max_q: u32, count: usize) -> Vec<(u32, u32, u32)> {
+    (0..count)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..=max_q + 2)))
+        .collect()
+}
+
+/// All four query representations of one index: owned and borrowed, in the
+/// canonical and the hot-group layout. The `Vec`s keep the snapshot bytes
+/// alive for the borrowed views.
+struct Engines {
+    flat: FlatIndex,
+    hot: FlatIndex,
+    canonical_bytes: Vec<u8>,
+    hot_bytes: Vec<u8>,
+}
+
+impl Engines {
+    fn build(g: &Graph) -> Self {
+        let idx = IndexBuilder::wc_index_plus().build(g);
+        let flat = FlatIndex::from_index(&idx);
+        let hot = flat.to_hot();
+        let canonical_bytes = flat.encode().to_vec();
+        let hot_bytes = hot.encode().to_vec();
+        Self { flat, hot, canonical_bytes, hot_bytes }
+    }
+
+    fn views(&self) -> (FlatView<'_>, FlatView<'_>) {
+        (
+            FlatView::parse(&self.canonical_bytes).expect("canonical snapshot parses"),
+            FlatView::parse(&self.hot_bytes).expect("hot snapshot parses"),
+        )
+    }
+}
+
+/// `Chunked` answers bit-identically to the scalar merge and the pair-scan
+/// baseline on every representation, including the hot-group layout.
+#[test]
+fn chunked_matches_merge_and_pairscan_everywhere() {
+    for seed in 0..CASES {
+        let g = random_graph(seed, 28, 90, 5);
+        let e = Engines::build(&g);
+        let (view, hot_view) = e.views();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xC41A);
+        for (s, t, w) in random_queries(&mut rng, g.num_vertices() as u32, 5, 200) {
+            let expected = e.flat.distance_with(s, t, w, QueryImpl::Merge);
+            assert_eq!(
+                e.flat.distance_with(s, t, w, QueryImpl::PairScan),
+                expected,
+                "seed {seed}: baseline disagreement on Q({s},{t},{w})"
+            );
+            for (name, got) in [
+                ("FlatIndex", e.flat.distance_with(s, t, w, QueryImpl::Chunked)),
+                ("FlatIndex(hot)", e.hot.distance_with(s, t, w, QueryImpl::Chunked)),
+                ("FlatView", view.distance_with(s, t, w, QueryImpl::Chunked)),
+                ("FlatView(hot)", hot_view.distance_with(s, t, w, QueryImpl::Chunked)),
+            ] {
+                assert_eq!(got, expected, "seed {seed}: {name} chunked Q({s},{t},{w})");
+            }
+        }
+    }
+}
+
+/// The batch kernel (`distances_from`, one directory walk per source) agrees
+/// with the per-query merge on every representation — with targets mixing
+/// repeats, the source itself, and out-of-range constraints.
+#[test]
+fn batch_kernel_matches_per_query_answers() {
+    for seed in 0..CASES {
+        let g = random_graph(seed, 28, 90, 5);
+        let e = Engines::build(&g);
+        let (view, hot_view) = e.views();
+        let n = g.num_vertices() as u32;
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0BA7_C4E1);
+        for _ in 0..6 {
+            let s = rng.gen_range(0..n);
+            let mut targets: Vec<(u32, u32)> =
+                (0..24).map(|_| (rng.gen_range(0..n), rng.gen_range(1..=7))).collect();
+            targets.push((s, 99)); // reflexive under an unsatisfiable constraint
+            targets.push((rng.gen_range(0..n), 6)); // above every edge quality
+            let expected: Vec<Option<u32>> =
+                targets.iter().map(|&(t, w)| e.flat.distance(s, t, w)).collect();
+            for (name, got) in [
+                ("FlatIndex", e.flat.distances_from(s, &targets)),
+                ("FlatIndex(hot)", e.hot.distances_from(s, &targets)),
+                ("FlatView", view.distances_from(s, &targets)),
+                ("FlatView(hot)", hot_view.distances_from(s, &targets)),
+            ] {
+                assert_eq!(got, expected, "seed {seed}: {name} distances_from({s})");
+            }
+        }
+    }
+}
+
+/// Edge cases the lane kernels must not mishandle: an edgeless graph (every
+/// label at its smallest, every cross pair unreachable), reflexive pairs, and
+/// an empty target batch.
+#[test]
+fn kernels_handle_empty_labels_and_unreachable_pairs() {
+    let g = GraphBuilder::new(6).build();
+    let e = Engines::build(&g);
+    let (view, hot_view) = e.views();
+    for s in 0..6 {
+        for t in 0..6 {
+            for w in [1, 3, u32::MAX] {
+                let expected = if s == t { Some(0) } else { None };
+                for got in [
+                    e.flat.distance_with(s, t, w, QueryImpl::Chunked),
+                    e.hot.distance_with(s, t, w, QueryImpl::Chunked),
+                    view.distance_with(s, t, w, QueryImpl::Chunked),
+                    hot_view.distance_with(s, t, w, QueryImpl::Chunked),
+                ] {
+                    assert_eq!(got, expected, "edgeless Q({s},{t},{w})");
+                }
+            }
+        }
+        let targets: Vec<(u32, u32)> = (0..6).map(|t| (t, 1)).collect();
+        let expected: Vec<Option<u32>> =
+            (0..6).map(|t| if s == t { Some(0) } else { None }).collect();
+        assert_eq!(e.flat.distances_from(s, &targets), expected);
+        assert_eq!(view.distances_from(s, &targets), expected);
+        assert!(e.flat.distances_from(s, &[]).is_empty(), "empty batch");
+    }
+}
+
+/// The hot-group permutation is invisible to every query implementation: all
+/// four impls agree between the canonical and the hot layout on the same
+/// random workloads (the layout only reorders each vertex's groups).
+#[test]
+fn hot_layout_is_transparent_to_all_impls() {
+    for seed in 0..CASES {
+        let g = random_graph(seed, 24, 70, 4);
+        let e = Engines::build(&g);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x407);
+        for (s, t, w) in random_queries(&mut rng, g.num_vertices() as u32, 4, 80) {
+            for imp in
+                [QueryImpl::PairScan, QueryImpl::HubBucket, QueryImpl::Merge, QueryImpl::Chunked]
+            {
+                assert_eq!(
+                    e.hot.distance_with(s, t, w, imp),
+                    e.flat.distance_with(s, t, w, imp),
+                    "seed {seed}: hot layout diverges on Q({s},{t},{w}) under {imp:?}"
+                );
+            }
+        }
+    }
+}

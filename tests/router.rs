@@ -2,7 +2,7 @@
 //! index composed through the boundary overlay must be **bit-identical** to
 //! the unsharded index, in process and over the wire.
 //!
-//! * a seeded fuzz sweep (48 seeds × {road, social} shapes × all three
+//! * a seeded fuzz sweep (48 seeds × {road, social} shapes × all four
 //!   query implementations) comparing [`ShardedIndex`] against a full
 //!   [`FlatIndex`] for `QUERY`, `BATCH`, and `WITHIN` — including
 //!   unreachable pairs, `s == t`, and out-of-range quality constraints;
@@ -14,7 +14,10 @@
 //! * a fault-injection test: one backend is killed mid-workload and the
 //!   router must degrade to `ERR` within the backend timeout, keep serving
 //!   queries that avoid the dead shard, report the degradation through
-//!   `METRICS`, and never emit a torn (partial) batch reply.
+//!   `METRICS`, and never emit a torn (partial) batch reply;
+//! * a result-cache test: repeated workloads are served from router memory
+//!   with zero additional backend fan-out, bit-identically, with hits
+//!   reported consistently through `STATS` and `METRICS`.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -29,7 +32,8 @@ use wcsd_graph::{Distance, Graph};
 /// property-test convention in `tests/properties.rs`).
 const CASES: u64 = 48;
 
-const IMPLS: [QueryImpl; 3] = [QueryImpl::PairScan, QueryImpl::HubBucket, QueryImpl::Merge];
+const IMPLS: [QueryImpl; 4] =
+    [QueryImpl::PairScan, QueryImpl::HubBucket, QueryImpl::Merge, QueryImpl::Chunked];
 
 /// A road-network-like shard workload: grids partition along geography, so
 /// the cut is small and most pairs cross it.
@@ -49,7 +53,7 @@ fn full_flat(g: &Graph) -> FlatIndex {
 }
 
 /// The fuzz sweep: for every seed and shape, a sharded index over a 2–4-way
-/// partition answers exactly like the unsharded index under all three query
+/// partition answers exactly like the unsharded index under all four query
 /// implementations.
 #[test]
 fn sharded_matches_unsharded_fuzz() {
@@ -143,8 +147,15 @@ struct Cluster {
 }
 
 /// Partitions `g`, serves each shard on its own reactor, and fronts them
-/// with a router on an ephemeral port.
-fn start_cluster(g: &Graph, shards: usize, seed: u64, backend_timeout: Duration) -> Cluster {
+/// with a router on an ephemeral port. `cache_capacity` sizes the router's
+/// result cache (0 = off, so every query provably fans out).
+fn start_cluster(
+    g: &Graph,
+    shards: usize,
+    seed: u64,
+    backend_timeout: Duration,
+    cache_capacity: usize,
+) -> Cluster {
     let partition = Partition::build(g, shards, seed);
     let sharded = ShardedIndex::build(g, &partition);
     let mut backend_addrs = Vec::new();
@@ -155,7 +166,7 @@ fn start_cluster(g: &Graph, shards: usize, seed: u64, backend_timeout: Duration)
         backend_addrs.push(server.local_addr().to_string());
         backend_handles.push(std::thread::spawn(move || server.run()));
     }
-    let config = RouterConfig { backend_timeout, ..RouterConfig::default() };
+    let config = RouterConfig { backend_timeout, cache_capacity, ..RouterConfig::default() };
     // One single-replica group per shard (the replica-failover tests build
     // their own multi-replica clusters).
     let groups: Vec<Vec<String>> = backend_addrs.iter().map(|a| vec![a.clone()]).collect();
@@ -188,7 +199,9 @@ impl Cluster {
 fn router_wire_parity_end_to_end() {
     let g = barabasi_albert(90, 3, &QualityAssigner::uniform(4), 23);
     let flat = full_flat(&g);
-    let cluster = start_cluster(&g, 2, 3, Duration::from_secs(2));
+    // Default cache capacity: parity must hold whether an answer came from
+    // scatter-gather or the router's result cache.
+    let cluster = start_cluster(&g, 2, 3, Duration::from_secs(2), 64 * 1024);
 
     // A direct, unsharded server over the same graph: the oracle for both
     // answers and error wording.
@@ -280,7 +293,9 @@ fn router_fault_injection_degrades_without_hanging() {
     let g = barabasi_albert(60, 2, &QualityAssigner::uniform(4), 5);
     let flat = full_flat(&g);
     let partition = Partition::build(&g, 2, 7);
-    let cluster = start_cluster(&g, 2, 7, Duration::from_millis(500));
+    // Cache off: the drill re-issues the healthy batch after the kill and
+    // must observe the dead backend, not a cached answer.
+    let cluster = start_cluster(&g, 2, 7, Duration::from_millis(500), 0);
 
     // Pick one pair entirely inside shard 0 and one pair crossing into
     // shard 1, so we can tell "partial service" from "dead router".
@@ -352,4 +367,61 @@ fn router_fault_injection_degrades_without_hanging() {
     let snapshot = cluster.shutdown();
     assert!(snapshot.queries >= 2, "answered queries: {}", snapshot.queries);
     assert!(snapshot.batches >= 1, "answered batches: {}", snapshot.batches);
+}
+
+/// The router-side result cache: a repeated workload is answered from router
+/// memory with zero additional backend fan-out, hits surface in both `STATS`
+/// and `METRICS` (same metric names the backends use), and the answers stay
+/// bit-identical to the first, scattered, pass.
+#[test]
+fn router_result_cache_short_circuits_fanout() {
+    let g = barabasi_albert(80, 2, &QualityAssigner::uniform(4), 41);
+    let flat = full_flat(&g);
+    let cluster = start_cluster(&g, 2, 11, Duration::from_secs(2), 4096);
+
+    let n = g.num_vertices() as u32;
+    let mut rng = StdRng::seed_from_u64(0xcac_4e11);
+    let workload: Vec<(u32, u32, u32)> =
+        (0..30).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n), rng.gen_range(1..=5))).collect();
+
+    let mut client =
+        Client::connect_with(&cluster.router_addr, Protocol::Binary).expect("connect router");
+    let first = client.batch(&workload).expect("first pass");
+    for (i, &(s, t, w)) in workload.iter().enumerate() {
+        assert_eq!(first[i], flat.distance_with(s, t, w, QueryImpl::Merge), "Q({s},{t},{w})");
+    }
+
+    let scrape_router = |c: &mut Client| {
+        wcsd_obs::scrape::Scrape::parse(&c.metrics(false).expect("router metrics"))
+    };
+    let before = scrape_router(&mut client);
+    let fanout_before = before.value("wcsd_router_fanout_total").expect("fanout counter");
+
+    // Second pass: every (s, t, w) repeats, so the whole batch — and a few
+    // standalone repeats — must be served without one more backend exchange.
+    assert_eq!(client.batch(&workload).expect("cached pass"), first);
+    for &(s, t, w) in workload.iter().take(5) {
+        assert_eq!(
+            client.query(s, t, w).expect("cached point query"),
+            flat.distance_with(s, t, w, QueryImpl::Merge)
+        );
+    }
+
+    let after = scrape_router(&mut client);
+    assert_eq!(
+        after.value("wcsd_router_fanout_total"),
+        Some(fanout_before),
+        "repeats must not fan out"
+    );
+    let hits = after.value("wcsd_cache_hits_total").expect("hit counter exported");
+    assert!(hits >= workload.len() as f64, "expected >= {} hits, saw {hits}", workload.len());
+    assert!(after.value("wcsd_cache_misses_total").unwrap_or(0.0) >= workload.len() as f64);
+
+    // STATS reads the same atomics METRICS renders.
+    let stats = client.stats().expect("router stats");
+    assert_eq!(stats.cache_hits as f64, hits, "STATS and METRICS disagree on hits");
+    assert!(stats.cache_misses >= workload.len() as u64);
+
+    let snapshot = cluster.shutdown();
+    assert!(snapshot.cache_hits >= workload.len() as u64);
 }
